@@ -1,0 +1,49 @@
+//! Baseline estimators the paper positions itself against (§2, §3).
+//!
+//! * [`CdHistogram`] — the Cumulative Density algorithm of Jin, An &
+//!   Sivasubramaniam \[JAS00\]: four corner-count sub-histograms answer
+//!   Level 1 *intersect* counts **exactly** for grid-aligned queries in
+//!   `O(N)` space — but cannot distinguish `contains`/`contained`/
+//!   `overlap` (that gap is the paper's motivation);
+//! * [`BtHistogram`] — Beigel & Tanin's Euler histogram \[BT98\], the
+//!   intersect-only ancestor of `euler-core`'s estimators;
+//! * [`MinSkew`] — the spatial-skew–minimizing histogram of Acharya,
+//!   Poosala & Ramaswamy \[APR99\]: an *approximate* Level 1 selectivity
+//!   estimator (binary space partition + uniformity assumption inside
+//!   buckets);
+//! * [`NaiveScan`] — exact Level 2 counts by scanning every object; the
+//!   semantic reference;
+//! * [`RTreeOracle`] — exact Level 2 counts through an R-tree, the
+//!   "index structure on top of the actual data" GeoBrowsing baseline
+//!   whose per-query cost motivates constant-time histograms (§1).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bt;
+mod cd;
+mod minskew;
+mod naive;
+mod oracle;
+
+pub use bt::BtHistogram;
+pub use cd::CdHistogram;
+pub use minskew::{MinSkew, MinSkewBucket};
+pub use naive::NaiveScan;
+pub use oracle::RTreeOracle;
+
+use euler_grid::GridRect;
+
+/// A Level 1 (intersect-count) estimator — the interface prior work
+/// supports (§2: existing techniques "only distinguish between two types
+/// of spatial relations: disjoint and intersect").
+pub trait IntersectEstimator {
+    /// Short name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimated number of objects intersecting the aligned query.
+    fn intersect_estimate(&self, q: &GridRect) -> f64;
+
+    /// Number of objects summarized.
+    fn object_count(&self) -> u64;
+}

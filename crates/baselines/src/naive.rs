@@ -1,0 +1,60 @@
+//! Exact Level 2 counts by scanning every object — the semantic reference
+//! implementation (O(|S|) per query, no auxiliary storage).
+
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_grid::{GridRect, SnappedRect};
+
+/// A full-scan exact "estimator".
+#[derive(Debug, Clone)]
+pub struct NaiveScan {
+    objects: Vec<SnappedRect>,
+}
+
+impl NaiveScan {
+    /// Wraps the snapped dataset.
+    pub fn new(objects: Vec<SnappedRect>) -> NaiveScan {
+        NaiveScan { objects }
+    }
+
+    /// The wrapped objects.
+    pub fn objects(&self) -> &[SnappedRect] {
+        &self.objects
+    }
+}
+
+impl Level2Estimator for NaiveScan {
+    fn name(&self) -> &'static str {
+        "NaiveScan"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        euler_core::model::count_by_classification(&self.objects, q)
+    }
+
+    fn object_count(&self) -> u64 {
+        self.objects.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, Snapper};
+
+    #[test]
+    fn counts_are_exact_by_construction() {
+        let g = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap();
+        let s = Snapper::new(g);
+        let objs = vec![
+            s.snap(&Rect::new(1.2, 1.2, 2.8, 2.8).unwrap()),
+            s.snap(&Rect::new(0.5, 0.5, 7.5, 7.5).unwrap()),
+            s.snap(&Rect::new(6.2, 6.2, 6.8, 6.8).unwrap()),
+        ];
+        let scan = NaiveScan::new(objs);
+        let q = GridRect::unchecked(1, 1, 4, 4);
+        let c = scan.estimate(&q);
+        assert_eq!(c, RelationCounts::new(1, 1, 1, 0));
+        assert_eq!(scan.object_count(), 3);
+    }
+}

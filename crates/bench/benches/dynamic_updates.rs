@@ -1,0 +1,115 @@
+//! Static vs dynamic Euler histograms under mixed update/query load —
+//! the trade-off behind `DynamicEulerHistogram` (\[GRAE99\]'s dynamic-cube
+//! direction): the static pipeline pays O(buckets) per refreeze after a
+//! write burst; the dynamic structure pays O(log² n) per operation and
+//! never rebuilds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use euler_core::{DynamicEulerHistogram, EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_datagen::{adl_like, AdlConfig};
+use euler_grid::{Grid, GridRect, SnappedRect};
+
+fn setup() -> (Grid, Vec<SnappedRect>, Vec<GridRect>) {
+    let grid = Grid::paper_default();
+    let d = adl_like(&AdlConfig {
+        count: 50_000,
+        ..AdlConfig::default()
+    });
+    let objects = d.snap(&grid);
+    let mut queries = Vec::new();
+    for y in (0..grid.ny()).step_by(10) {
+        for x in (0..grid.nx()).step_by(10) {
+            queries.push(GridRect::unchecked(x, y, x + 10, y + 10));
+        }
+    }
+    (grid, objects, queries)
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let (grid, objects, queries) = setup();
+
+    // Pure-update throughput.
+    let mut group = c.benchmark_group("updates");
+    group.bench_function("static_insert", |b| {
+        let mut h = EulerHistogram::new(grid);
+        let mut i = 0usize;
+        b.iter(|| {
+            h.insert(&objects[i % objects.len()]);
+            i += 1;
+        })
+    });
+    group.bench_function("dynamic_insert", |b| {
+        let mut h = DynamicEulerHistogram::new(grid);
+        let mut i = 0usize;
+        b.iter(|| {
+            h.insert(&objects[i % objects.len()]);
+            i += 1;
+        })
+    });
+    group.finish();
+
+    // Pure-query latency at equal contents.
+    let frozen = SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+    let dynamic = DynamicEulerHistogram::build(grid, &objects);
+    let mut group = c.benchmark_group("queries");
+    let mut i = 0usize;
+    group.bench_function("static_frozen", |b| {
+        b.iter(|| {
+            i += 1;
+            frozen.estimate(&queries[i % queries.len()])
+        })
+    });
+    group.bench_function("dynamic_fenwick", |b| {
+        b.iter(|| {
+            i += 1;
+            dynamic.s_euler_estimate(&queries[i % queries.len()])
+        })
+    });
+    group.finish();
+
+    // Mixed workload: w writes then one whole Q10 browse, static must
+    // refreeze after the writes; dynamic just answers.
+    let mut group = c.benchmark_group("mixed_write_then_browse");
+    group.sample_size(10);
+    for writes in [1usize, 100, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("static_refreeze", writes),
+            &writes,
+            |b, &w| {
+                let mut h = EulerHistogram::build(grid, &objects);
+                let mut i = 0usize;
+                b.iter(|| {
+                    for _ in 0..w {
+                        h.insert(&objects[i % objects.len()]);
+                        i += 1;
+                    }
+                    let est = SEulerApprox::new(h.freeze());
+                    let mut sink = 0i64;
+                    for q in &queries {
+                        sink = sink.wrapping_add(est.estimate(q).contains);
+                    }
+                    sink
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dynamic", writes), &writes, |b, &w| {
+            let mut h = DynamicEulerHistogram::build(grid, &objects);
+            let mut i = 0usize;
+            b.iter(|| {
+                for _ in 0..w {
+                    h.insert(&objects[i % objects.len()]);
+                    i += 1;
+                }
+                let mut sink = 0i64;
+                for q in &queries {
+                    sink = sink.wrapping_add(h.s_euler_estimate(q).contains);
+                }
+                sink
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Per-query latency of every estimator — the constant-time claim of
+//! §5.2/§6.5, with the exact baselines for contrast. A browsing query of
+//! 5,000 tiles must finish in 100 ms (§6.5 footnote), i.e. 20 µs/tile;
+//! the Euler family sits in the tens of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use euler_baselines::{
+    BtHistogram, CdHistogram, IntersectEstimator, MinSkew, NaiveScan, RTreeOracle,
+};
+use euler_core::{EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, SEulerApprox};
+use euler_datagen::{adl_like, AdlConfig};
+use euler_grid::{Grid, GridRect};
+
+fn queries(grid: &Grid) -> Vec<GridRect> {
+    // A Q10-style set of 648 tiles, iterated cyclically.
+    let mut v = Vec::new();
+    for y in (0..grid.ny()).step_by(10) {
+        for x in (0..grid.nx()).step_by(10) {
+            v.push(GridRect::unchecked(x, y, x + 10, y + 10));
+        }
+    }
+    v
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let grid = Grid::paper_default();
+    let d = adl_like(&AdlConfig {
+        count: 100_000,
+        ..AdlConfig::default()
+    });
+    let objects = d.snap(&grid);
+    let qs = queries(&grid);
+
+    let hist = EulerHistogram::build(grid, &objects).freeze();
+    let s_euler = SEulerApprox::new(hist.clone());
+    let euler = EulerApprox::new(hist);
+    let m2 = MEulerApprox::build(grid, &objects, &MEulerApprox::boundaries_from_sides(&[10]));
+    let m5 = MEulerApprox::build(
+        grid,
+        &objects,
+        &MEulerApprox::boundaries_from_sides(&[3, 5, 10, 15]),
+    );
+    let cd = CdHistogram::build(&grid, &objects);
+    let bt = BtHistogram::build(grid, &objects);
+    let minskew = MinSkew::build(&grid, &objects, 64);
+    let rtree = RTreeOracle::build(&objects);
+    // Naive scan gets a smaller dataset or it dominates the run.
+    let naive = NaiveScan::new(objects[..10_000].to_vec());
+
+    let mut group = c.benchmark_group("query_latency");
+    let mut i = 0usize;
+    let mut next = || {
+        i += 1;
+        qs[i % qs.len()]
+    };
+
+    group.bench_function("s_euler", |b| b.iter(|| s_euler.estimate(&next())));
+    group.bench_function("euler", |b| b.iter(|| euler.estimate(&next())));
+    group.bench_function("m_euler_2", |b| b.iter(|| m2.estimate(&next())));
+    group.bench_function("m_euler_5", |b| b.iter(|| m5.estimate(&next())));
+    group.bench_function("cd_intersect", |b| {
+        b.iter(|| cd.intersect_estimate(&next()))
+    });
+    group.bench_function("bt_intersect", |b| {
+        b.iter(|| bt.intersect_estimate(&next()))
+    });
+    group.bench_function("minskew_intersect", |b| {
+        b.iter(|| minskew.intersect_estimate(&next()))
+    });
+    group.bench_function("rtree_exact", |b| b.iter(|| rtree.estimate(&next())));
+    group.bench_function("naive_scan_10k", |b| b.iter(|| naive.estimate(&next())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation: histogram grid resolution (§3 fixes 1°×1°; this sweep shows
+//! the accuracy/storage trade-off at 0.5°–5° cells).
+//!
+//! The browsing query is held fixed at 10°×10° tiles over the world
+//! (Q₁₀'s geometry), re-expressed in cells at each resolution. Finer
+//! grids shrink the snapped-boundary quantization *and* the relative
+//! weight of crossovers/containing objects per cell — at the cost of
+//! quadratically more buckets.
+
+use euler_bench::{emit_report, pct, PaperEnv};
+use euler_core::EulerHistogram;
+use euler_core::{Level2Estimator, MEulerApprox, SEulerApprox};
+use euler_datagen::exact::ground_truth;
+use euler_grid::{DataSpace, Grid, QuerySet};
+use euler_metrics::{ErrorAccumulator, TextTable};
+
+fn main() {
+    let env = PaperEnv::from_env();
+    let mut envmut = PaperEnv::with_scale(env.scale);
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Ablation: grid resolution sweep, 10x10-degree browsing tiles, scale 1/{}\n\n",
+        env.scale
+    ));
+
+    // (cells per degree-inverse): cell size in degrees -> grid dims.
+    let resolutions: [(f64, usize, usize); 4] = [
+        (0.5, 720, 360),
+        (1.0, 360, 180),
+        (2.0, 180, 90),
+        (5.0, 72, 36),
+    ];
+
+    for name in ["adl", "sz_skew"] {
+        let dataset = envmut.dataset(name).clone();
+        let mut t = TextTable::new(&[
+            "cell (deg)",
+            "grid",
+            "buckets",
+            "S-Euler N_cs ARE",
+            "M-Euler(3) N_cs ARE",
+            "M-Euler(3) N_cd ARE",
+        ]);
+        for (cell, nx, ny) in resolutions {
+            let grid = Grid::new(DataSpace::paper_world(), nx, ny).expect("grid");
+            let snapped = dataset.snap(&grid);
+            // 10-degree tiles = 10 / cell cells.
+            let tile_cells = (10.0 / cell) as usize;
+            let qs = QuerySet::q_n(&grid, tile_cells).expect("tile divides grid");
+            let gt = ground_truth(&snapped, qs.tiling());
+            let s_est = SEulerApprox::new(EulerHistogram::build(grid, &snapped).freeze());
+            // M-Euler boundaries scale with resolution: sides 3 and 10
+            // *degrees*, converted to cells.
+            let sides = [(3.0 / cell).max(1.5), 10.0 / cell];
+            let boundaries: Vec<f64> = sides.iter().map(|s| s * s).collect();
+            let m_est = MEulerApprox::build(grid, &snapped, &boundaries);
+            let mut s_cs = ErrorAccumulator::default();
+            let mut m_cs = ErrorAccumulator::default();
+            let mut m_cd = ErrorAccumulator::default();
+            for (q, exact) in gt.iter_with(qs.tiling()) {
+                let s = s_est.estimate(&q).clamped();
+                let m = m_est.estimate(&q).clamped();
+                s_cs.push(exact.contains as f64, s.contains as f64);
+                m_cs.push(exact.contains as f64, m.contains as f64);
+                m_cd.push(exact.contained as f64, m.contained as f64);
+            }
+            let (ew, eh) = grid.euler_dims();
+            t.row(&[
+                format!("{cell}"),
+                format!("{nx}x{ny}"),
+                (ew * eh).to_string(),
+                pct(s_cs.are()),
+                pct(m_cs.are()),
+                pct(m_cd.are()),
+            ]);
+        }
+        body.push_str(&format!("dataset {name}\n"));
+        body.push_str(&t.render());
+        body.push('\n');
+    }
+
+    body.push_str(
+        "Shape check: for a fixed browsing tile size, accuracy is driven by\n\
+         object size relative to the tile, not by the cell size — resolution\n\
+         buys alignment granularity (more tile sizes available), while M-Euler's\n\
+         area partitioning is what controls N_cs/N_cd error.\n",
+    );
+    emit_report("ablation_resolution", &body);
+}

@@ -1,0 +1,80 @@
+//! Diagnostic (not a paper experiment): decomposes the EulerApprox
+//! Region-A/B proxy error on sz_skew at Q10 into its O1/O2 components,
+//! validating the implementation against per-object classification.
+
+use euler_bench::PaperEnv;
+use euler_core::model::Tallies;
+use euler_core::{EulerApprox, EulerHistogram, Level2Estimator};
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let q10: Vec<_> = env
+        .query_sets()
+        .into_iter()
+        .filter(|qs| qs.tile_size() == 10)
+        .collect();
+    let grid = env.grid;
+    let objects = env.snapped("sz_skew").to_vec();
+    let gt = &env.ground_truth(&objects, &q10)[0];
+    let est = EulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+
+    let mut sum_true_nei = 0i64;
+    let mut sum_proxy = 0f64;
+    let mut sum_o1 = 0i64; // objects containing a horizontal query edge (incl. containing the query)
+    let mut sum_o2 = 0i64; // objects poking through a horizontal edge within the x-span
+    let mut sum_exact_cd = 0i64;
+    let mut sum_est_cd = 0i64;
+    let mut sum_nei_prime = 0i64;
+    for (q, exact) in gt.iter_with(q10[0].tiling()) {
+        let t = Tallies::measure(&objects, &q);
+        sum_true_nei += t.n_ei;
+        let e = est.estimate(&q);
+        sum_est_cd += e.contained;
+        sum_exact_cd += exact.contained;
+        let hist = est.histogram();
+        sum_nei_prime += hist.outside_sum(&q);
+        // recompute proxy
+        let nx = grid.nx();
+        let ny = grid.ny();
+        let mut p = 0i64;
+        if q.x0 > 0 {
+            p += hist.inside_sum(0, q.y0, q.x0, q.y1);
+        }
+        if q.x1 < nx {
+            p += hist.inside_sum(q.x1, q.y0, nx, q.y1);
+        }
+        if q.y1 < ny {
+            p += hist.closed_sum(0, q.y1, nx, ny);
+        }
+        if q.y0 > 0 {
+            p += hist.closed_sum(0, 0, nx, q.y0);
+        }
+        sum_proxy += p as f64;
+        for o in &objects {
+            let spans_x = o.a() < q.x0 as f64 && o.b() > q.x1 as f64;
+            let crosses_top = o.c() < q.y1 as f64 && o.d() > q.y1 as f64;
+            let crosses_bottom = o.c() < q.y0 as f64 && o.d() > q.y0 as f64;
+            let within_x = o.a() > q.x0 as f64 && o.b() < q.x1 as f64;
+            if spans_x && (crosses_top || crosses_bottom) {
+                sum_o1 += i64::from(crosses_top) + i64::from(crosses_bottom)
+                    - i64::from(crosses_top && crosses_bottom);
+                // containing the query counts once extra
+                if o.contains_query(&q) {
+                    // already accounted: touches both A slabs once each
+                }
+            }
+            if within_x && o.intersects(&q) && (crosses_top || crosses_bottom) {
+                sum_o2 += 1;
+            }
+        }
+    }
+    println!("sum true n_ei      = {sum_true_nei}");
+    println!("sum proxy          = {sum_proxy}");
+    println!("sum proxy - n_ei   = {}", sum_proxy - sum_true_nei as f64);
+    println!("sum O1-ish         = {sum_o1}");
+    println!("sum O2             = {sum_o2}");
+    println!("predicted error    = {}", sum_o1 - sum_o2);
+    println!("sum n'_ei          = {sum_nei_prime}");
+    println!("exact N_cd total   = {sum_exact_cd}");
+    println!("est   N_cd total   = {sum_est_cd}");
+}

@@ -1,0 +1,80 @@
+//! Figure 12: characterization of the datasets — the `sp_skew` object
+//! center distribution (12a) and the `sz_skew` object width distribution
+//! (12b) — plus summary statistics for all four datasets (§6.1.1).
+
+use euler_bench::{emit_report, fmt4, PaperEnv};
+use euler_datagen::PAPER_DATASETS;
+use euler_metrics::TextTable;
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Figure 12 / dataset characterization (scale 1/{})\n\n",
+        env.scale
+    ));
+
+    // Summary statistics for all four datasets.
+    let mut t = TextTable::new(&[
+        "dataset",
+        "objects",
+        "points",
+        "mean_w",
+        "mean_h",
+        "median_area",
+        "p99_area",
+        "max_area",
+    ]);
+    for name in PAPER_DATASETS {
+        let stats = env.dataset(name).stats();
+        t.row(&[
+            name.into(),
+            stats.count.to_string(),
+            stats.degenerate.to_string(),
+            fmt4(stats.mean_width),
+            fmt4(stats.mean_height),
+            fmt4(stats.median_area),
+            fmt4(stats.p99_area),
+            fmt4(stats.max_area),
+        ]);
+    }
+    body.push_str(&t.render());
+
+    // 12(a): sp_skew center density on a coarse grid, as a skew profile.
+    let sp = env.dataset("sp_skew");
+    let mut density = sp.center_density(36, 18);
+    density.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = density.iter().sum();
+    body.push_str("\nFigure 12(a): sp_skew spatial skew (share of centers in densest cells)\n");
+    let mut acc = 0usize;
+    for frac in [0.01, 0.05, 0.10, 0.25, 0.50] {
+        let k = ((density.len() as f64 * frac) as usize).max(1);
+        acc = density[..k].iter().sum();
+        body.push_str(&format!(
+            "  densest {:>4.0}% of cells hold {:>5.1}% of objects\n",
+            frac * 100.0,
+            100.0 * acc as f64 / total as f64
+        ));
+    }
+    let _ = acc;
+
+    // 12(b): sz_skew width histogram on log-spaced buckets.
+    let sz = env.dataset("sz_skew");
+    let edges: Vec<f64> = vec![1.5, 2.5, 4.5, 8.5, 16.5, 32.5, 64.5, 128.5];
+    let hist = sz.width_histogram(&edges);
+    body.push_str("\nFigure 12(b): sz_skew side-length distribution (Zipf, log-log linear)\n");
+    let labels = [
+        "1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65-128", "129-180",
+    ];
+    let n = sz.len() as f64;
+    for (label, &count) in labels.iter().zip(&hist) {
+        body.push_str(&format!(
+            "  side {:>8}: {:>9} objects ({:>6.3}%)\n",
+            label,
+            count,
+            100.0 * count as f64 / n
+        ));
+    }
+
+    emit_report("fig12_datasets", &body);
+}

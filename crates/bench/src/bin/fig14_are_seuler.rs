@@ -1,0 +1,104 @@
+//! Figure 14: average relative error of S-EulerApprox across all eleven
+//! query sets Q₂…Q₂₀ and all four datasets — (a) the overlap results
+//! `N_o`, (b) the contains results `N_cs` (§6.2).
+//!
+//! Paper shapes to reproduce:
+//! * (a) `N_o` error small everywhere (< ~7%); `sp_skew` error jumps from
+//!   0 only once tiles drop below 4×4 (crossovers become possible);
+//!   `sz_skew` `N_o` error is exactly 0 (squares cannot cross squares);
+//! * (b) `N_cs` near-exact for `sp_skew`/`ca_road`; blows up for
+//!   `sz_skew` and for `adl` at small query sizes (~120% worst case).
+
+use euler_bench::{emit_report, pct, PaperEnv};
+use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_datagen::PAPER_DATASETS;
+use euler_metrics::{ascii_chart, ChartSeries, ErrorAccumulator, TextTable};
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let sets = env.query_sets();
+    let grid = env.grid;
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Figure 14: S-EulerApprox average relative error, scale 1/{}\n\n",
+        env.scale
+    ));
+
+    let mut table_o = TextTable::new(&["query", "sp_skew", "sz_skew", "adl", "ca_road"]);
+    let mut table_cs = TextTable::new(&["query", "sp_skew", "sz_skew", "adl", "ca_road"]);
+    let mut per_dataset_o: Vec<Vec<f64>> = vec![Vec::new(); PAPER_DATASETS.len()];
+    let mut per_dataset_cs: Vec<Vec<f64>> = vec![Vec::new(); PAPER_DATASETS.len()];
+
+    // dataset -> per-query-set ARE.
+    let mut results_o = vec![vec![0.0; sets.len()]; PAPER_DATASETS.len()];
+    let mut results_cs = vec![vec![0.0; sets.len()]; PAPER_DATASETS.len()];
+    for (di, name) in PAPER_DATASETS.iter().enumerate() {
+        let objects = env.snapped(name).to_vec();
+        let gts = env.ground_truth(&objects, &sets);
+        let est = SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+        for (si, (qs, gt)) in sets.iter().zip(&gts).enumerate() {
+            let mut acc_o = ErrorAccumulator::default();
+            let mut acc_cs = ErrorAccumulator::default();
+            for (q, exact) in gt.iter_with(qs.tiling()) {
+                let e = est.estimate(&q).clamped();
+                acc_o.push(exact.overlaps as f64, e.overlaps as f64);
+                acc_cs.push(exact.contains as f64, e.contains as f64);
+            }
+            results_o[di][si] = acc_o.are();
+            results_cs[di][si] = acc_cs.are();
+        }
+    }
+
+    for (si, qs) in sets.iter().enumerate() {
+        let row_o: Vec<String> = std::iter::once(qs.label())
+            .chain((0..PAPER_DATASETS.len()).map(|di| pct(results_o[di][si])))
+            .collect();
+        let row_cs: Vec<String> = std::iter::once(qs.label())
+            .chain((0..PAPER_DATASETS.len()).map(|di| pct(results_cs[di][si])))
+            .collect();
+        table_o.row(&row_o);
+        table_cs.row(&row_cs);
+        for di in 0..PAPER_DATASETS.len() {
+            per_dataset_o[di].push(results_o[di][si]);
+            per_dataset_cs[di].push(results_cs[di][si]);
+        }
+    }
+
+    body.push_str("Figure 14(a): ARE of the overlap results N_o\n");
+    body.push_str(&table_o.render());
+    body.push('\n');
+    let x_labels: Vec<String> = sets.iter().map(|q| q.tile_size().to_string()).collect();
+    let series_o: Vec<ChartSeries> = PAPER_DATASETS
+        .iter()
+        .zip(&per_dataset_o)
+        .map(|(n, v)| ChartSeries::new(n.to_string(), v.clone()))
+        .collect();
+    body.push_str(&ascii_chart(
+        "ARE(N_o) vs tile size (left = large queries)",
+        &x_labels,
+        &series_o,
+        10,
+    ));
+
+    body.push_str("\nFigure 14(b): ARE of the contains results N_cs\n");
+    body.push_str(&table_cs.render());
+    body.push('\n');
+    let series_cs: Vec<ChartSeries> = PAPER_DATASETS
+        .iter()
+        .zip(&per_dataset_cs)
+        .map(|(n, v)| ChartSeries::new(n.to_string(), v.clone()))
+        .collect();
+    body.push_str(&ascii_chart(
+        "ARE(N_cs) vs tile size (left = large queries)",
+        &x_labels,
+        &series_cs,
+        10,
+    ));
+
+    body.push_str(
+        "\nPaper shape check: (a) all N_o errors small; sp_skew 0 until Q3-Q2;\n\
+         sz_skew N_o = 0 exactly. (b) sp_skew/ca_road near 0; adl and sz_skew\n\
+         grow rapidly as tiles shrink.\n",
+    );
+    emit_report("fig14_are_seuler", &body);
+}

@@ -1,0 +1,58 @@
+//! Figure 15: EulerApprox estimated-vs-exact scatter of `N_cd` and `N_cs`
+//! for the Q₁₀ query set, on the two large-object datasets `adl` and
+//! `sz_skew` (§6.3).
+//!
+//! Paper shapes to reproduce: for `adl`, `N_cd` estimates are poor but
+//! `N_cs` stays accurate (exact `N_cs` is orders of magnitude larger than
+//! `N_cd`, so `N_cs` is resilient); for `sz_skew` the situation reverses —
+//! `N_cd` is reasonably accurate while `N_cs` is bad (`N_cd` ≈ 10× `N_cs`,
+//! so `N_cd` error dominates the small `N_cs`).
+
+use euler_bench::{emit_report, fmt4, PaperEnv};
+use euler_core::{EulerApprox, EulerHistogram, Level2Estimator};
+use euler_metrics::ScatterSeries;
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let q10: Vec<_> = env
+        .query_sets()
+        .into_iter()
+        .filter(|qs| qs.tile_size() == 10)
+        .collect();
+    let grid = env.grid;
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Figure 15: EulerApprox vs exact, Q10, scale 1/{}\n\n",
+        env.scale
+    ));
+
+    for name in ["adl", "sz_skew"] {
+        let objects = env.snapped(name).to_vec();
+        let gt = &env.ground_truth(&objects, &q10)[0];
+        let est = EulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+        let mut s_cd = ScatterSeries::new(format!("{name} N_cd"));
+        let mut s_cs = ScatterSeries::new(format!("{name} N_cs"));
+        let mut exact_cd_mass = 0.0;
+        let mut exact_cs_mass = 0.0;
+        for (q, exact) in gt.iter_with(q10[0].tiling()) {
+            let e = est.estimate(&q).clamped();
+            s_cd.push(exact.contained as f64, e.contained as f64);
+            s_cs.push(exact.contains as f64, e.contains as f64);
+            exact_cd_mass += exact.contained as f64;
+            exact_cs_mass += exact.contains as f64;
+        }
+        body.push_str(&format!("{}\n{}\n", s_cd.summary(), s_cs.summary()));
+        body.push_str(&format!(
+            "  magnitudes: mean exact N_cd/query = {}, mean exact N_cs/query = {} (ratio {})\n\n",
+            fmt4(exact_cd_mass / s_cd.points.len() as f64),
+            fmt4(exact_cs_mass / s_cs.points.len() as f64),
+            fmt4(exact_cd_mass / exact_cs_mass.max(1e-9)),
+        ));
+    }
+
+    body.push_str(
+        "Paper shape check: adl — N_cd noisy, N_cs accurate (N_cs >> N_cd);\n\
+         sz_skew — N_cd reasonably accurate, N_cs poor (N_cd ~= 10x N_cs).\n",
+    );
+    emit_report("fig15_scatter_euler", &body);
+}

@@ -1,0 +1,61 @@
+//! Figure 16: average relative error of EulerApprox across Q₂…Q₂₀ for the
+//! `adl` and `sz_skew` datasets, for `N_cs` and `N_cd` (§6.3).
+//!
+//! Paper shapes to reproduce: EulerApprox is a large improvement over
+//! S-EulerApprox — for `adl` the worst-case `N_cs` error drops from ~120%
+//! to ~15% — but the `sz_skew` `N_cs` error remains high, motivating
+//! M-EulerApprox. The S-EulerApprox columns are included for the
+//! side-by-side comparison the paper makes in prose.
+
+use euler_bench::{emit_report, pct, PaperEnv};
+use euler_core::{EulerApprox, EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_metrics::{ErrorAccumulator, TextTable};
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let sets = env.query_sets();
+    let grid = env.grid;
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Figure 16: EulerApprox average relative error (S-EulerApprox shown for comparison), scale 1/{}\n\n",
+        env.scale
+    ));
+
+    for name in ["adl", "sz_skew"] {
+        let objects = env.snapped(name).to_vec();
+        let gts = env.ground_truth(&objects, &sets);
+        let hist = EulerHistogram::build(grid, &objects).freeze();
+        let euler = EulerApprox::new(hist.clone());
+        let s_euler = SEulerApprox::new(hist);
+        let mut t = TextTable::new(&["query", "N_cs(Euler)", "N_cd(Euler)", "N_cs(S-Euler)"]);
+        let mut worst_cs: f64 = 0.0;
+        for (qs, gt) in sets.iter().zip(&gts) {
+            let mut acc_cs = ErrorAccumulator::default();
+            let mut acc_cd = ErrorAccumulator::default();
+            let mut acc_s_cs = ErrorAccumulator::default();
+            for (q, exact) in gt.iter_with(qs.tiling()) {
+                let e = euler.estimate(&q).clamped();
+                let s = s_euler.estimate(&q).clamped();
+                acc_cs.push(exact.contains as f64, e.contains as f64);
+                acc_cd.push(exact.contained as f64, e.contained as f64);
+                acc_s_cs.push(exact.contains as f64, s.contains as f64);
+            }
+            worst_cs = worst_cs.max(acc_cs.are());
+            t.row(&[
+                qs.label(),
+                pct(acc_cs.are()),
+                pct(acc_cd.are()),
+                pct(acc_s_cs.are()),
+            ]);
+        }
+        body.push_str(&format!("dataset {name}\n"));
+        body.push_str(&t.render());
+        body.push_str(&format!("worst-case N_cs ARE: {}\n\n", pct(worst_cs)));
+    }
+
+    body.push_str(
+        "Paper shape check: adl worst-case N_cs drops from ~120% (S-Euler)\n\
+         to ~15% (Euler); sz_skew improves a lot but stays unsatisfactory.\n",
+    );
+    emit_report("fig16_are_euler", &body);
+}

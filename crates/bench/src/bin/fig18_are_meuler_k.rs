@@ -1,0 +1,110 @@
+//! Figure 18: average relative error of M-EulerApprox on `sz_skew` with
+//! 3, 4 and 5 histograms (§6.4), using exactly the paper's area
+//! sequences:
+//!
+//! * 3 histograms: `1×1, 3×3, 10×10`
+//! * 4 histograms: `1×1, 3×3, 5×5, 10×10`
+//! * 5 histograms: `1×1, 3×3, 5×5, 10×10, 15×15`
+//!
+//! Paper shapes to reproduce: the worst-case `N_cs` error drops from ~58%
+//! (2 histograms) to below ~3% with 3 histograms and under ~0.5% with 5;
+//! accuracy improves *monotonically* with the histogram count. The bin
+//! also exercises the §6.4 pragmatic auto-tuner.
+
+use euler_bench::{emit_report, fmt4, pct, PaperEnv};
+use euler_core::{Level2Estimator, MEulerApprox};
+use euler_metrics::{ErrorAccumulator, TextTable};
+
+fn main() {
+    let mut env = PaperEnv::from_env();
+    let sets = env.query_sets();
+    let grid = env.grid;
+    let objects = env.snapped("sz_skew").to_vec();
+    let gts = env.ground_truth(&objects, &sets);
+
+    let configs: Vec<(String, Vec<f64>)> = vec![
+        ("m=2".into(), MEulerApprox::boundaries_from_sides(&[10])),
+        ("m=3".into(), MEulerApprox::boundaries_from_sides(&[3, 10])),
+        (
+            "m=4".into(),
+            MEulerApprox::boundaries_from_sides(&[3, 5, 10]),
+        ),
+        (
+            "m=5".into(),
+            MEulerApprox::boundaries_from_sides(&[3, 5, 10, 15]),
+        ),
+    ];
+    let estimators: Vec<(String, MEulerApprox)> = configs
+        .iter()
+        .map(|(label, b)| (label.clone(), MEulerApprox::build(grid, &objects, b)))
+        .collect();
+
+    let mut body = String::new();
+    body.push_str(&format!(
+        "Figure 18: M-EulerApprox on sz_skew with 2-5 histograms, scale 1/{}\n\n",
+        env.scale
+    ));
+    let mut t = TextTable::new(&["query", "m=2", "m=3", "m=4", "m=5"]);
+    let mut t_cd = TextTable::new(&["query", "m=2", "m=3", "m=4", "m=5"]);
+    let mut worst = vec![0.0f64; estimators.len()];
+    for (qs, gt) in sets.iter().zip(&gts) {
+        let mut row = vec![qs.label()];
+        let mut row_cd = vec![qs.label()];
+        for (ei, (_, est)) in estimators.iter().enumerate() {
+            let mut acc = ErrorAccumulator::default();
+            let mut acc_cd = ErrorAccumulator::default();
+            for (q, exact) in gt.iter_with(qs.tiling()) {
+                let e = est.estimate(&q).clamped();
+                acc.push(exact.contains as f64, e.contains as f64);
+                acc_cd.push(exact.contained as f64, e.contained as f64);
+            }
+            worst[ei] = worst[ei].max(acc.are());
+            row.push(pct(acc.are()));
+            row_cd.push(pct(acc_cd.are()));
+        }
+        t.row(&row);
+        t_cd.row(&row_cd);
+    }
+    body.push_str("ARE of N_cs\n");
+    body.push_str(&t.render());
+    body.push_str(&format!(
+        "worst-case N_cs ARE: m=2 {}, m=3 {}, m=4 {}, m=5 {}\n\n",
+        pct(worst[0]),
+        pct(worst[1]),
+        pct(worst[2]),
+        pct(worst[3])
+    ));
+    body.push_str("ARE of N_cd\n");
+    body.push_str(&t_cd.render());
+
+    // §6.4's pragmatic tuner, run against Q10+Q4 test queries.
+    let test_sets: Vec<usize> = sets
+        .iter()
+        .enumerate()
+        .filter(|(_, qs)| qs.tile_size() == 10 || qs.tile_size() == 4)
+        .map(|(i, _)| i)
+        .collect();
+    let mut test_queries = Vec::new();
+    for &si in &test_sets {
+        for (q, exact) in gts[si].iter_with(sets[si].tiling()) {
+            test_queries.push((q, *exact));
+        }
+    }
+    let (tuned, report) = MEulerApprox::tune(grid, &objects, &test_queries, 0.02, 6);
+    body.push_str(&format!(
+        "\nAuto-tuned thresholds (target 2% on Q10+Q4): m={} boundaries={:?} final ARE={}\n",
+        tuned.histogram_count(),
+        report
+            .boundaries
+            .iter()
+            .map(|b| fmt4(*b))
+            .collect::<Vec<_>>(),
+        pct(report.worst_contains_are)
+    ));
+
+    body.push_str(
+        "\nPaper shape check: worst-case N_cs error collapses as m grows\n\
+         (58% -> ~3% -> <0.5% in the paper) and improves monotonically.\n",
+    );
+    emit_report("fig18_are_meuler_k", &body);
+}

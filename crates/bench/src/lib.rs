@@ -1,0 +1,166 @@
+//! Shared experiment harness: one binary per figure/table of §6 (see
+//! DESIGN.md's experiment index), all built on this crate's [`PaperEnv`].
+//!
+//! Every binary:
+//!
+//! 1. builds the paper datasets (seeded; scaled by the `EULER_SCALE`
+//!    environment variable — `1` reproduces the paper's sizes and is the
+//!    default in release builds);
+//! 2. computes exact ground truth with the difference-array counter;
+//! 3. runs the estimator(s) under test;
+//! 4. prints the paper-shaped rows/series and writes them to
+//!    `results/<experiment>.txt`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+use euler_datagen::exact::{ground_truth_all, GroundTruth};
+use euler_datagen::{paper_dataset, Dataset};
+use euler_grid::{Grid, QuerySet, SnappedRect};
+
+/// The experiment environment: the paper grid plus dataset scaling.
+pub struct PaperEnv {
+    /// The 360×180 grid at 1°×1°.
+    pub grid: Grid,
+    /// Dataset size divisor (1 = the paper's sizes).
+    pub scale: u32,
+    datasets: HashMap<String, Dataset>,
+    snapped: HashMap<String, Vec<SnappedRect>>,
+}
+
+impl PaperEnv {
+    /// Builds the environment, reading `EULER_SCALE` (default 1).
+    pub fn from_env() -> PaperEnv {
+        let scale = std::env::var("EULER_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1)
+            .max(1);
+        PaperEnv {
+            grid: Grid::paper_default(),
+            scale,
+            datasets: HashMap::new(),
+            snapped: HashMap::new(),
+        }
+    }
+
+    /// A fixed-scale environment (tests).
+    pub fn with_scale(scale: u32) -> PaperEnv {
+        PaperEnv {
+            grid: Grid::paper_default(),
+            scale: scale.max(1),
+            datasets: HashMap::new(),
+            snapped: HashMap::new(),
+        }
+    }
+
+    /// The (cached) dataset by paper name.
+    pub fn dataset(&mut self, name: &str) -> &Dataset {
+        let scale = self.scale;
+        self.datasets.entry(name.to_string()).or_insert_with(|| {
+            paper_dataset(name, scale).unwrap_or_else(|| panic!("dataset {name}"))
+        })
+    }
+
+    /// The (cached) snapped dataset by paper name.
+    pub fn snapped(&mut self, name: &str) -> &[SnappedRect] {
+        if !self.snapped.contains_key(name) {
+            let grid = self.grid;
+            let snapped = self.dataset(name).snap(&grid);
+            self.snapped.insert(name.to_string(), snapped);
+        }
+        &self.snapped[name]
+    }
+
+    /// The eleven paper query sets Q₂₀ … Q₂.
+    pub fn query_sets(&self) -> Vec<QuerySet> {
+        QuerySet::paper_sets(&self.grid)
+    }
+
+    /// Exact ground truth for a snapped dataset over the given query sets
+    /// (parallel across sets).
+    pub fn ground_truth(&self, objects: &[SnappedRect], sets: &[QuerySet]) -> Vec<GroundTruth> {
+        let tilings: Vec<_> = sets.iter().map(|qs| *qs.tiling()).collect();
+        ground_truth_all(objects, &tilings)
+    }
+}
+
+/// Writes an experiment report to stdout and `results/<id>.txt`.
+pub fn emit_report(id: &str, body: &str) {
+    println!("{body}");
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{id}.txt"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    f.write_all(body.as_bytes()).expect("write results");
+    eprintln!("[written to {}]", path.display());
+}
+
+/// Locates `results/` next to the workspace root (`CARGO_MANIFEST_DIR` is
+/// `crates/bench`).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Formats a float with 4 decimals, rendering non-finite values visibly.
+pub fn fmt4(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "inf".into()
+    }
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(v: f64) -> String {
+    if v.is_finite() {
+        format!("{:.2}%", 100.0 * v)
+    } else {
+        "inf".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_caches_datasets_and_snapping() {
+        let mut env = PaperEnv::with_scale(2000);
+        let n1 = env.dataset("sp_skew").len();
+        let n2 = env.dataset("sp_skew").len();
+        assert_eq!(n1, n2);
+        let s = env.snapped("sp_skew").len();
+        assert_eq!(s, n1);
+        assert_eq!(env.query_sets().len(), 11);
+    }
+
+    #[test]
+    fn ground_truth_matches_dataset_size() {
+        let mut env = PaperEnv::with_scale(2000);
+        let objects = env.snapped("sz_skew").to_vec();
+        let sets: Vec<_> = env
+            .query_sets()
+            .into_iter()
+            .filter(|qs| qs.tile_size() == 10)
+            .collect();
+        let gt = env.ground_truth(&objects, &sets);
+        assert_eq!(gt.len(), 1);
+        for c in gt[0].counts() {
+            assert_eq!(c.total(), objects.len() as i64);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt4(0.12345), "0.1235");
+        assert_eq!(pct(0.1), "10.00%");
+        assert_eq!(fmt4(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,112 @@
+use crate::{BrowseResult, Relation};
+
+/// Analysis of a browse result: the zero-hit / mega-hit diagnosis the
+/// paper's introduction motivates ("trial queries tend to be either overly
+/// restrictive or overly broad, resulting in either zero hit or thousands
+/// of hits").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// Fraction of tiles with zero results for the relation.
+    pub zero_fraction: f64,
+    /// Fraction of tiles exceeding `mega_threshold` results.
+    pub mega_fraction: f64,
+    /// The densest tile `(col, row)` and its count.
+    pub hottest: Option<((usize, usize), i64)>,
+    /// Suggested action for the user.
+    pub suggestion: Suggestion,
+}
+
+/// The refinement suggestion derived from a browse result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suggestion {
+    /// Most tiles empty: the query region/filters are too restrictive —
+    /// zoom out or relax constraints.
+    ZoomOut,
+    /// Most tiles overflowing: refine with more tiles or tighter filters.
+    Refine,
+    /// Distribution is informative as-is; evaluate the real query.
+    Proceed,
+}
+
+/// Analyzes a browse result for the given relation.
+///
+/// `mega_threshold` is the per-tile count beyond which a tile is "mega-hit"
+/// (a result too large to convey information, §1).
+pub fn advise(result: &BrowseResult, rel: Relation, mega_threshold: i64) -> Advice {
+    let n = result.counts().len().max(1);
+    let mut zero = 0usize;
+    let mut mega = 0usize;
+    let mut hottest: Option<((usize, usize), i64)> = None;
+    for ((c, r), _tile, counts) in result.iter() {
+        let v = rel.of(counts).max(0);
+        if v == 0 {
+            zero += 1;
+        }
+        if v > mega_threshold {
+            mega += 1;
+        }
+        if hottest.is_none_or(|(_, best)| v > best) {
+            hottest = Some(((c, r), v));
+        }
+    }
+    let zero_fraction = zero as f64 / n as f64;
+    let mega_fraction = mega as f64 / n as f64;
+    let suggestion = if zero_fraction > 0.9 {
+        Suggestion::ZoomOut
+    } else if mega_fraction > 0.5 {
+        Suggestion::Refine
+    } else {
+        Suggestion::Proceed
+    };
+    Advice {
+        zero_fraction,
+        mega_fraction,
+        hottest,
+        suggestion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_core::RelationCounts;
+    use euler_grid::{GridRect, Tiling};
+
+    fn result(values: Vec<i64>) -> BrowseResult {
+        let side = (values.len() as f64).sqrt() as usize;
+        let region = GridRect::unchecked(0, 0, side * 2, side * 2);
+        let tiling = Tiling::new(region, side, side).unwrap();
+        BrowseResult::new(
+            tiling,
+            values
+                .into_iter()
+                .map(|v| RelationCounts::new(0, v, 0, 0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn empty_region_suggests_zoom_out() {
+        let r = result(vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        let a = advise(&r, Relation::Contains, 100);
+        assert!(a.zero_fraction > 0.8);
+        assert_eq!(a.suggestion, Suggestion::ZoomOut);
+        assert_eq!(a.hottest, Some(((3, 3), 1)));
+    }
+
+    #[test]
+    fn overflowing_region_suggests_refine() {
+        let r = result(vec![500, 900, 800, 700, 600, 1000, 50, 0, 999]);
+        let a = advise(&r, Relation::Contains, 100);
+        assert!(a.mega_fraction > 0.5);
+        assert_eq!(a.suggestion, Suggestion::Refine);
+    }
+
+    #[test]
+    fn informative_region_proceeds() {
+        let r = result(vec![0, 5, 12, 3, 0, 7, 20, 1, 4]);
+        let a = advise(&r, Relation::Contains, 100);
+        assert_eq!(a.suggestion, Suggestion::Proceed);
+        assert_eq!(a.hottest, Some(((0, 2), 20)));
+    }
+}

@@ -1,0 +1,297 @@
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_grid::{GridRect, Tiling};
+use serde::{Deserialize, Serialize};
+
+/// The relation a browsing user asks about — the query-type selector of
+/// the GeoBrowsing client (§1: contains, contained, overlap; plus the
+/// Level 1 intersect view existing systems offer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// Objects contained in a tile (`N_cs`).
+    Contains,
+    /// Objects containing a tile (`N_cd`).
+    Contained,
+    /// Objects overlapping a tile (`N_o`).
+    Overlap,
+    /// Objects intersecting a tile (`N_cs + N_cd + N_o`, Level 1).
+    Intersect,
+    /// Objects disjoint from a tile (`N_d`).
+    Disjoint,
+}
+
+impl Relation {
+    /// Extracts the relation's count from a tile's [`RelationCounts`].
+    pub fn of(&self, c: &RelationCounts) -> i64 {
+        match self {
+            Relation::Contains => c.contains,
+            Relation::Contained => c.contained,
+            Relation::Overlap => c.overlaps,
+            Relation::Intersect => c.intersecting(),
+            Relation::Disjoint => c.disjoint,
+        }
+    }
+}
+
+/// The result of a browsing query: per-tile Level 2 counts over a tiling.
+#[derive(Debug, Clone)]
+pub struct BrowseResult {
+    tiling: Tiling,
+    counts: Vec<RelationCounts>,
+}
+
+impl BrowseResult {
+    /// Assembles a result (row-major counts, [`Tiling::iter`] order).
+    pub fn new(tiling: Tiling, counts: Vec<RelationCounts>) -> BrowseResult {
+        assert_eq!(counts.len(), tiling.len(), "one count per tile");
+        BrowseResult { tiling, counts }
+    }
+
+    /// The tiling browsed.
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// Counts for tile `(col, row)`.
+    pub fn get(&self, col: usize, row: usize) -> &RelationCounts {
+        &self.counts[row * self.tiling.cols() + col]
+    }
+
+    /// All counts, row-major.
+    pub fn counts(&self) -> &[RelationCounts] {
+        &self.counts
+    }
+
+    /// Pairs each tile with its counts.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), GridRect, &RelationCounts)> + '_ {
+        self.tiling
+            .iter()
+            .map(move |((c, r), t)| ((c, r), t, self.get(c, r)))
+    }
+
+    /// The largest count of `rel` across tiles (heatmap normalization).
+    pub fn max_of(&self, rel: Relation) -> i64 {
+        self.counts.iter().map(|c| rel.of(c)).max().unwrap_or(0)
+    }
+
+    /// The `k` hottest tiles for a relation, descending; ties broken by
+    /// tile order. The drill-down list next to a heat map.
+    pub fn top_k(&self, rel: Relation, k: usize) -> Vec<((usize, usize), GridRect, i64)> {
+        let mut all: Vec<((usize, usize), GridRect, i64)> = self
+            .iter()
+            .map(|(pos, tile, c)| (pos, tile, rel.of(c)))
+            .collect();
+        // Ties break in row-major tile order (row, then column).
+        all.sort_by(|a, b| b.2.cmp(&a.2).then((a.0 .1, a.0 .0).cmp(&(b.0 .1, b.0 .0))));
+        all.truncate(k);
+        all
+    }
+
+    /// Per-tile difference `self − other` (e.g. two facets, or the same
+    /// facet across two time windows). Panics unless both results share
+    /// the same tiling. Differences can be negative.
+    pub fn diff(&self, other: &BrowseResult) -> BrowseResult {
+        assert_eq!(self.tiling, other.tiling, "tilings must match");
+        let counts = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(a, b)| RelationCounts {
+                disjoint: a.disjoint - b.disjoint,
+                contains: a.contains - b.contains,
+                contained: a.contained - b.contained,
+                overlaps: a.overlaps - b.overlaps,
+            })
+            .collect();
+        BrowseResult::new(self.tiling, counts)
+    }
+}
+
+/// A browsing backend: answers a whole tiling at once.
+pub trait Browser {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Answers every tile of the tiling.
+    fn browse(&self, tiling: &Tiling) -> BrowseResult;
+}
+
+/// Constant-time browsing over any Level 2 estimator — S-EulerApprox,
+/// EulerApprox, M-EulerApprox, or an exact oracle.
+#[derive(Debug, Clone)]
+pub struct EulerBrowser<E> {
+    estimator: E,
+}
+
+impl<E: Level2Estimator> EulerBrowser<E> {
+    /// Wraps an estimator.
+    pub fn new(estimator: E) -> EulerBrowser<E> {
+        EulerBrowser { estimator }
+    }
+
+    /// The wrapped estimator.
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+}
+
+impl<E: Level2Estimator + Sync> EulerBrowser<E> {
+    /// Answers a large tiling with scoped worker threads, one chunk of
+    /// tile rows per worker. Results are identical to [`Browser::browse`];
+    /// worthwhile from a few thousand tiles (each estimate is tens of
+    /// nanoseconds, so smaller tilings are faster sequentially).
+    pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
+        let threads = threads.clamp(1, tiling.rows().max(1));
+        if threads == 1 {
+            return self.browse(tiling);
+        }
+        let cols = tiling.cols();
+        let mut counts = vec![RelationCounts::default(); tiling.len()];
+        let rows_per = tiling.rows().div_ceil(threads);
+        crossbeam::thread::scope(|s| {
+            for (chunk_idx, chunk) in counts.chunks_mut(rows_per * cols).enumerate() {
+                let estimator = &self.estimator;
+                s.spawn(move |_| {
+                    let row0 = chunk_idx * rows_per;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        let (col, row) = (i % cols, row0 + i / cols);
+                        *slot = estimator.estimate(&tiling.tile(col, row)).clamped();
+                    }
+                });
+            }
+        })
+        .expect("browse worker panicked");
+        BrowseResult::new(*tiling, counts)
+    }
+}
+
+impl<E: Level2Estimator> Browser for EulerBrowser<E> {
+    fn name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    fn browse(&self, tiling: &Tiling) -> BrowseResult {
+        let counts: Vec<RelationCounts> = tiling
+            .iter()
+            .map(|(_, tile)| self.estimator.estimate(&tile).clamped())
+            .collect();
+        BrowseResult::new(*tiling, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_core::{EulerHistogram, SEulerApprox};
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, Snapper};
+
+    fn browser() -> EulerBrowser<SEulerApprox> {
+        let g = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap();
+        let s = Snapper::new(g);
+        let objs = vec![
+            s.snap(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap()),
+            s.snap(&Rect::new(5.2, 5.2, 5.8, 5.8).unwrap()),
+            s.snap(&Rect::new(5.4, 5.4, 6.4, 6.4).unwrap()),
+        ];
+        EulerBrowser::new(SEulerApprox::new(EulerHistogram::build(g, &objs).freeze()))
+    }
+
+    #[test]
+    fn browse_answers_every_tile() {
+        let b = browser();
+        let g = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap();
+        let tiling = Tiling::new(g.full(), 4, 4).unwrap();
+        let res = b.browse(&tiling);
+        assert_eq!(res.counts().len(), 16);
+        // Tile (0,0) covers cells [0,2)x[0,2): contains the first object.
+        assert_eq!(res.get(0, 0).contains, 1);
+        // Tile (2,2) covers [4,6)x[4,6): contains the second object and
+        // overlaps the third.
+        assert_eq!(res.get(2, 2).contains, 1);
+        assert_eq!(res.get(2, 2).overlaps, 1);
+        assert_eq!(res.max_of(Relation::Contains), 1);
+        assert_eq!(res.max_of(Relation::Intersect), 2);
+    }
+
+    #[test]
+    fn parallel_browse_matches_sequential() {
+        let g = Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, 36.0, 18.0).unwrap()),
+            36,
+            18,
+        )
+        .unwrap();
+        let s = Snapper::new(g);
+        let objs: Vec<_> = (0..500)
+            .map(|i| {
+                let x = (i * 13 % 340) as f64 / 10.0;
+                let y = (i * 7 % 160) as f64 / 10.0;
+                s.snap(&Rect::new(x, y, x + 1.7, y + 1.1).unwrap())
+            })
+            .collect();
+        let b = EulerBrowser::new(SEulerApprox::new(EulerHistogram::build(g, &objs).freeze()));
+        let tiling = Tiling::new(g.full(), 18, 18).unwrap();
+        let seq = b.browse(&tiling);
+        for threads in [1, 2, 3, 7, 64] {
+            let par = b.browse_parallel(&tiling, threads);
+            assert_eq!(seq.counts(), par.counts(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn relation_selector() {
+        let c = RelationCounts::new(5, 3, 1, 2);
+        assert_eq!(Relation::Contains.of(&c), 3);
+        assert_eq!(Relation::Contained.of(&c), 1);
+        assert_eq!(Relation::Overlap.of(&c), 2);
+        assert_eq!(Relation::Intersect.of(&c), 6);
+        assert_eq!(Relation::Disjoint.of(&c), 5);
+    }
+
+    #[test]
+    fn top_k_and_diff() {
+        let region = GridRect::unchecked(0, 0, 6, 4);
+        let tiling = Tiling::new(region, 3, 2).unwrap();
+        let mk = |vals: [i64; 6]| {
+            BrowseResult::new(
+                tiling,
+                vals.iter()
+                    .map(|&v| RelationCounts::new(0, v, 0, 0))
+                    .collect(),
+            )
+        };
+        let a = mk([5, 1, 9, 2, 9, 0]);
+        let top = a.top_k(Relation::Contains, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].2, 9);
+        assert_eq!(top[1].2, 9);
+        assert_eq!(top[2].2, 5);
+        // Ties broken by tile order: (2,0) before (1,1).
+        assert_eq!(top[0].0, (2, 0));
+        assert_eq!(top[1].0, (1, 1));
+
+        let b = mk([1, 1, 1, 1, 10, 0]);
+        let d = a.diff(&b);
+        assert_eq!(d.get(0, 0).contains, 4);
+        assert_eq!(d.get(1, 1).contains, -1);
+        assert_eq!(d.top_k(Relation::Contains, 1)[0].2, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "tilings must match")]
+    fn diff_requires_matching_tilings() {
+        let t1 = Tiling::new(GridRect::unchecked(0, 0, 6, 4), 3, 2).unwrap();
+        let t2 = Tiling::new(GridRect::unchecked(0, 0, 6, 4), 2, 2).unwrap();
+        let a = BrowseResult::new(t1, vec![RelationCounts::default(); 6]);
+        let b = BrowseResult::new(t2, vec![RelationCounts::default(); 4]);
+        let _ = a.diff(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per tile")]
+    fn result_length_checked() {
+        let g = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap();
+        let tiling = Tiling::new(g.full(), 2, 2).unwrap();
+        BrowseResult::new(tiling, vec![RelationCounts::default()]);
+    }
+}

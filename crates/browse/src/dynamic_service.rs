@@ -1,0 +1,176 @@
+use euler_core::{DynamicEulerHistogram, RelationCounts};
+use euler_geom::Rect;
+use euler_grid::{Grid, Snapper, Tiling};
+use parking_lot::RwLock;
+
+use crate::{BrowseResult, Browser};
+
+/// A GeoBrowsing front end over the **dynamic** Euler histogram: inserts
+/// and removes take `O(log² n)` and never trigger a snapshot rebuild, so
+/// write-heavy feeds (live sensor registrations, streaming catalog
+/// updates) stay browsable at all times.
+///
+/// Compared to [`crate::GeoBrowsingService`] (static histogram +
+/// freeze-on-read snapshots):
+///
+/// * reads here cost `O(log² n)` per tile instead of O(1), and hold a
+///   read lock for the duration of the tiling;
+/// * writes cost `O(log² n)` instead of O(footprint) + snapshot
+///   invalidation;
+/// * reads always see the latest writes (no snapshot staleness).
+pub struct DynamicGeoBrowsingService {
+    grid: Grid,
+    snapper: Snapper,
+    hist: RwLock<DynamicEulerHistogram>,
+}
+
+impl DynamicGeoBrowsingService {
+    /// An empty service over `grid` (at least 2×2 cells).
+    pub fn new(grid: Grid) -> DynamicGeoBrowsingService {
+        DynamicGeoBrowsingService {
+            grid,
+            snapper: Snapper::new(grid),
+            hist: RwLock::new(DynamicEulerHistogram::new(grid)),
+        }
+    }
+
+    /// Bulk-loads a service from raw MBRs.
+    pub fn with_objects(grid: Grid, rects: &[Rect]) -> DynamicGeoBrowsingService {
+        let svc = DynamicGeoBrowsingService::new(grid);
+        for r in rects {
+            svc.insert(r);
+        }
+        svc
+    }
+
+    /// The service grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> u64 {
+        use euler_core::EulerSource;
+        self.hist.read().object_count()
+    }
+
+    /// True when no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an object MBR.
+    pub fn insert(&self, rect: &Rect) {
+        let snapped = self.snapper.snap(rect);
+        self.hist.write().insert(&snapped);
+    }
+
+    /// Removes a previously inserted MBR.
+    pub fn remove(&self, rect: &Rect) {
+        let snapped = self.snapper.snap(rect);
+        self.hist.write().remove(&snapped);
+    }
+
+    /// Answers a browsing query with current data (S-EulerApprox algebra).
+    pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
+        let hist = self.hist.read();
+        let counts: Vec<RelationCounts> = tiling
+            .iter()
+            .map(|(_, tile)| hist.s_euler_estimate(&tile).clamped())
+            .collect();
+        BrowseResult::new(*tiling, counts)
+    }
+}
+
+impl Browser for DynamicGeoBrowsingService {
+    fn name(&self) -> &'static str {
+        "DynamicGeoBrowsingService"
+    }
+
+    fn browse(&self, tiling: &Tiling) -> BrowseResult {
+        DynamicGeoBrowsingService::browse(self, tiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeoBrowsingService;
+    use euler_grid::DataSpace;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::sync::Arc;
+
+    fn grid() -> Grid {
+        Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, 16.0, 12.0).unwrap()),
+            16,
+            12,
+        )
+        .unwrap()
+    }
+
+    fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..15.0);
+                let y = rng.gen_range(0.0..11.0);
+                let w = rng.gen_range(0.0..6.0);
+                let h = rng.gen_range(0.0..5.0);
+                Rect::new(x, y, (x + w).min(16.0), (y + h).min(12.0)).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_static_service() {
+        let rects = random_rects(300, 1);
+        let stat = GeoBrowsingService::with_objects(grid(), &rects);
+        let dynamic = DynamicGeoBrowsingService::with_objects(grid(), &rects);
+        let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
+        let a = stat.browse(&tiling);
+        let b = dynamic.browse(&tiling);
+        for ((c, r), _t) in tiling.iter() {
+            assert_eq!(a.get(c, r), b.get(c, r), "tile ({c},{r})");
+        }
+    }
+
+    #[test]
+    fn updates_visible_immediately() {
+        let svc = DynamicGeoBrowsingService::new(grid());
+        let tiling = Tiling::new(grid().full(), 2, 2).unwrap();
+        assert_eq!(svc.browse(&tiling).counts()[0].total(), 0);
+        let r = Rect::new(1.2, 1.2, 2.8, 2.8).unwrap();
+        svc.insert(&r);
+        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 1);
+        svc.remove(&r);
+        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 0);
+        assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        let svc = Arc::new(DynamicGeoBrowsingService::new(grid()));
+        let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                let rects = random_rects(50, t);
+                for (i, r) in rects.iter().enumerate() {
+                    if t < 2 {
+                        svc.insert(r);
+                    } else {
+                        let res = svc.browse(&tiling);
+                        assert!(res.counts()[0].total() >= 0);
+                        let _ = i;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(svc.len(), 100);
+    }
+}

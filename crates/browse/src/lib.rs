@@ -1,0 +1,51 @@
+//! The GeoBrowsing service (§1): multi-tile browsing queries over spatial
+//! datasets.
+//!
+//! A *browsing query* selects a region, partitions it into tiles ("22×24
+//! tiles" over California in Figure 1(b)), and asks for the number of
+//! objects standing in a chosen Level 2 relation to every tile — hundreds
+//! or thousands of trial queries with a single click. This crate wires the
+//! estimators of `euler-core` (and the exact backends) into that workflow:
+//!
+//! * [`Browser`] — the service interface: a tiling in, a grid of
+//!   [`RelationCounts`] out;
+//! * [`EulerBrowser`] — constant-time browsing over any
+//!   [`euler_core::Level2Estimator`];
+//! * [`ExactBrowser`] — the exact difference-array backend (ground truth
+//!   at scale);
+//! * [`GeoBrowsingService`] — a concurrent, updatable front end: writers
+//!   insert/remove objects, readers browse consistent snapshots;
+//! * [`DynamicGeoBrowsingService`] — the same front end over the
+//!   O(log²n)-update dynamic Euler histogram (no snapshot rebuilds);
+//! * [`FacetedService`] — multi-attribute browsing (Figure 1's
+//!   region/date/subject filters) via one histogram per facet value;
+//! * [`PyramidBrowser`] — §1's "various resolutions": a lazily
+//!   materialized ladder of grids, coarse views served from kilobyte
+//!   histograms;
+//! * [`render_heatmap`] — terminal rendering of a result grid (the
+//!   Figure 1 color map, in ASCII);
+//! * [`advise`] — zero-hit/mega-hit analysis: the query-refinement hints
+//!   that motivate browsing in the first place.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod advise;
+mod browser;
+mod dynamic_service;
+mod exact_browser;
+mod faceted;
+mod pyramid;
+mod render;
+mod service;
+
+pub use advise::{advise, Advice};
+pub use browser::{BrowseResult, Browser, EulerBrowser, Relation};
+pub use dynamic_service::DynamicGeoBrowsingService;
+pub use exact_browser::ExactBrowser;
+pub use faceted::FacetedService;
+pub use pyramid::{PyramidBrowser, PyramidError};
+pub use render::render_heatmap;
+pub use service::GeoBrowsingService;
+
+pub use euler_core::RelationCounts;

@@ -1,0 +1,283 @@
+//! Multi-resolution browsing: §1's GeoBrowsing "provides summary
+//! information of a data collection or a subset of it **at various
+//! resolutions**".
+//!
+//! A single fine grid answers every aligned tiling (accuracy is
+//! resolution-independent for aligned queries — see the
+//! `ablation_resolution` experiment), but costs `(2n₁−1)(2n₂−1)` buckets
+//! up front. The pyramid instead keeps a ladder of grids, each half the
+//! resolution of the previous, and **materializes a level only when a
+//! browsing query first needs it**: world-scale overviews are served from
+//! kilobyte histograms, and the full-resolution level is only built when
+//! a user actually zooms that deep.
+//!
+//! A request is dispatched to the *coarsest* level on which the tiling is
+//! grid-aligned, which minimizes build cost and working-set size without
+//! changing any answer.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid, Tiling};
+use parking_lot::RwLock;
+
+use crate::BrowseResult;
+
+/// Errors from pyramid browsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PyramidError {
+    /// The requested region/tiling does not align with any level, not
+    /// even the finest.
+    Misaligned {
+        /// Explanation from the finest level's aligner.
+        detail: String,
+    },
+    /// Construction parameters were invalid.
+    BadConfig(&'static str),
+}
+
+impl std::fmt::Display for PyramidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PyramidError::Misaligned { detail } => write!(f, "misaligned tiling: {detail}"),
+            PyramidError::BadConfig(what) => write!(f, "bad pyramid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PyramidError {}
+
+/// A lazily-materialized resolution pyramid over one dataset.
+pub struct PyramidBrowser {
+    space: DataSpace,
+    /// Grids, finest (level 0) to coarsest.
+    grids: Vec<Grid>,
+    rects: Vec<Rect>,
+    built: RwLock<HashMap<usize, Arc<SEulerApprox>>>,
+}
+
+impl PyramidBrowser {
+    /// Creates a pyramid whose finest grid is `finest_nx × finest_ny`,
+    /// halving resolution per level while both dimensions stay even and
+    /// at least `levels` deep as permitted. Nothing is built yet.
+    pub fn new(
+        space: DataSpace,
+        finest_nx: usize,
+        finest_ny: usize,
+        levels: usize,
+        rects: Vec<Rect>,
+    ) -> Result<PyramidBrowser, PyramidError> {
+        if finest_nx == 0 || finest_ny == 0 {
+            return Err(PyramidError::BadConfig("finest grid must be nonzero"));
+        }
+        if levels == 0 {
+            return Err(PyramidError::BadConfig("need at least one level"));
+        }
+        let mut grids = Vec::new();
+        let (mut nx, mut ny) = (finest_nx, finest_ny);
+        for _ in 0..levels {
+            grids.push(Grid::new(space, nx, ny).expect("validated dims"));
+            if nx % 2 != 0 || ny % 2 != 0 || nx < 2 || ny < 2 {
+                break;
+            }
+            nx /= 2;
+            ny /= 2;
+        }
+        Ok(PyramidBrowser {
+            space,
+            grids,
+            rects,
+            built: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Number of levels in the ladder (level 0 = finest).
+    pub fn level_count(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// The grid of a level.
+    pub fn grid(&self, level: usize) -> &Grid {
+        &self.grids[level]
+    }
+
+    /// Levels that have been materialized so far.
+    pub fn materialized_levels(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.built.read().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Picks the coarsest level whose grid aligns the region *and* all
+    /// tile boundaries of a `cols × rows` split.
+    fn pick_level(&self, region: &Rect, cols: usize, rows: usize) -> Result<usize, PyramidError> {
+        let mut finest_error = None;
+        for level in (0..self.grids.len()).rev() {
+            let grid = &self.grids[level];
+            match grid.align(region, 1e-9) {
+                Ok(aligned) => {
+                    if aligned.width() % cols == 0 && aligned.height() % rows == 0 {
+                        return Ok(level);
+                    }
+                    if level == 0 {
+                        finest_error = Some(format!(
+                            "{} cells cannot split into {cols}x{rows} equal tiles",
+                            aligned
+                        ));
+                    }
+                }
+                Err(e) => {
+                    if level == 0 {
+                        finest_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        Err(PyramidError::Misaligned {
+            detail: finest_error.unwrap_or_else(|| "no level aligned".into()),
+        })
+    }
+
+    fn estimator_for(&self, level: usize) -> Arc<SEulerApprox> {
+        if let Some(est) = self.built.read().get(&level) {
+            return est.clone();
+        }
+        let mut built = self.built.write();
+        built
+            .entry(level)
+            .or_insert_with(|| {
+                let grid = self.grids[level];
+                let snapper = euler_grid::Snapper::new(grid);
+                let snapped: Vec<_> = self.rects.iter().map(|r| snapper.snap(r)).collect();
+                Arc::new(SEulerApprox::new(
+                    EulerHistogram::build(grid, &snapped).freeze(),
+                ))
+            })
+            .clone()
+    }
+
+    /// Browses `region` (data units) as `cols × rows` tiles on the
+    /// coarsest sufficient level. Returns the result plus the level used.
+    pub fn browse(
+        &self,
+        region: &Rect,
+        cols: usize,
+        rows: usize,
+    ) -> Result<(BrowseResult, usize), PyramidError> {
+        let level = self.pick_level(region, cols, rows)?;
+        let grid = &self.grids[level];
+        let aligned = grid.align(region, 1e-9).expect("picked level aligns");
+        let tiling = Tiling::new(aligned, cols, rows).expect("divisibility checked");
+        let est = self.estimator_for(level);
+        let counts = tiling
+            .iter()
+            .map(|(_, tile)| est.estimate(&tile).clamped())
+            .collect();
+        Ok((BrowseResult::new(tiling, counts), level))
+    }
+
+    /// The data space.
+    pub fn space(&self) -> &DataSpace {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Relation;
+
+    fn rects() -> Vec<Rect> {
+        (0..400)
+            .map(|i| {
+                let x = (i * 17 % 350) as f64;
+                let y = (i * 7 % 170) as f64;
+                Rect::new(x + 0.1, y + 0.1, x + 2.1, y + 1.3).unwrap()
+            })
+            .collect()
+    }
+
+    fn pyramid() -> PyramidBrowser {
+        PyramidBrowser::new(DataSpace::paper_world(), 360, 180, 4, rects()).unwrap()
+    }
+
+    #[test]
+    fn ladder_shape() {
+        let p = pyramid();
+        // Halving stops when a dimension turns odd: 360x180 → 180x90 →
+        // 90x45 (45 is odd, so the requested 4th level is not created).
+        assert_eq!(p.level_count(), 3);
+        assert_eq!((p.grid(0).nx(), p.grid(0).ny()), (360, 180));
+        assert_eq!((p.grid(2).nx(), p.grid(2).ny()), (90, 45));
+    }
+
+    #[test]
+    fn coarse_views_use_coarse_levels_lazily() {
+        let p = pyramid();
+        assert!(p.materialized_levels().is_empty());
+        // A 36x18 world view of 10-degree tiles aligns on every level
+        // whose cell divides 10 degrees: level 0 (1 deg), 1 (2 deg)...
+        let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
+        let (_, level) = p.browse(&world, 36, 18).unwrap();
+        assert!(level > 0, "coarse view should use a coarse level");
+        assert_eq!(p.materialized_levels(), vec![level]);
+        // Zooming to 1-degree tiles forces the finest level.
+        let city = Rect::new(100.0, 60.0, 110.0, 70.0).unwrap();
+        let (_, fine_level) = p.browse(&city, 10, 10).unwrap();
+        assert_eq!(fine_level, 0);
+        assert_eq!(p.materialized_levels(), vec![0, level]);
+    }
+
+    #[test]
+    fn answers_match_across_levels() {
+        // The same aligned tiling answered at different levels must agree
+        // (resolution independence of aligned queries).
+        let p = pyramid();
+        let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
+        let (coarse, level) = p.browse(&world, 36, 18).unwrap();
+        assert!(level > 0);
+        // Force the finest level by asking through a fresh pyramid with
+        // one level only.
+        let fine = PyramidBrowser::new(DataSpace::paper_world(), 360, 180, 1, rects()).unwrap();
+        let (fine_res, fine_level) = fine.browse(&world, 36, 18).unwrap();
+        assert_eq!(fine_level, 0);
+        for col in 0..36 {
+            for row in 0..18 {
+                assert_eq!(
+                    Relation::Intersect.of(coarse.get(col, row)),
+                    Relation::Intersect.of(fine_res.get(col, row)),
+                    "tile ({col},{row})"
+                );
+                assert_eq!(
+                    Relation::Contains.of(coarse.get(col, row)),
+                    Relation::Contains.of(fine_res.get(col, row)),
+                    "tile ({col},{row})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_requests_error() {
+        let p = pyramid();
+        let crooked = Rect::new(0.25, 0.0, 359.25, 180.0).unwrap();
+        assert!(matches!(
+            p.browse(&crooked, 10, 10),
+            Err(PyramidError::Misaligned { .. })
+        ));
+        // Aligned region, indivisible tiling.
+        let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
+        assert!(matches!(
+            p.browse(&world, 7, 18),
+            Err(PyramidError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        assert!(PyramidBrowser::new(DataSpace::paper_world(), 0, 10, 2, vec![]).is_err());
+        assert!(PyramidBrowser::new(DataSpace::paper_world(), 10, 10, 0, vec![]).is_err());
+    }
+}

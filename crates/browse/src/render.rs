@@ -1,0 +1,87 @@
+use crate::{BrowseResult, Relation};
+
+/// Shade ramp from empty to dense (Figure 1's color scale, in ASCII).
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Renders a browse result as a terminal heat map for one relation.
+///
+/// Rows print top-down (row `rows−1` first) so the picture matches map
+/// orientation; shades are linear in `count / max`, with a legend line.
+pub fn render_heatmap(result: &BrowseResult, rel: Relation) -> String {
+    let t = result.tiling();
+    let (cols, rows) = (t.cols(), t.rows());
+    let max = result.max_of(rel).max(1);
+    let mut out = String::with_capacity((cols + 4) * (rows + 3));
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in (0..rows).rev() {
+        out.push('|');
+        for col in 0..cols {
+            let v = rel.of(result.get(col, row)).max(0);
+            let idx = if v == 0 {
+                0
+            } else {
+                // Nonzero values always render at least the lightest ink.
+                1 + ((v - 1) as usize * (RAMP.len() - 2)) / ((max as usize - 1).max(1))
+            };
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out.push_str(&format!(
+        "{:?}: max={} per tile; ramp \"{}\"\n",
+        rel,
+        max,
+        RAMP.iter().collect::<String>()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_core::RelationCounts;
+    use euler_grid::{GridRect, Tiling};
+
+    fn result_3x2(values: &[i64; 6]) -> BrowseResult {
+        let region = GridRect::unchecked(0, 0, 6, 4);
+        let tiling = Tiling::new(region, 3, 2).unwrap();
+        let counts = values
+            .iter()
+            .map(|&v| RelationCounts::new(0, v, 0, 0))
+            .collect();
+        BrowseResult::new(tiling, counts)
+    }
+
+    #[test]
+    fn shades_scale_with_counts() {
+        let r = result_3x2(&[0, 1, 2, 3, 4, 100]);
+        let map = render_heatmap(&r, Relation::Contains);
+        let lines: Vec<&str> = map.lines().collect();
+        // Top line of the map is row 1 (values 3, 4, 100).
+        assert_eq!(lines[0], "+---+");
+        let top = lines[1];
+        let bottom = lines[2];
+        assert_eq!(bottom.chars().nth(1), Some(' '), "zero renders blank");
+        assert_ne!(top.chars().nth(3), Some(' '), "max renders ink");
+        assert_eq!(top.chars().nth(3), Some('@'), "max renders darkest");
+        assert!(map.contains("max=100"));
+    }
+
+    #[test]
+    fn nonzero_tiles_never_blank() {
+        let r = result_3x2(&[1, 1, 1, 1, 1, 1_000_000]);
+        let map = render_heatmap(&r, Relation::Contains);
+        let body: Vec<char> = map
+            .lines()
+            .skip(1)
+            .take(2)
+            .flat_map(|l| l.chars().skip(1).take(3))
+            .collect();
+        assert!(body.iter().all(|&c| c != ' '), "{body:?}");
+    }
+}

@@ -1,0 +1,126 @@
+use euler_grid::GridRect;
+use serde::{Deserialize, Serialize};
+
+/// The four Level 2 result counts of a browsing query (with `N_eq ≡ 0`
+/// after snapping; §4.2).
+///
+/// Estimates are kept as signed integers: the approximation algebra can
+/// produce small negative values (e.g. `N_cd` from Equation 21); use
+/// [`RelationCounts::clamped`] when reporting to users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RelationCounts {
+    /// `N_d` — objects disjoint from the query.
+    pub disjoint: i64,
+    /// `N_cs` — objects contained in the query ("contains" results).
+    pub contains: i64,
+    /// `N_cd` — objects containing the query ("contained" results).
+    pub contained: i64,
+    /// `N_o` — objects overlapping the query.
+    pub overlaps: i64,
+}
+
+impl RelationCounts {
+    /// Creates counts from the four relation tallies.
+    pub fn new(disjoint: i64, contains: i64, contained: i64, overlaps: i64) -> RelationCounts {
+        RelationCounts {
+            disjoint,
+            contains,
+            contained,
+            overlaps,
+        }
+    }
+
+    /// Total number of objects accounted for.
+    pub fn total(&self) -> i64 {
+        self.disjoint + self.contains + self.contained + self.overlaps
+    }
+
+    /// Number of objects intersecting the query (`n_ii = N_cs + N_cd + N_o`).
+    pub fn intersecting(&self) -> i64 {
+        self.contains + self.contained + self.overlaps
+    }
+
+    /// Component-wise sum (used by M-EulerApprox to merge per-histogram
+    /// partial results).
+    pub fn add(&self, other: &RelationCounts) -> RelationCounts {
+        RelationCounts {
+            disjoint: self.disjoint + other.disjoint,
+            contains: self.contains + other.contains,
+            contained: self.contained + other.contained,
+            overlaps: self.overlaps + other.overlaps,
+        }
+    }
+
+    /// Counts with negative estimates clamped to zero, for presentation.
+    pub fn clamped(&self) -> RelationCounts {
+        RelationCounts {
+            disjoint: self.disjoint.max(0),
+            contains: self.contains.max(0),
+            contained: self.contained.max(0),
+            overlaps: self.overlaps.max(0),
+        }
+    }
+}
+
+impl std::fmt::Display for RelationCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N_d={} N_cs={} N_cd={} N_o={}",
+            self.disjoint, self.contains, self.contained, self.overlaps
+        )
+    }
+}
+
+/// A constant-time estimator of Level 2 relation counts for grid-aligned
+/// queries — the interface shared by S-EulerApprox, EulerApprox and
+/// M-EulerApprox (and by the exact oracles used in evaluation).
+pub trait Level2Estimator {
+    /// Short name used in result tables ("S-EulerApprox", …).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the Level 2 relation counts for an aligned query.
+    fn estimate(&self, q: &GridRect) -> RelationCounts;
+
+    /// Number of objects summarized.
+    fn object_count(&self) -> u64;
+}
+
+impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        (**self).estimate(q)
+    }
+    fn object_count(&self) -> u64 {
+        (**self).object_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_sums() {
+        let c = RelationCounts::new(10, 3, 1, 2);
+        assert_eq!(c.total(), 16);
+        assert_eq!(c.intersecting(), 6);
+        let d = c.add(&RelationCounts::new(1, 1, 1, 1));
+        assert_eq!(d.total(), 20);
+    }
+
+    #[test]
+    fn clamping() {
+        let c = RelationCounts::new(5, -2, 3, -1);
+        let k = c.clamped();
+        assert_eq!(k, RelationCounts::new(5, 0, 3, 0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let c = RelationCounts::new(1, 2, 3, 4);
+        assert_eq!(c.to_string(), "N_d=1 N_cs=2 N_cd=3 N_o=4");
+    }
+}

@@ -1,0 +1,291 @@
+//! Euler's formula and its corollaries (§4.1), as executable mathematics.
+//!
+//! The estimators rely on two facts about grid subregions:
+//!
+//! * **Corollary 4.1** (Beigel–Tanin): a simply connected union of grid
+//!   cells has `V_i − E_i + F_i = 1` when counting *interior* vertices,
+//!   edges and faces;
+//! * **Corollary 4.2** (this paper): with `k` exterior faces (i.e.
+//!   `k − 1` holes), `V_i − E_i + F_i = 2 − k`.
+//!
+//! [`euler_characteristic`] computes `V_i − E_i + F_i` for an arbitrary
+//! union of cells; the tests verify both corollaries, reproduce the
+//! worked examples of Figure 5, and cross-check against an independent
+//! flood-fill computation of `#components − #holes`.
+
+/// A boolean mask over the cells of a `width × height` grid, representing
+/// a union-of-cells region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellMask {
+    width: usize,
+    height: usize,
+    cells: Vec<bool>,
+}
+
+impl CellMask {
+    /// An empty mask.
+    pub fn new(width: usize, height: usize) -> CellMask {
+        assert!(width > 0 && height > 0);
+        CellMask {
+            width,
+            height,
+            cells: vec![false; width * height],
+        }
+    }
+
+    /// Mask width in cells.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mask height in cells.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Is cell `(x, y)` in the region?
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.cells[y * self.width + x]
+    }
+
+    /// Adds or removes cell `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: bool) {
+        self.cells[y * self.width + x] = v;
+    }
+
+    /// Marks the inclusive cell rectangle `[x0, x1] × [y0, y1]`.
+    pub fn fill_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize) {
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                self.set(x, y, true);
+            }
+        }
+    }
+
+    /// Number of cells in the region (`F_i`).
+    pub fn faces(&self) -> i64 {
+        self.cells.iter().filter(|&&c| c).count() as i64
+    }
+
+    /// Number of interior edges (`E_i`): grid edges shared by two region
+    /// cells.
+    pub fn interior_edges(&self) -> i64 {
+        let mut e = 0i64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if !self.get(x, y) {
+                    continue;
+                }
+                if x + 1 < self.width && self.get(x + 1, y) {
+                    e += 1;
+                }
+                if y + 1 < self.height && self.get(x, y + 1) {
+                    e += 1;
+                }
+            }
+        }
+        e
+    }
+
+    /// Number of interior vertices (`V_i`): grid vertices whose four
+    /// incident cells are all in the region.
+    pub fn interior_vertices(&self) -> i64 {
+        let mut v = 0i64;
+        for y in 0..self.height.saturating_sub(1) {
+            for x in 0..self.width.saturating_sub(1) {
+                if self.get(x, y)
+                    && self.get(x + 1, y)
+                    && self.get(x, y + 1)
+                    && self.get(x + 1, y + 1)
+                {
+                    v += 1;
+                }
+            }
+        }
+        v
+    }
+}
+
+/// `V_i − E_i + F_i` of a union-of-cells region — the quantity every
+/// object–region intersection contributes to a signed Euler-histogram
+/// bucket sum. Equals `#components − #holes`.
+pub fn euler_characteristic(mask: &CellMask) -> i64 {
+    mask.interior_vertices() - mask.interior_edges() + mask.faces()
+}
+
+/// Number of exterior faces `k` of a *connected* region per Corollary 4.2:
+/// `k = 2 − (V_i − E_i + F_i)`. (For a region with `h` holes, `k = h + 1`.)
+pub fn exterior_faces_of_connected(mask: &CellMask) -> i64 {
+    2 - euler_characteristic(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Independent ground truth: components minus holes via flood fill.
+    fn components_minus_holes(mask: &CellMask) -> i64 {
+        let (w, h) = (mask.width(), mask.height());
+        let idx = |x: usize, y: usize| y * w + x;
+        // Components of the region (4-connectivity).
+        let mut seen = vec![false; w * h];
+        let mut components = 0i64;
+        for y in 0..h {
+            for x in 0..w {
+                if mask.get(x, y) && !seen[idx(x, y)] {
+                    components += 1;
+                    let mut stack = vec![(x, y)];
+                    seen[idx(x, y)] = true;
+                    while let Some((cx, cy)) = stack.pop() {
+                        let mut push = |nx: usize, ny: usize, stack: &mut Vec<(usize, usize)>| {
+                            if mask.get(nx, ny) && !seen[idx(nx, ny)] {
+                                seen[idx(nx, ny)] = true;
+                                stack.push((nx, ny));
+                            }
+                        };
+                        if cx > 0 {
+                            push(cx - 1, cy, &mut stack);
+                        }
+                        if cx + 1 < w {
+                            push(cx + 1, cy, &mut stack);
+                        }
+                        if cy > 0 {
+                            push(cx, cy - 1, &mut stack);
+                        }
+                        if cy + 1 < h {
+                            push(cx, cy + 1, &mut stack);
+                        }
+                    }
+                }
+            }
+        }
+        // Holes: components of the complement that do not touch the
+        // border. NOTE: complement connectivity must be 8-connected for
+        // cubical-complex Euler characteristic consistency (a diagonal gap
+        // does not disconnect the exterior because interior vertices
+        // require all four incident cells).
+        let mut cseen = vec![false; w * h];
+        let mut holes = 0i64;
+        for y in 0..h {
+            for x in 0..w {
+                if !mask.get(x, y) && !cseen[idx(x, y)] {
+                    let mut touches_border = false;
+                    let mut stack = vec![(x, y)];
+                    cseen[idx(x, y)] = true;
+                    while let Some((cx, cy)) = stack.pop() {
+                        if cx == 0 || cy == 0 || cx == w - 1 || cy == h - 1 {
+                            touches_border = true;
+                        }
+                        for dy in -1i64..=1 {
+                            for dx in -1i64..=1 {
+                                if dx == 0 && dy == 0 {
+                                    continue;
+                                }
+                                let nx = cx as i64 + dx;
+                                let ny = cy as i64 + dy;
+                                if nx < 0 || ny < 0 || nx >= w as i64 || ny >= h as i64 {
+                                    continue;
+                                }
+                                let (nx, ny) = (nx as usize, ny as usize);
+                                if !mask.get(nx, ny) && !cseen[idx(nx, ny)] {
+                                    cseen[idx(nx, ny)] = true;
+                                    stack.push((nx, ny));
+                                }
+                            }
+                        }
+                    }
+                    if !touches_border {
+                        holes += 1;
+                    }
+                }
+            }
+        }
+        components - holes
+    }
+
+    #[test]
+    fn figure_5b_interior_counts_of_3x3_grid() {
+        // Corollary 4.1's example: the full 3×3 grid has 4 interior
+        // vertices, 12 interior edges, 9 interior faces → χ = 1.
+        let mut m = CellMask::new(3, 3);
+        m.fill_rect(0, 0, 2, 2);
+        assert_eq!(m.interior_vertices(), 4);
+        assert_eq!(m.interior_edges(), 12);
+        assert_eq!(m.faces(), 9);
+        assert_eq!(euler_characteristic(&m), 1);
+    }
+
+    #[test]
+    fn figure_5c_grid_with_hole() {
+        // Corollary 4.2's example: 3×3 grid with the center removed →
+        // 0 interior vertices, 8 interior edges, 8 faces → χ = 0 (k = 2).
+        let mut m = CellMask::new(3, 3);
+        m.fill_rect(0, 0, 2, 2);
+        m.set(1, 1, false);
+        assert_eq!(m.interior_vertices(), 0);
+        assert_eq!(m.interior_edges(), 8);
+        assert_eq!(m.faces(), 8);
+        assert_eq!(euler_characteristic(&m), 0);
+        assert_eq!(exterior_faces_of_connected(&m), 2);
+    }
+
+    #[test]
+    fn single_cell_and_rectangles() {
+        let mut m = CellMask::new(5, 4);
+        m.set(2, 2, true);
+        assert_eq!(euler_characteristic(&m), 1);
+        let mut r = CellMask::new(5, 4);
+        r.fill_rect(1, 0, 4, 2);
+        assert_eq!(euler_characteristic(&r), 1);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut m = CellMask::new(6, 4);
+        m.fill_rect(0, 0, 1, 1);
+        m.fill_rect(4, 2, 5, 3);
+        assert_eq!(euler_characteristic(&m), 2);
+    }
+
+    #[test]
+    fn two_holes_gives_minus_one() {
+        // A 5×3 frame around two separate holes: χ = 2 − k = 2 − 3 = −1.
+        let mut m = CellMask::new(5, 3);
+        m.fill_rect(0, 0, 4, 2);
+        m.set(1, 1, false);
+        m.set(3, 1, false);
+        assert_eq!(euler_characteristic(&m), -1);
+    }
+
+    proptest! {
+        /// χ(V−E+F) agrees with an independent flood-fill count of
+        /// components minus holes, for arbitrary random regions.
+        #[test]
+        fn characteristic_equals_components_minus_holes(
+            bits in prop::collection::vec(prop::bool::ANY, 64)
+        ) {
+            let mut m = CellMask::new(8, 8);
+            for (i, b) in bits.iter().enumerate() {
+                if *b {
+                    m.set(i % 8, i / 8, true);
+                }
+            }
+            prop_assert_eq!(euler_characteristic(&m), components_minus_holes(&m));
+        }
+
+        /// Unions of random rectangles (the shapes arising as object ∩
+        /// query-exterior) satisfy the same identity.
+        #[test]
+        fn rect_unions(rects in prop::collection::vec(
+            (0usize..10, 0usize..8, 0usize..10, 0usize..8), 1..6)) {
+            let mut m = CellMask::new(10, 8);
+            for (x0, y0, x1, y1) in rects {
+                m.fill_rect(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1));
+            }
+            prop_assert_eq!(euler_characteristic(&m), components_minus_holes(&m));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The Euler histogram `H` of §5.1 and its cumulative (frozen) form.
+//!
+//! ## Layout
+//!
+//! For a grid with `n` cells along an axis there are `2n − 1` Euler slots:
+//! even slot `2i` is cell `i`, odd slot `2i + 1` is the interior grid line
+//! `i + 1`. In 2-D a bucket `(ex, ey)` is a *face* (even, even), an *edge*
+//! (mixed parity) or a *vertex* (odd, odd). The §5.1 construction
+//! increments every vertex/edge/cell whose locus intersects the object's
+//! open interior and then negates edge buckets; equivalently, each snapped
+//! object covering cells `[cx0, cx1] × [cy0, cy1]` adds
+//! `sign(ex, ey) = (−1)^{parity(ex)+parity(ey)}` over the *contiguous*
+//! Euler index rectangle `[2cx0, 2cx1] × [2cy0, 2cy1]` — which is why bulk
+//! construction is a 2-D difference array (4 updates per object).
+//!
+//! ## Query algebra (on the frozen form)
+//!
+//! For an aligned query `q = [qx0, qx1] × [qy0, qy1]` (grid lines):
+//!
+//! * the buckets strictly *inside* `q` occupy `[2qx0, 2qx1−2] × [2qy0, 2qy1−2]`;
+//!   their signed sum is `n_ii`, the exact number of intersecting objects,
+//!   because each intersecting region contributes `V_i − E_i + F_i = 1`
+//!   (Corollary 4.1);
+//! * the buckets *on* the query boundary are the odd slots `2qx0−1` /
+//!   `2qx1−1` (and y analogues); the *closed* region
+//!   `[2qx0−1, 2qx1−1] × [2qy0−1, 2qy1−1]` therefore separates inside from
+//!   outside, and `n'_ei = total − closed_sum` is the §5.3 outside sum,
+//!   which misses query-containing objects (the *loophole effect*,
+//!   Corollary 4.2 with `k = 2` exterior faces).
+
+use euler_cube::{Dense2D, Diff2D, PrefixSum2D};
+use euler_grid::{Grid, GridRect, SnappedRect};
+use serde::{Deserialize, Serialize};
+
+use crate::EulerSource;
+
+/// Sign of an Euler bucket: `+1` for faces and vertices, `−1` for edges.
+#[inline]
+fn bucket_sign(ex: usize, ey: usize) -> i64 {
+    if (ex + ey).is_multiple_of(2) {
+        1
+    } else {
+        -1
+    }
+}
+
+/// A mutable Euler histogram. Supports bulk construction, incremental
+/// insertion and removal; freeze it into a [`FrozenEulerHistogram`] for
+/// constant-time queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EulerHistogram {
+    grid: Grid,
+    buckets: Dense2D,
+    object_count: u64,
+}
+
+impl EulerHistogram {
+    /// An empty histogram over `grid`.
+    pub fn new(grid: Grid) -> EulerHistogram {
+        let (ew, eh) = grid.euler_dims();
+        EulerHistogram {
+            grid,
+            buckets: Dense2D::zeros(ew, eh),
+            object_count: 0,
+        }
+    }
+
+    /// Reassembles a histogram from its stored parts (used by the binary
+    /// codec in [`crate::persist`]). The caller guarantees the bucket
+    /// array matches the grid's Euler dimensions.
+    pub(crate) fn from_parts(grid: Grid, buckets: Dense2D, object_count: u64) -> EulerHistogram {
+        debug_assert_eq!(
+            (buckets.width(), buckets.height()),
+            grid.euler_dims(),
+            "bucket array shape"
+        );
+        EulerHistogram {
+            grid,
+            buckets,
+            object_count,
+        }
+    }
+
+    /// Bulk-builds the histogram from snapped objects using a difference
+    /// array: `O(|S| + buckets)` regardless of object sizes.
+    pub fn build(grid: Grid, objects: &[SnappedRect]) -> EulerHistogram {
+        let (ew, eh) = grid.euler_dims();
+        let mut diff = Diff2D::zeros(ew, eh);
+        for o in objects {
+            let (ex0, ex1) = (2 * o.cx0(), 2 * o.cx1());
+            let (ey0, ey1) = (2 * o.cy0(), 2 * o.cy1());
+            diff.add_rect(ex0, ey0, ex1, ey1, 1);
+        }
+        let mut buckets = diff.build();
+        // Apply the §5.1 edge negation (and vertex/face signs) once.
+        buckets.map_in_place(|x, y, v| v * bucket_sign(x, y));
+        EulerHistogram {
+            grid,
+            buckets,
+            object_count: objects.len() as u64,
+        }
+    }
+
+    /// The grid this histogram summarizes.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of objects inserted.
+    #[inline]
+    pub fn object_count(&self) -> u64 {
+        self.object_count
+    }
+
+    /// Inserts one object: `O(footprint)` bucket updates.
+    pub fn insert(&mut self, o: &SnappedRect) {
+        self.apply(o, 1);
+        self.object_count += 1;
+    }
+
+    /// Removes one previously inserted object. The histogram is a linear
+    /// sketch, so removal is exact; the caller is responsible for only
+    /// removing objects that were inserted.
+    pub fn remove(&mut self, o: &SnappedRect) {
+        assert!(self.object_count > 0, "remove from empty histogram");
+        self.apply(o, -1);
+        self.object_count -= 1;
+    }
+
+    fn apply(&mut self, o: &SnappedRect, delta: i64) {
+        for ey in 2 * o.cy0()..=2 * o.cy1() {
+            for ex in 2 * o.cx0()..=2 * o.cx1() {
+                self.buckets.add(ex, ey, delta * bucket_sign(ex, ey));
+            }
+        }
+    }
+
+    /// Signed bucket value at Euler index `(ex, ey)` (for tests and the
+    /// worked examples of Figures 6–10).
+    #[inline]
+    pub fn bucket(&self, ex: usize, ey: usize) -> i64 {
+        self.buckets.get(ex, ey)
+    }
+
+    /// Bytes of storage held by the bucket array.
+    pub fn storage_bytes(&self) -> usize {
+        self.buckets.storage_bytes()
+    }
+
+    /// Builds the cumulative (prefix-sum) form for constant-time queries.
+    pub fn freeze(&self) -> FrozenEulerHistogram {
+        FrozenEulerHistogram {
+            grid: self.grid,
+            cum: PrefixSum2D::build(&self.buckets),
+            object_count: self.object_count,
+        }
+    }
+}
+
+/// The cumulative Euler histogram `H_c` of §5.2: all estimator quantities
+/// are O(1) signed range sums on this structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrozenEulerHistogram {
+    grid: Grid,
+    cum: PrefixSum2D,
+    object_count: u64,
+}
+
+impl FrozenEulerHistogram {
+    /// The grid this histogram summarizes.
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Number of objects summarized (`|S|`).
+    #[inline]
+    pub fn object_count(&self) -> u64 {
+        self.object_count
+    }
+
+    /// Signed sum over a clipped Euler-index rectangle.
+    #[inline]
+    pub fn signed_sum(&self, ex0: i64, ey0: i64, ex1: i64, ey1: i64) -> i64 {
+        self.cum.range_sum_clipped(ex0, ey0, ex1, ey1)
+    }
+
+    /// Sum of all buckets; equals `|S|` (every object's full footprint has
+    /// Euler characteristic 1).
+    #[inline]
+    pub fn total(&self) -> i64 {
+        self.cum.total()
+    }
+
+    /// `n_ii` — the exact number of objects whose interior intersects the
+    /// open query (Equation 12 / \[BT98\]): signed sum of the buckets
+    /// strictly inside the query.
+    #[inline]
+    pub fn intersect_count(&self, q: &GridRect) -> i64 {
+        self.inside_sum(q.x0, q.y0, q.x1, q.y1)
+    }
+
+    /// Signed sum of buckets strictly inside the aligned region
+    /// `[x0, x1] × [y0, y1]` (grid-line coordinates). Used directly for
+    /// `n_ii` and for Region A of EulerApprox.
+    #[inline]
+    pub fn inside_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 < x1 && y0 < y1);
+        self.signed_sum(
+            2 * x0 as i64,
+            2 * y0 as i64,
+            2 * x1 as i64 - 2,
+            2 * y1 as i64 - 2,
+        )
+    }
+
+    /// Signed sum of the *closed* Euler region of an aligned region: the
+    /// inside buckets plus the buckets on its boundary grid lines.
+    ///
+    /// For a full-width (or full-height) slab this equals the number of
+    /// objects *contained* in the slab — the quantity `N_cs(B)` of §5.3 —
+    /// because a slab admits neither crossover nor containing objects.
+    #[inline]
+    pub fn closed_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 < x1 && y0 < y1);
+        self.signed_sum(
+            2 * x0 as i64 - 1,
+            2 * y0 as i64 - 1,
+            2 * x1 as i64 - 1,
+            2 * y1 as i64 - 1,
+        )
+    }
+
+    /// `n'_ei` — Equation 15/19: the signed sum of all buckets strictly
+    /// *outside* the query. Equals `N_d + N_o` plus crossover error; query-
+    /// containing objects are invisible here (the loophole effect of §5.3).
+    #[inline]
+    pub fn outside_sum(&self, q: &GridRect) -> i64 {
+        self.total() - self.closed_sum(q.x0, q.y0, q.x1, q.y1)
+    }
+}
+
+impl EulerSource for FrozenEulerHistogram {
+    fn grid(&self) -> &Grid {
+        FrozenEulerHistogram::grid(self)
+    }
+    fn object_count(&self) -> u64 {
+        FrozenEulerHistogram::object_count(self)
+    }
+    fn inside_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        FrozenEulerHistogram::inside_sum(self, x0, y0, x1, y1)
+    }
+    fn closed_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        FrozenEulerHistogram::closed_sum(self, x0, y0, x1, y1)
+    }
+    fn total(&self) -> i64 {
+        FrozenEulerHistogram::total(self)
+    }
+    fn intersect_count(&self, q: &GridRect) -> i64 {
+        FrozenEulerHistogram::intersect_count(self, q)
+    }
+    fn outside_sum(&self, q: &GridRect) -> i64 {
+        FrozenEulerHistogram::outside_sum(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Snapper};
+
+    fn grid(nx: usize, ny: usize) -> Grid {
+        // 1 data unit = 1 cell, for readable coordinates.
+        Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, nx as f64, ny as f64).unwrap()),
+            nx,
+            ny,
+        )
+        .unwrap()
+    }
+
+    fn snap(g: &Grid, xlo: f64, ylo: f64, xhi: f64, yhi: f64) -> SnappedRect {
+        Snapper::new(*g).snap(&Rect::new(xlo, ylo, xhi, yhi).unwrap())
+    }
+
+    fn q(x0: usize, y0: usize, x1: usize, y1: usize) -> GridRect {
+        GridRect::unchecked(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let g = grid(4, 4);
+        let h = EulerHistogram::new(g).freeze();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.intersect_count(&q(0, 0, 4, 4)), 0);
+    }
+
+    #[test]
+    fn single_cell_object_histogram_shape() {
+        // Figure 6(c)/(d) right case: an object inside one cell touches
+        // only that cell's face bucket.
+        let g = grid(3, 3);
+        let o = snap(&g, 1.2, 1.2, 1.8, 1.8);
+        let mut h = EulerHistogram::new(g);
+        h.insert(&o);
+        for ey in 0..5 {
+            for ex in 0..5 {
+                let expect = if ex == 2 && ey == 2 { 1 } else { 0 };
+                assert_eq!(h.bucket(ex, ey), expect, "bucket ({ex},{ey})");
+            }
+        }
+        assert_eq!(h.freeze().total(), 1);
+    }
+
+    #[test]
+    fn spanning_object_histogram_shape() {
+        // Figure 6: an object spanning 2x2 cells covers 4 faces, 4 edges
+        // (negated) and 1 vertex.
+        let g = grid(3, 3);
+        let o = snap(&g, 0.5, 0.5, 1.5, 1.5); // spans cells (0,0)..(1,1)
+        let mut h = EulerHistogram::new(g);
+        h.insert(&o);
+        let expected = [
+            // (ex, ey, value): faces +1 at (0,0),(2,0),(0,2),(2,2);
+            // edges -1 at (1,0),(0,1),(2,1),(1,2); vertex +1 at (1,1).
+            (0, 0, 1),
+            (2, 0, 1),
+            (0, 2, 1),
+            (2, 2, 1),
+            (1, 0, -1),
+            (0, 1, -1),
+            (2, 1, -1),
+            (1, 2, -1),
+            (1, 1, 1),
+        ];
+        let mut sum = 0;
+        for (ex, ey, v) in expected {
+            assert_eq!(h.bucket(ex, ey), v, "bucket ({ex},{ey})");
+            sum += v;
+        }
+        assert_eq!(sum, 1, "footprint Euler characteristic");
+    }
+
+    #[test]
+    fn bulk_equals_incremental() {
+        let g = grid(8, 6);
+        let objs = vec![
+            snap(&g, 0.3, 0.3, 2.7, 1.9),
+            snap(&g, 4.0, 2.0, 7.0, 5.0), // aligned, will shrink
+            snap(&g, 1.5, 1.5, 1.5, 1.5), // point
+            snap(&g, 0.1, 5.2, 7.9, 5.8), // wide bar
+        ];
+        let bulk = EulerHistogram::build(g, &objs);
+        let mut inc = EulerHistogram::new(g);
+        for o in &objs {
+            inc.insert(o);
+        }
+        assert_eq!(bulk, inc);
+        assert_eq!(bulk.object_count(), 4);
+        assert_eq!(bulk.freeze().total(), 4);
+    }
+
+    #[test]
+    fn remove_restores_previous_state() {
+        let g = grid(8, 6);
+        let a = snap(&g, 0.3, 0.3, 2.7, 1.9);
+        let b = snap(&g, 4.2, 2.2, 6.8, 4.8);
+        let mut h = EulerHistogram::new(g);
+        h.insert(&a);
+        let snapshot = h.clone();
+        h.insert(&b);
+        h.remove(&b);
+        assert_eq!(h, snapshot);
+    }
+
+    #[test]
+    fn intersect_count_figure_7() {
+        // Figure 7: two objects, query covering part of the grid; both
+        // intersect the query.
+        let g = grid(4, 3);
+        // Object 1 overlaps the query's top-left; object 2 crosses the
+        // query's right column.
+        let o1 = snap(&g, 0.5, 1.5, 1.5, 2.5);
+        let o2 = snap(&g, 2.3, 0.5, 2.7, 2.5);
+        let h = EulerHistogram::build(g, &[o1, o2]).freeze();
+        let query = q(0, 0, 3, 3);
+        assert_eq!(h.intersect_count(&query), 2);
+        // And a query that misses both.
+        assert_eq!(h.intersect_count(&q(3, 0, 4, 1)), 0);
+    }
+
+    #[test]
+    fn intersect_count_is_exact_vs_classification() {
+        let g = grid(10, 8);
+        let objs: Vec<SnappedRect> = (0..40)
+            .map(|i| {
+                let x = (i * 7 % 50) as f64 / 5.0;
+                let y = (i * 13 % 40) as f64 / 5.0;
+                snap(&g, x, y, (x + 1.7).min(10.0), (y + 2.3).min(8.0))
+            })
+            .collect();
+        let h = EulerHistogram::build(g, &objs).freeze();
+        for (qx, qy, qw, qh) in [(0, 0, 10, 8), (2, 1, 3, 4), (5, 5, 2, 2), (0, 0, 1, 1)] {
+            let query = q(qx, qy, qx + qw, qy + qh);
+            let expect = objs.iter().filter(|o| o.intersects(&query)).count() as i64;
+            assert_eq!(h.intersect_count(&query), expect, "query {query}");
+        }
+    }
+
+    #[test]
+    fn outside_sum_counts_disjoint_plus_overlap() {
+        // Figure 9(a): an object overlapping the query from outside
+        // contributes 1 to the outside sum.
+        let g = grid(4, 4);
+        let o = snap(&g, 0.5, 0.5, 2.5, 2.5);
+        let h = EulerHistogram::build(g, &[o]).freeze();
+        let query = q(0, 0, 2, 2);
+        assert_eq!(h.outside_sum(&query), 1);
+        // Fully contained object: invisible outside.
+        let inner = snap(&g, 0.3, 0.3, 1.7, 1.7);
+        let h2 = EulerHistogram::build(g, &[inner]).freeze();
+        assert_eq!(h2.outside_sum(&query), 0);
+    }
+
+    #[test]
+    fn loophole_effect_figure_10() {
+        // An object that CONTAINS the query vanishes from the outside sum:
+        // its intersection with the query exterior is an annulus, whose
+        // Euler characteristic is 0 (Corollary 4.2, k = 2).
+        let g = grid(6, 6);
+        let big = snap(&g, 0.5, 0.5, 5.5, 5.5);
+        let h = EulerHistogram::build(g, &[big]).freeze();
+        let query = q(2, 2, 4, 4);
+        assert!(big.contains_query(&query));
+        assert_eq!(h.intersect_count(&query), 1);
+        assert_eq!(
+            h.outside_sum(&query),
+            0,
+            "loophole: containing object unseen"
+        );
+    }
+
+    #[test]
+    fn crossover_double_counts_in_outside_sum() {
+        // Figure 9(b): a crossover object splits into two exterior
+        // components and is counted twice by the outside sum.
+        let g = grid(6, 6);
+        let bar = snap(&g, 0.5, 2.3, 5.5, 3.7); // crosses the middle
+        let h = EulerHistogram::build(g, &[bar]).freeze();
+        let query = q(2, 0, 4, 6); // vertical slab query
+        assert!(bar.crosses(&query));
+        assert_eq!(h.outside_sum(&query), 2);
+    }
+
+    #[test]
+    fn closed_sum_of_slab_counts_contained_objects() {
+        let g = grid(6, 6);
+        let objs = vec![
+            snap(&g, 0.5, 4.2, 2.5, 5.5), // inside top slab y in (4,6)
+            snap(&g, 3.0, 4.5, 5.5, 5.9), // inside top slab
+            snap(&g, 1.0, 3.2, 2.0, 4.8), // straddles y = 4
+            snap(&g, 1.0, 0.5, 2.0, 2.5), // below
+        ];
+        let h = EulerHistogram::build(g, &objs).freeze();
+        // Top slab [0,6] x [4,6].
+        assert_eq!(h.closed_sum(0, 4, 6, 6), 2);
+        // Whole space contains everything.
+        assert_eq!(h.closed_sum(0, 0, 6, 6), 4);
+    }
+
+    #[test]
+    fn boundary_touching_queries_clip_safely() {
+        let g = grid(5, 5);
+        let o = snap(&g, 1.2, 1.2, 3.8, 3.8);
+        let h = EulerHistogram::build(g, &[o]).freeze();
+        for query in [q(0, 0, 5, 5), q(0, 0, 1, 1), q(4, 4, 5, 5), q(0, 2, 5, 3)] {
+            let n_ii = h.intersect_count(&query);
+            let expect = i64::from(o.intersects(&query));
+            assert_eq!(n_ii, expect, "query {query}");
+        }
+        assert_eq!(h.outside_sum(&q(0, 0, 5, 5)), 0);
+    }
+}

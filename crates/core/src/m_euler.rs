@@ -1,0 +1,458 @@
+//! M-EulerApprox (§5.4): the multi-resolution Euler approximation.
+//!
+//! Objects are partitioned by **area** (in cell units) into `m` groups,
+//! one Euler histogram per group. A query of area `a(q)` is answered by
+//! dispatching per group `i` with bounds `[t_i, t_{i+1})`:
+//!
+//! * `a(q) ≤ t_i` — no group-`i` object can be contained in the query
+//!   (strict containment needs strictly smaller area), so only the shared
+//!   overlap estimator runs and `N_cs^i = 0`;
+//! * `a(q) ≥ t_{i+1}` — no group-`i` object can contain the query, so
+//!   S-EulerApprox is sound: `N_cs^i = |S_i| − n'^i_ei`;
+//! * otherwise (including the unbounded last group) — containment is
+//!   possible, so the EulerApprox Region-A/B machinery estimates `N^i_cd`
+//!   and `N_cs^i` follows from Equation 22.
+//!
+//! Partial results sum; finally `N_cd = |S| − N_d − N_o − N_cs`. (The
+//! paper prints `N_cd = |S| − N_o − N_cs`, omitting `N_d` — an obvious
+//! typo, since the four relation counts partition `S`; we keep the
+//! partition identity.)
+//!
+//! Group 0 is special: the paper assigns it `area(H_0) = 1×1` but stores
+//! objects with areas from 0 upward, so *sub-cell objects can be contained
+//! in even the smallest query*. We therefore treat group 0's lower bound
+//! as 0 for dispatch, which routes small queries to the (strictly more
+//! general) EulerApprox branch instead of wrongly forcing `N_cs^0 = 0`.
+
+use euler_grid::{Grid, GridRect, SnappedRect};
+
+use crate::euler_approx::n_ei_proxy_x2;
+use crate::{EulerHistogram, FrozenEulerHistogram, Level2Estimator, RegionSplit, RelationCounts};
+
+/// One area group: its histogram and dispatch bounds.
+#[derive(Debug, Clone)]
+struct Group {
+    hist: FrozenEulerHistogram,
+    /// Dispatch lower bound `t_i` (0 for the first group).
+    area_lo: f64,
+    /// Dispatch upper bound `t_{i+1}` (`None` for the last group).
+    area_hi: Option<f64>,
+}
+
+/// The M-EulerApprox estimator of §5.4.
+#[derive(Debug, Clone)]
+pub struct MEulerApprox {
+    groups: Vec<Group>,
+    total_objects: u64,
+    split: RegionSplit,
+    boundaries: Vec<f64>,
+}
+
+impl MEulerApprox {
+    /// Builds `boundaries.len() + 1` histograms over `grid`, partitioning
+    /// `objects` by area at the given boundaries (cell-area units,
+    /// strictly increasing, all > 1). For the paper's "3-histogram case"
+    /// with `area(H_i) = 1×1, 3×3, 10×10`, pass `&[9.0, 100.0]` or use
+    /// [`MEulerApprox::boundaries_from_sides`]`(&[3, 10])`.
+    pub fn build(grid: Grid, objects: &[SnappedRect], boundaries: &[f64]) -> MEulerApprox {
+        Self::build_with_split(grid, objects, boundaries, RegionSplit::default())
+    }
+
+    /// [`MEulerApprox::build`] with an explicit Region A/B split.
+    pub fn build_with_split(
+        grid: Grid,
+        objects: &[SnappedRect],
+        boundaries: &[f64],
+        split: RegionSplit,
+    ) -> MEulerApprox {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "area boundaries must be strictly increasing"
+        );
+        assert!(
+            boundaries.iter().all(|&b| b > 1.0),
+            "area boundaries must exceed the unit cell"
+        );
+        let m = boundaries.len() + 1;
+        let mut buckets: Vec<Vec<SnappedRect>> = vec![Vec::new(); m];
+        for o in objects {
+            let area = o.area_cells();
+            let gi = boundaries.partition_point(|&b| b <= area);
+            buckets[gi].push(*o);
+        }
+        let groups = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(i, objs)| Group {
+                hist: EulerHistogram::build(grid, &objs).freeze(),
+                area_lo: if i == 0 { 0.0 } else { boundaries[i - 1] },
+                area_hi: boundaries.get(i).copied(),
+            })
+            .collect();
+        MEulerApprox {
+            groups,
+            total_objects: objects.len() as u64,
+            split,
+            boundaries: boundaries.to_vec(),
+        }
+    }
+
+    /// Converts the paper's `k×k` area notation into boundaries:
+    /// `&[3, 10]` → `[9.0, 100.0]`.
+    pub fn boundaries_from_sides(sides: &[usize]) -> Vec<f64> {
+        sides.iter().map(|&s| (s * s) as f64).collect()
+    }
+
+    /// Number of histograms `m`.
+    pub fn histogram_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The area boundaries between groups.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Per-group object counts (diagnostics for the tuning loop).
+    pub fn group_sizes(&self) -> Vec<u64> {
+        self.groups.iter().map(|g| g.hist.object_count()).collect()
+    }
+
+    /// Total bucket storage across all histograms, in entries — the
+    /// "slightly increased space complexity" of §7.
+    pub fn storage_buckets(&self) -> usize {
+        let (ew, eh) = match self.groups.first() {
+            Some(g) => g.hist.grid().euler_dims(),
+            None => return 0,
+        };
+        self.groups.len() * ew * eh
+    }
+}
+
+impl Level2Estimator for MEulerApprox {
+    fn name(&self) -> &'static str {
+        "M-EulerApprox"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        let aq = q.area() as f64;
+        let size = self.total_objects as i64;
+        let mut n_ii_total = 0i64;
+        let mut n_o = 0i64;
+        let mut n_cs = 0i64;
+        for g in &self.groups {
+            let s_i = g.hist.object_count() as i64;
+            if s_i == 0 {
+                continue;
+            }
+            let n_ii = g.hist.intersect_count(q);
+            let n_ei_prime = g.hist.outside_sum(q);
+            let n_d = s_i - n_ii;
+            n_ii_total += n_ii;
+            // The shared overlap estimator (loophole-immune, §5.4).
+            n_o += n_ei_prime - n_d;
+            if aq <= g.area_lo {
+                // Case 1: nothing in this group fits inside the query.
+            } else if g.area_hi.is_some_and(|hi| aq >= hi) {
+                // Case 2.1: nothing in this group can contain the query —
+                // S-EulerApprox's contains estimate is sound.
+                n_cs += s_i - n_ei_prime;
+            } else {
+                // Case 2.2: containment possible — EulerApprox.
+                let n_cd = (n_ei_proxy_x2(&g.hist, q, self.split) - 2 * n_ei_prime).div_euclid(2);
+                n_cs += s_i - n_cd - n_d - (n_ei_prime - n_d);
+            }
+        }
+        let disjoint = size - n_ii_total;
+        let contained = size - disjoint - n_o - n_cs;
+        RelationCounts {
+            disjoint,
+            contains: n_cs,
+            contained,
+            overlaps: n_o,
+        }
+    }
+
+    fn object_count(&self) -> u64 {
+        self.total_objects
+    }
+}
+
+/// Outcome of the pragmatic tuning loop of §6.4.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Boundaries chosen, innermost first.
+    pub boundaries: Vec<f64>,
+    /// Worst per-query-set average relative error of `N_cs` after tuning.
+    pub worst_contains_are: f64,
+    /// Number of evaluation rounds performed.
+    pub rounds: usize,
+}
+
+impl MEulerApprox {
+    /// The pragmatic threshold-selection loop of §6.4: starting from two
+    /// histograms split at a quarter of the largest test-query area, keep
+    /// inserting a boundary at the geometric midpoint of the group whose
+    /// queries show the worst `N_cs` error, until the target average
+    /// relative error is met, adding stops helping, or `max_m` is reached.
+    ///
+    /// `test_queries` pairs each aligned query with its exact counts
+    /// (produced by the ground-truth counter in `euler-datagen`).
+    pub fn tune(
+        grid: Grid,
+        objects: &[SnappedRect],
+        test_queries: &[(GridRect, RelationCounts)],
+        target_are: f64,
+        max_m: usize,
+    ) -> (MEulerApprox, TuneReport) {
+        assert!(max_m >= 2, "tuning needs room for at least two histograms");
+        assert!(!test_queries.is_empty(), "tuning needs test queries");
+        let max_q_area = test_queries
+            .iter()
+            .map(|(q, _)| q.area())
+            .max()
+            .unwrap_or(4) as f64;
+        let mut boundaries = vec![(max_q_area / 4.0).max(2.0)];
+        let mut rounds = 0usize;
+        let contains_are = |est: &MEulerApprox| -> f64 {
+            let mut err = 0.0;
+            let mut denom = 0.0;
+            for (q, exact) in test_queries {
+                let e = est.estimate(q);
+                err += (exact.contains - e.contains).abs() as f64;
+                denom += exact.contains as f64;
+            }
+            if denom == 0.0 {
+                0.0
+            } else {
+                err / denom
+            }
+        };
+        // Per-query-area ARE, for the §6.4 "peak of the estimation error
+        // rate" candidate.
+        let peak_error_area = |est: &MEulerApprox| -> Option<f64> {
+            let mut by_area: std::collections::BTreeMap<usize, (f64, f64)> =
+                std::collections::BTreeMap::new();
+            for (q, exact) in test_queries {
+                let e = est.estimate(q);
+                let entry = by_area.entry(q.area()).or_insert((0.0, 0.0));
+                entry.0 += (exact.contains - e.contains).abs() as f64;
+                entry.1 += exact.contains as f64;
+            }
+            by_area
+                .into_iter()
+                .filter(|&(area, (_, d))| d > 0.0 && area > 1)
+                .max_by(|a, b| {
+                    (a.1 .0 / a.1 .1)
+                        .partial_cmp(&(b.1 .0 / b.1 .1))
+                        .expect("finite ARE")
+                })
+                .map(|(area, _)| area as f64)
+        };
+        let mut best = MEulerApprox::build(grid, objects, &boundaries);
+        let mut best_are = contains_are(&best);
+        while best_are > target_are && best.histogram_count() < max_m {
+            rounds += 1;
+            // Candidate new boundaries, per §6.4: geometric midpoints of
+            // each existing interval (the "area(H_1)/4" family) plus the
+            // query area with the current peak error rate ("area(Q) where
+            // at area(Q) there is a peak of the estimation error rate").
+            let mut candidates = Vec::new();
+            let mut edges = vec![1.0];
+            edges.extend_from_slice(&boundaries);
+            edges.push(max_q_area.max(boundaries.last().copied().unwrap_or(4.0) * 4.0));
+            for w in edges.windows(2) {
+                let mid = (w[0] * w[1]).sqrt();
+                if mid > 1.0 && boundaries.iter().all(|&b| (b - mid).abs() > 1e-9) {
+                    candidates.push(mid);
+                }
+            }
+            if let Some(peak) = peak_error_area(&best) {
+                if boundaries.iter().all(|&b| (b - peak).abs() > 1e-9) {
+                    candidates.push(peak);
+                }
+            }
+            let mut improved = false;
+            for cand in candidates {
+                let mut trial = boundaries.clone();
+                trial.push(cand);
+                trial.sort_by(|a, b| a.partial_cmp(b).expect("finite boundaries"));
+                let est = MEulerApprox::build(grid, objects, &trial);
+                let are = contains_are(&est);
+                if are < best_are {
+                    best_are = are;
+                    best = est;
+                    boundaries = trial;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break; // §6.4: stop when adding histograms no longer helps.
+            }
+        }
+        let report = TuneReport {
+            boundaries: boundaries.clone(),
+            worst_contains_are: best_are,
+            rounds,
+        };
+        (best, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::count_by_classification;
+    use crate::SEulerApprox;
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, Snapper};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid(nx: usize, ny: usize) -> Grid {
+        Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, nx as f64, ny as f64).unwrap()),
+            nx,
+            ny,
+        )
+        .unwrap()
+    }
+
+    fn mixed_dataset(g: &Grid, n: usize, seed: u64) -> Vec<SnappedRect> {
+        // A mix of tiny, medium, and huge square objects (sz_skew-like).
+        let s = Snapper::new(*g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (w, h) = (g.nx() as f64, g.ny() as f64);
+        (0..n)
+            .map(|_| {
+                let side: f64 = match rng.gen_range(0..10) {
+                    0..=5 => rng.gen_range(0.2..1.5),
+                    6..=8 => rng.gen_range(1.5..5.0),
+                    _ => rng.gen_range(5.0..h * 0.9),
+                };
+                let cx = rng.gen_range(0.0..w);
+                let cy = rng.gen_range(0.0..h);
+                s.snap(
+                    &Rect::new(
+                        (cx - side / 2.0).max(0.0),
+                        (cy - side / 2.0).max(0.0),
+                        (cx + side / 2.0).min(w),
+                        (cy + side / 2.0).min(h),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn groups_partition_all_objects() {
+        let g = grid(20, 16);
+        let objs = mixed_dataset(&g, 300, 1);
+        let m = MEulerApprox::build(g, &objs, &[4.0, 25.0]);
+        assert_eq!(m.histogram_count(), 3);
+        assert_eq!(m.group_sizes().iter().sum::<u64>(), 300);
+        assert_eq!(m.object_count(), 300);
+    }
+
+    #[test]
+    fn boundaries_from_sides_squares() {
+        assert_eq!(
+            MEulerApprox::boundaries_from_sides(&[3, 5, 10, 15]),
+            vec![9.0, 25.0, 100.0, 225.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_boundaries() {
+        let g = grid(8, 8);
+        MEulerApprox::build(g, &[], &[25.0, 9.0]);
+    }
+
+    #[test]
+    fn estimates_partition_dataset_size() {
+        let g = grid(20, 16);
+        let objs = mixed_dataset(&g, 250, 2);
+        let m = MEulerApprox::build(g, &objs, &[4.0, 25.0, 100.0]);
+        for q in [
+            GridRect::unchecked(0, 0, 5, 4),
+            GridRect::unchecked(8, 6, 12, 10),
+            GridRect::unchecked(0, 0, 20, 16),
+        ] {
+            assert_eq!(m.estimate(&q).total(), 250, "query {q}");
+        }
+    }
+
+    #[test]
+    fn improves_on_s_euler_for_large_object_datasets() {
+        let g = grid(24, 18);
+        let objs = mixed_dataset(&g, 400, 3);
+        let hist = EulerHistogram::build(g, &objs).freeze();
+        let s_est = SEulerApprox::new(hist);
+        let m_est = MEulerApprox::build(g, &objs, &MEulerApprox::boundaries_from_sides(&[3, 6]));
+        let mut s_err = 0i64;
+        let mut m_err = 0i64;
+        for qx in (0..24).step_by(4) {
+            for qy in (0..18).step_by(3) {
+                let q = GridRect::unchecked(qx, qy, (qx + 4).min(24), (qy + 3).min(18));
+                let exact = count_by_classification(&objs, &q);
+                s_err += (exact.contains - s_est.estimate(&q).contains).abs()
+                    + (exact.contained - s_est.estimate(&q).contained).abs();
+                m_err += (exact.contains - m_est.estimate(&q).contains).abs()
+                    + (exact.contained - m_est.estimate(&q).contained).abs();
+            }
+        }
+        assert!(
+            m_err < s_err,
+            "M-Euler ({m_err}) should beat S-Euler ({s_err}) on mixed sizes"
+        );
+    }
+
+    #[test]
+    fn tuning_loop_reduces_error_and_respects_max_m() {
+        let g = grid(20, 16);
+        let objs = mixed_dataset(&g, 300, 4);
+        let mut test_queries = Vec::new();
+        for n in [2usize, 4] {
+            for qx in (0..20).step_by(n) {
+                for qy in (0..16).step_by(n) {
+                    let q = GridRect::unchecked(qx, qy, qx + n, qy + n);
+                    test_queries.push((q, count_by_classification(&objs, &q)));
+                }
+            }
+        }
+        let (est, report) = MEulerApprox::tune(g, &objs, &test_queries, 0.01, 5);
+        assert!(est.histogram_count() <= 5);
+        assert_eq!(report.boundaries.len() + 1, est.histogram_count());
+        // The tuned estimator is at least as good as the 2-histogram start.
+        let start = MEulerApprox::build(g, &objs, &report.boundaries[..1]);
+        let are = |e: &MEulerApprox| -> f64 {
+            let (mut num, mut den) = (0.0, 0.0);
+            for (q, exact) in &test_queries {
+                num += (exact.contains - e.estimate(q).contains).abs() as f64;
+                den += exact.contains as f64;
+            }
+            num / den.max(1.0)
+        };
+        assert!(are(&est) <= are(&start) + 1e-12);
+    }
+
+    proptest! {
+        /// Regardless of boundaries, totals partition |S| and the disjoint
+        /// count is exact.
+        #[test]
+        fn partition_invariant(seed in 0u64..20, b1 in 2.0..20.0f64, scale in 2.0..8.0f64,
+                               qx in 0usize..15, qy in 0usize..11,
+                               qw in 1usize..16, qh in 1usize..12) {
+            let g = grid(16, 12);
+            let objs = mixed_dataset(&g, 120, seed);
+            let m = MEulerApprox::build(g, &objs, &[b1, b1 * scale]);
+            let q = GridRect::unchecked(qx, qy, (qx + qw).min(16), (qy + qh).min(12));
+            let e = m.estimate(&q);
+            let exact = count_by_classification(&objs, &q);
+            prop_assert_eq!(e.total(), 120);
+            prop_assert_eq!(e.disjoint, exact.disjoint);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The interior–exterior intersection model of §4.2: the linear system
+//! relating the relation counts `N_d, N_cs, N_cd, N_eq, N_o` to the
+//! aggregate intersection tallies `n_ii, n_ie, n_ei, n_ee`.
+//!
+//! Equation 8 of the paper, entry by entry:
+//!
+//! ```text
+//! n_ii = N_cs + N_cd + N_eq + N_o          (interiors meet)
+//! n_ie = N_d  + N_cs + N_o                 (query interior meets object exterior)
+//! n_ei = N_d  + N_cd + N_o                 (object interior meets query exterior)
+//! n_ee = N_d + N_cs + N_cd + N_eq + N_o = |S|
+//! ```
+//!
+//! With `N_eq = 0` (snapping) this is Equation 10; the solver here inverts
+//! it. The estimators feed it measured/approximated tallies — the model
+//! itself is exact algebra and is tested against brute-force relation
+//! classification.
+
+use crate::RelationCounts;
+use euler_grid::{GridRect, SnappedRect};
+
+/// Aggregate interior–exterior tallies for one query (Equation 10's right-
+/// hand side, with `n_ee` replaced by the dataset size `|S|`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tallies {
+    /// Number of objects whose interior meets the query interior.
+    pub n_ii: i64,
+    /// Number of objects whose exterior meets the query interior.
+    pub n_ie: i64,
+    /// Number of objects whose interior meets the query exterior.
+    pub n_ei: i64,
+    /// Dataset size `|S|`.
+    pub size: i64,
+}
+
+impl Tallies {
+    /// Measures the exact tallies for a query by classifying every object
+    /// — the brute-force reference used in tests and small-scale oracles.
+    pub fn measure(objects: &[SnappedRect], q: &GridRect) -> Tallies {
+        let mut n_ii = 0;
+        let mut n_ie = 0;
+        let mut n_ei = 0;
+        for o in objects {
+            let intersects = o.intersects(q);
+            let obj_in_query = o.contained_in_query(q);
+            let query_in_obj = o.contains_query(q);
+            if intersects {
+                n_ii += 1;
+            }
+            // Query interior meets object exterior unless the object
+            // contains the query.
+            if !query_in_obj {
+                n_ie += 1;
+            }
+            // Object interior meets query exterior unless the object is
+            // contained in the query.
+            if !obj_in_query {
+                n_ei += 1;
+            }
+        }
+        Tallies {
+            n_ii,
+            n_ie,
+            n_ei,
+            size: objects.len() as i64,
+        }
+    }
+
+    /// Solves Equation 10 (the `N_eq = 0` system) for the four relation
+    /// counts:
+    ///
+    /// ```text
+    /// N_d  = |S| − n_ii
+    /// N_cd = |S| − n_ie
+    /// N_cs = |S| − n_ei
+    /// N_o  = n_ii + n_ie + n_ei − 2|S|
+    /// ```
+    pub fn solve(&self) -> RelationCounts {
+        let disjoint = self.size - self.n_ii;
+        let contained = self.size - self.n_ie;
+        let contains = self.size - self.n_ei;
+        let overlaps = self.n_ii + self.n_ie + self.n_ei - 2 * self.size;
+        RelationCounts {
+            disjoint,
+            contains,
+            contained,
+            overlaps,
+        }
+    }
+
+    /// Solves the reduced Equation 11 (additionally assumes `N_cd = 0`,
+    /// S-EulerApprox's assumption):
+    ///
+    /// ```text
+    /// N_d  = |S| − n_ii
+    /// N_cs = |S| − n_ei
+    /// N_o  = n_ei − N_d
+    /// ```
+    pub fn solve_assuming_no_contained(&self) -> RelationCounts {
+        let disjoint = self.size - self.n_ii;
+        let contains = self.size - self.n_ei;
+        let overlaps = self.n_ei - disjoint;
+        RelationCounts {
+            disjoint,
+            contains,
+            contained: 0,
+            overlaps,
+        }
+    }
+}
+
+/// Brute-force Level 2 relation counting by classifying every object —
+/// the semantic ground truth for tests (datasets use the difference-array
+/// counter in `euler-datagen` instead, which is equivalent but scales).
+pub fn count_by_classification(objects: &[SnappedRect], q: &GridRect) -> RelationCounts {
+    use euler_geom::Level2Relation as L2;
+    let mut c = RelationCounts::default();
+    for o in objects {
+        match o.level2(q) {
+            L2::Disjoint => c.disjoint += 1,
+            L2::Contains => c.contains += 1,
+            L2::Contained => c.contained += 1,
+            L2::Overlap => c.overlaps += 1,
+            L2::Equals => unreachable!("snapping eliminates equals"),
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, Snapper};
+    use proptest::prelude::*;
+
+    fn grid() -> Grid {
+        Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, 12.0, 10.0).unwrap()),
+            12,
+            10,
+        )
+        .unwrap()
+    }
+
+    fn snap_many(rects: &[(f64, f64, f64, f64)]) -> Vec<SnappedRect> {
+        let s = Snapper::new(grid());
+        rects
+            .iter()
+            .map(|&(a, b, c, d)| s.snap(&Rect::new(a, b, c, d).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn exact_tallies_solve_to_exact_counts() {
+        let objs = snap_many(&[
+            (1.2, 1.2, 2.8, 2.8),   // small
+            (0.5, 0.5, 9.5, 9.5),   // big, contains mid queries
+            (3.0, 3.0, 5.0, 5.0),   // aligned, shrinks
+            (6.1, 0.2, 6.2, 9.8),   // tall sliver
+            (10.1, 8.1, 11.9, 9.9), // corner
+        ]);
+        for (x0, y0, x1, y1) in [(2, 2, 7, 7), (0, 0, 12, 10), (3, 3, 4, 4), (9, 7, 12, 10)] {
+            let q = GridRect::unchecked(x0, y0, x1, y1);
+            let solved = Tallies::measure(&objs, &q).solve();
+            let brute = count_by_classification(&objs, &q);
+            assert_eq!(solved, brute, "query {q}");
+        }
+    }
+
+    #[test]
+    fn reduced_system_matches_when_no_contained() {
+        let objs = snap_many(&[(1.2, 1.2, 2.8, 2.8), (5.5, 5.5, 6.5, 6.5)]);
+        let q = GridRect::unchecked(0, 0, 8, 8);
+        let t = Tallies::measure(&objs, &q);
+        assert_eq!(t.solve(), t.solve_assuming_no_contained());
+    }
+
+    proptest! {
+        /// For any random dataset and aligned query, inverting the
+        /// interior-exterior system from exact tallies reproduces the
+        /// brute-force relation counts — Equation 10 is consistent.
+        #[test]
+        fn equation_10_is_invertible(
+            objs in prop::collection::vec(
+                (0.0..11.0f64, 0.0..9.0f64, 0.1..8.0f64, 0.1..8.0f64), 1..60),
+            qx in 0usize..11, qy in 0usize..9,
+            qw in 1usize..12, qh in 1usize..10,
+        ) {
+            let rects: Vec<(f64, f64, f64, f64)> = objs
+                .into_iter()
+                .map(|(x, y, w, h)| (x, y, (x + w).min(12.0), (y + h).min(10.0)))
+                .collect();
+            let snapped = snap_many(&rects);
+            let q = GridRect::unchecked(qx, qy, (qx + qw).min(12), (qy + qh).min(10));
+            let t = Tallies::measure(&snapped, &q);
+            let solved = t.solve();
+            let brute = count_by_classification(&snapped, &q);
+            prop_assert_eq!(solved, brute);
+            // Sanity: totals match |S| (Equation 9's n_ee row).
+            prop_assert_eq!(solved.total(), snapped.len() as i64);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Binary persistence for Euler histograms.
+//!
+//! Building a histogram over millions of objects takes a dataset scan;
+//! serving it needs only the bucket array. This module provides a small
+//! versioned little-endian codec so a built histogram can be stored next
+//! to the dataset (or shipped to a query front end) and reloaded without
+//! re-scanning — the deployment shape of the GeoBrowsing service.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "EULH" | version u32 | space bounds 4×f64 | nx u64 | ny u64
+//! | object_count u64 | bucket_count u64 | buckets i64 × bucket_count
+//! | checksum u64 (wrapping sum of bucket words)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use euler_cube::Dense2D;
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid};
+
+use crate::EulerHistogram;
+
+const MAGIC: &[u8; 4] = b"EULH";
+const VERSION: u32 = 1;
+const VERSION_COMPRESSED: u32 = 2;
+
+/// Zigzag-encodes a signed value for varint packing.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(data: &mut Bytes) -> Result<u64, PersistError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if data.remaining() == 0 {
+            return Err(PersistError::Truncated);
+        }
+        let byte = data.get_u8();
+        if shift >= 64 {
+            return Err(PersistError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Errors from decoding a persisted histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Wrong magic bytes — not a persisted Euler histogram.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// The payload ended early or has trailing garbage.
+    Truncated,
+    /// Header fields are inconsistent (e.g. bucket count ≠ (2nx−1)(2ny−1)).
+    Corrupt(&'static str),
+    /// The checksum did not match.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not an Euler histogram file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::Truncated => write!(f, "payload truncated or has trailing bytes"),
+            PersistError::Corrupt(what) => write!(f, "corrupt header: {what}"),
+            PersistError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl EulerHistogram {
+    /// Encodes the histogram (buckets + grid) into a portable byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let grid = self.grid();
+        let (ew, eh) = grid.euler_dims();
+        let mut buf = BytesMut::with_capacity(4 + 4 + 32 + 8 * 4 + 8 * ew * eh + 8);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        let b = grid.space().bounds();
+        buf.put_f64_le(b.xlo());
+        buf.put_f64_le(b.ylo());
+        buf.put_f64_le(b.xhi());
+        buf.put_f64_le(b.yhi());
+        buf.put_u64_le(grid.nx() as u64);
+        buf.put_u64_le(grid.ny() as u64);
+        buf.put_u64_le(self.object_count());
+        buf.put_u64_le((ew * eh) as u64);
+        let mut checksum = 0u64;
+        for ey in 0..eh {
+            for ex in 0..ew {
+                let v = self.bucket(ex, ey);
+                checksum = checksum.wrapping_add(v as u64);
+                buf.put_i64_le(v);
+            }
+        }
+        buf.put_u64_le(checksum);
+        buf.freeze()
+    }
+
+    /// Encodes the histogram with zero-run + zigzag-varint compression
+    /// (format version 2). Sparse datasets — which most geographic
+    /// collections are at fine resolutions — shrink dramatically; the
+    /// tests measure a ≥ 4× reduction on a clustered example. Decode with
+    /// the same [`EulerHistogram::from_bytes`].
+    pub fn to_bytes_compressed(&self) -> Bytes {
+        let grid = self.grid();
+        let (ew, eh) = grid.euler_dims();
+        let mut buf = BytesMut::with_capacity(4 + 4 + 32 + 8 * 4);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_COMPRESSED);
+        let b = grid.space().bounds();
+        buf.put_f64_le(b.xlo());
+        buf.put_f64_le(b.ylo());
+        buf.put_f64_le(b.xhi());
+        buf.put_f64_le(b.yhi());
+        buf.put_u64_le(grid.nx() as u64);
+        buf.put_u64_le(grid.ny() as u64);
+        buf.put_u64_le(self.object_count());
+        buf.put_u64_le((ew * eh) as u64);
+        let mut checksum = 0u64;
+        let mut zero_run = 0u64;
+        for ey in 0..eh {
+            for ex in 0..ew {
+                let v = self.bucket(ex, ey);
+                checksum = checksum.wrapping_add(v as u64);
+                if v == 0 {
+                    zero_run += 1;
+                    continue;
+                }
+                if zero_run > 0 {
+                    buf.put_u8(0); // zero-run marker (zigzag(v) = 0 ⇔ v = 0)
+                    put_varint(&mut buf, zero_run);
+                    zero_run = 0;
+                }
+                put_varint(&mut buf, zigzag(v));
+            }
+        }
+        if zero_run > 0 {
+            buf.put_u8(0);
+            put_varint(&mut buf, zero_run);
+        }
+        buf.put_u64_le(checksum);
+        buf.freeze()
+    }
+
+    /// Decodes a histogram previously produced by
+    /// [`EulerHistogram::to_bytes`] or
+    /// [`EulerHistogram::to_bytes_compressed`].
+    pub fn from_bytes(mut data: Bytes) -> Result<EulerHistogram, PersistError> {
+        if data.remaining() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION && version != VERSION_COMPRESSED {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        if data.remaining() < 32 + 8 * 4 {
+            return Err(PersistError::Truncated);
+        }
+        let xlo = data.get_f64_le();
+        let ylo = data.get_f64_le();
+        let xhi = data.get_f64_le();
+        let yhi = data.get_f64_le();
+        let nx = data.get_u64_le() as usize;
+        let ny = data.get_u64_le() as usize;
+        let object_count = data.get_u64_le();
+        let bucket_count = data.get_u64_le() as usize;
+        let bounds =
+            Rect::new(xlo, ylo, xhi, yhi).map_err(|_| PersistError::Corrupt("space bounds"))?;
+        let grid = Grid::new(DataSpace::new(bounds), nx, ny)
+            .map_err(|_| PersistError::Corrupt("grid dims"))?;
+        let (ew, eh) = grid.euler_dims();
+        if bucket_count != ew * eh {
+            return Err(PersistError::Corrupt("bucket count"));
+        }
+        let mut raw = Vec::with_capacity(bucket_count);
+        let mut checksum = 0u64;
+        if version == VERSION {
+            if data.remaining() != 8 * bucket_count + 8 {
+                return Err(PersistError::Truncated);
+            }
+            for _ in 0..bucket_count {
+                let v = data.get_i64_le();
+                checksum = checksum.wrapping_add(v as u64);
+                raw.push(v);
+            }
+        } else {
+            while raw.len() < bucket_count {
+                let token = get_varint(&mut data)?;
+                if token == 0 {
+                    let run = get_varint(&mut data)? as usize;
+                    if run == 0 || raw.len() + run > bucket_count {
+                        return Err(PersistError::Corrupt("zero run length"));
+                    }
+                    raw.resize(raw.len() + run, 0);
+                } else {
+                    let v = unzigzag(token);
+                    checksum = checksum.wrapping_add(v as u64);
+                    raw.push(v);
+                }
+            }
+            if data.remaining() != 8 {
+                return Err(PersistError::Truncated);
+            }
+        }
+        if data.get_u64_le() != checksum {
+            return Err(PersistError::ChecksumMismatch);
+        }
+        Ok(EulerHistogram::from_parts(
+            grid,
+            Dense2D::from_vec(ew, eh, raw),
+            object_count,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_grid::Snapper;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sample() -> EulerHistogram {
+        let grid = Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, 40.0, 30.0).unwrap()),
+            40,
+            30,
+        )
+        .unwrap();
+        let s = Snapper::new(grid);
+        let mut rng = StdRng::seed_from_u64(9);
+        let objects: Vec<_> = (0..500)
+            .map(|_| {
+                let x = rng.gen_range(0.0..38.0);
+                let y = rng.gen_range(0.0..28.0);
+                s.snap(&Rect::new(x, y, x + 1.5, y + 1.2).unwrap())
+            })
+            .collect();
+        EulerHistogram::build(grid, &objects)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let h = sample();
+        let bytes = h.to_bytes();
+        let back = EulerHistogram::from_bytes(bytes).unwrap();
+        assert_eq!(h, back);
+        // And the frozen queries agree.
+        let q = euler_grid::GridRect::unchecked(5, 5, 20, 15);
+        assert_eq!(
+            h.freeze().intersect_count(&q),
+            back.freeze().intersect_count(&q)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut raw = sample().to_bytes().to_vec();
+        raw[0] = b'X';
+        assert_eq!(
+            EulerHistogram::from_bytes(Bytes::from(raw.clone())),
+            Err(PersistError::BadMagic)
+        );
+        let mut raw = sample().to_bytes().to_vec();
+        raw[4] = 99;
+        assert_eq!(
+            EulerHistogram::from_bytes(Bytes::from(raw)),
+            Err(PersistError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_corruption() {
+        let raw = sample().to_bytes();
+        let truncated = raw.slice(0..raw.len() - 5);
+        assert_eq!(
+            EulerHistogram::from_bytes(truncated),
+            Err(PersistError::Truncated)
+        );
+        // Flip one bucket word: checksum must catch it.
+        let mut v = raw.to_vec();
+        let idx = 4 + 4 + 32 + 32 + 16; // somewhere inside the buckets
+        v[idx] ^= 0xFF;
+        assert_eq!(
+            EulerHistogram::from_bytes(Bytes::from(v)),
+            Err(PersistError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn compressed_round_trip_and_ratio() {
+        let h = sample();
+        let plain = h.to_bytes();
+        let packed = h.to_bytes_compressed();
+        let back = EulerHistogram::from_bytes(packed.clone()).unwrap();
+        assert_eq!(h, back);
+        // The 40x30 sample is sparse-ish; compression must win clearly.
+        assert!(
+            packed.len() * 4 < plain.len(),
+            "compressed {} vs plain {}",
+            packed.len(),
+            plain.len()
+        );
+    }
+
+    #[test]
+    fn compressed_rejects_corruption() {
+        let h = sample();
+        let packed = h.to_bytes_compressed();
+        // Truncate inside the varint stream.
+        let truncated = packed.slice(0..packed.len() - 12);
+        assert!(EulerHistogram::from_bytes(truncated).is_err());
+        // Flip a payload byte: either the varint structure breaks or the
+        // checksum catches it.
+        let mut v = packed.to_vec();
+        let idx = v.len() / 2;
+        v[idx] ^= 0x2A;
+        assert!(EulerHistogram::from_bytes(Bytes::from(v)).is_err());
+    }
+
+    #[test]
+    fn zigzag_varint_primitives() {
+        for v in [0i64, 1, -1, 2, -2, 1000, -1000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        let mut buf = BytesMut::new();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            put_varint(&mut buf, v);
+        }
+        let mut data = buf.freeze();
+        for v in [0u64, 1, 127, 128, 300, u64::MAX] {
+            assert_eq!(get_varint(&mut data).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let grid = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 4.0, 4.0).unwrap()), 4, 4).unwrap();
+        let h = EulerHistogram::new(grid);
+        let back = EulerHistogram::from_bytes(h.to_bytes()).unwrap();
+        assert_eq!(h, back);
+    }
+}

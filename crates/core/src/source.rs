@@ -1,0 +1,57 @@
+//! The query interface shared by Euler-histogram backends.
+//!
+//! Estimators only need four signed-sum primitives; abstracting them lets
+//! the same S-EulerApprox / EulerApprox algebra run on either the static
+//! O(1)-query [`crate::FrozenEulerHistogram`] or the dynamic
+//! O(log²n)-query [`crate::DynamicEulerHistogram`].
+
+use euler_grid::{Grid, GridRect};
+
+use crate::RelationCounts;
+
+/// A queryable Euler histogram backend.
+pub trait EulerSource {
+    /// The grid summarized.
+    fn grid(&self) -> &Grid;
+
+    /// Number of objects summarized (`|S|`).
+    fn object_count(&self) -> u64;
+
+    /// Signed sum of buckets strictly inside the aligned region
+    /// `[x0, x1] × [y0, y1]` (grid-line coordinates).
+    fn inside_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64;
+
+    /// Signed sum over the closed Euler region of an aligned region
+    /// (inside buckets plus its boundary-line buckets).
+    fn closed_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64;
+
+    /// Sum of all buckets. Every object's footprint has Euler
+    /// characteristic 1, so this equals `|S|`.
+    fn total(&self) -> i64 {
+        self.object_count() as i64
+    }
+
+    /// `n_ii` — exact intersect count (Equation 12).
+    fn intersect_count(&self, q: &GridRect) -> i64 {
+        self.inside_sum(q.x0, q.y0, q.x1, q.y1)
+    }
+
+    /// `n'_ei` — the outside sum (Equation 15/19, loophole included).
+    fn outside_sum(&self, q: &GridRect) -> i64 {
+        self.total() - self.closed_sum(q.x0, q.y0, q.x1, q.y1)
+    }
+}
+
+/// The S-EulerApprox algebra (Equations 14–17) on any backend.
+pub fn s_euler_counts<H: EulerSource + ?Sized>(h: &H, q: &GridRect) -> RelationCounts {
+    let size = h.object_count() as i64;
+    let n_ii = h.intersect_count(q);
+    let n_ei = h.outside_sum(q);
+    let disjoint = size - n_ii;
+    RelationCounts {
+        disjoint,
+        contains: size - n_ei,
+        contained: 0,
+        overlaps: n_ei - disjoint,
+    }
+}

@@ -1,0 +1,98 @@
+//! Storage-bound calculators for Theorem 3.1 and the structures built in
+//! this workspace — the numbers behind §3's "often infeasible even for
+//! 2-dimensional cases" argument and the `table_storage_bounds`
+//! experiment.
+
+/// Effective bucket count of an exact `contains` structure per
+/// Theorem 3.1: `Π nᵢ(nᵢ+1)/2` over the grid dimensions.
+pub fn exact_contains_buckets(dims: &[usize]) -> u128 {
+    dims.iter()
+        .map(|&n| (n as u128) * (n as u128 + 1) / 2)
+        .product()
+}
+
+/// The same bound with the constant factor 4 per dimension pair that §3
+/// attributes to supporting all four interval types `(i,j)`, `[i,j)`,
+/// `(i,j]`, `[i,j]` — only relevant without the snapping convention.
+pub fn exact_contains_buckets_all_types(dims: &[usize]) -> u128 {
+    // One factor of 4 per axis? The paper's 2-D example uses a single
+    // global factor of 4 (§3, last bullet), which we follow.
+    4 * exact_contains_buckets(dims)
+}
+
+/// Bucket count of a (d-dimensional) Euler histogram: `Π (2nᵢ − 1)`.
+pub fn euler_histogram_buckets(dims: &[usize]) -> u128 {
+    dims.iter().map(|&n| 2 * n as u128 - 1).product()
+}
+
+/// Bucket count of the "rectangles as 2d-dimensional points" encoding the
+/// paper rejects in §2: `Π nᵢ²`.
+pub fn point_encoding_buckets(dims: &[usize]) -> u128 {
+    dims.iter().map(|&n| (n as u128) * (n as u128)).product()
+}
+
+/// Converts a bucket count to bytes at the given counter width.
+pub fn buckets_to_bytes(buckets: u128, bytes_per_bucket: usize) -> u128 {
+    buckets * bytes_per_bucket as u128
+}
+
+/// Human-readable byte count (`"4.23 GB"`), decimal units.
+pub fn human_bytes(bytes: u128) -> String {
+    const UNITS: [&str; 6] = ["B", "KB", "MB", "GB", "TB", "PB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1000.0 && unit + 1 < UNITS.len() {
+        value /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2d_example_is_about_4_gb() {
+        // §3: 360×180 at 1°×1° → 4 × (360·361)/2 × (180·181)/2 ≈ 4 GB.
+        let buckets = exact_contains_buckets(&[360, 180]);
+        assert_eq!(buckets, 64_980 * 16_290);
+        let with_types = exact_contains_buckets_all_types(&[360, 180]);
+        assert_eq!(with_types, 4 * 64_980 * 16_290);
+        // ≈ 4.23e9 "values"; at 1 byte each that is the paper's ~4 GB.
+        let gb = buckets_to_bytes(with_types, 1) as f64 / 1e9;
+        assert!((4.0..4.5).contains(&gb), "got {gb} GB");
+    }
+
+    #[test]
+    fn euler_histogram_is_linear_in_cells() {
+        // §5.2: (2·360 − 1)(2·180 − 1) buckets.
+        assert_eq!(euler_histogram_buckets(&[360, 180]), 719 * 359);
+        // Compare: ~258k buckets vs ~1.06e9 for the exact structure.
+        assert!(euler_histogram_buckets(&[360, 180]) * 1000 < exact_contains_buckets(&[360, 180]));
+    }
+
+    #[test]
+    fn point_encoding_example_from_section_2() {
+        // §2: treating rectangles as 4-d points needs 360×180×360×180
+        // ≈ 4 billion cells.
+        assert_eq!(point_encoding_buckets(&[360, 180]), 64_800u128 * 64_800u128);
+    }
+
+    #[test]
+    fn one_dimensional_bound() {
+        assert_eq!(exact_contains_buckets(&[4]), 10); // n(n+1)/2
+        assert_eq!(euler_histogram_buckets(&[4]), 7);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(4_233_436_920), "4.23 GB");
+        assert_eq!(human_bytes(2_064_968), "2.06 MB");
+    }
+}

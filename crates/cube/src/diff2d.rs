@@ -1,0 +1,125 @@
+use crate::Dense2D;
+
+/// A 2-D difference array: O(1) "add `v` to every cell of a rectangle",
+/// O(area) one-shot materialization.
+///
+/// This is how Euler histograms are bulk-built (each snapped object is one
+/// rectangle update, §5.1) and how the exact ground-truth tile counter
+/// turns per-object tile ranges into per-tile counts.
+#[derive(Debug, Clone)]
+pub struct Diff2D {
+    // One extra row/column absorbs the closing decrement of ranges that
+    // touch the array edge.
+    grid: Dense2D,
+    width: usize,
+    height: usize,
+}
+
+impl Diff2D {
+    /// A difference array for a `width × height` target.
+    pub fn zeros(width: usize, height: usize) -> Diff2D {
+        Diff2D {
+            grid: Dense2D::zeros(width + 1, height + 1),
+            width,
+            height,
+        }
+    }
+
+    /// Target width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Target height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Adds `v` to every cell of the inclusive rectangle `[x0,x1] × [y0,y1]`.
+    #[inline]
+    pub fn add_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, v: i64) {
+        debug_assert!(x0 <= x1 && x1 < self.width, "x range [{x0},{x1}]");
+        debug_assert!(y0 <= y1 && y1 < self.height, "y range [{y0},{y1}]");
+        self.grid.add(x0, y0, v);
+        self.grid.add(x1 + 1, y0, -v);
+        self.grid.add(x0, y1 + 1, -v);
+        self.grid.add(x1 + 1, y1 + 1, v);
+    }
+
+    /// Materializes the accumulated updates into a dense array.
+    pub fn build(self) -> Dense2D {
+        let Diff2D {
+            grid,
+            width,
+            height,
+        } = self;
+        let mut out = Dense2D::zeros(width, height);
+        // Running 2-D prefix sum of the difference grid, restricted to the
+        // target extent.
+        let mut prev_row = vec![0i64; width];
+        for y in 0..height {
+            let mut row_acc = 0i64;
+            for (x, prev) in prev_row.iter_mut().enumerate() {
+                row_acc += grid.get(x, y);
+                let v = row_acc + *prev;
+                out.set(x, y, v);
+                *prev = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_rect_update() {
+        let mut d = Diff2D::zeros(5, 4);
+        d.add_rect(1, 1, 3, 2, 7);
+        let a = d.build();
+        for y in 0..4 {
+            for x in 0..5 {
+                let inside = (1..=3).contains(&x) && (1..=2).contains(&y);
+                assert_eq!(a.get(x, y), if inside { 7 } else { 0 }, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_touching_rects() {
+        let mut d = Diff2D::zeros(3, 3);
+        d.add_rect(0, 0, 2, 2, 1);
+        d.add_rect(2, 2, 2, 2, 5);
+        let a = d.build();
+        assert_eq!(a.get(0, 0), 1);
+        assert_eq!(a.get(2, 2), 6);
+        assert_eq!(a.total(), 9 + 5);
+    }
+
+    proptest! {
+        /// Difference-array materialization equals naive accumulation.
+        #[test]
+        fn matches_naive(rects in prop::collection::vec(
+            (0usize..8, 0usize..8, 0usize..8, 0usize..8, -5i64..5), 0..40)) {
+            let (w, h) = (8, 8);
+            let mut d = Diff2D::zeros(w, h);
+            let mut naive = Dense2D::zeros(w, h);
+            for (x0, y0, x1, y1, v) in rects {
+                let (x0, x1) = (x0.min(x1), x0.max(x1));
+                let (y0, y1) = (y0.min(y1), y0.max(y1));
+                d.add_rect(x0, y0, x1, y1, v);
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        naive.add(x, y, v);
+                    }
+                }
+            }
+            prop_assert_eq!(d.build(), naive);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A 2-D Fenwick (binary indexed) tree with **range update / range
+//! query** in `O(log² n)` — the dynamic counterpart of the prefix-sum
+//! cube, in the spirit of the update-efficient cubes the paper cites
+//! (\[GRAE99\] "Data cubes in dynamic environments", \[RAE00\] pCube).
+//!
+//! The static [`crate::PrefixSum2D`] answers queries in O(1) but a single
+//! counter change invalidates O(N) prefix entries. This structure trades
+//! query constant-ness for incremental updates: both a rectangle add and
+//! a rectangle sum cost `O(log² n)` — the substrate for
+//! `euler_core::DynamicEulerHistogram`, which keeps Level-2 browsing
+//! queries available *while* objects stream in and out.
+//!
+//! Implementation: the classic four-tree decomposition. A point update at
+//! `(x, y)` (in difference form) contributes
+//! `v · (qx − x + 1)(qy − y + 1)` to `prefix(qx, qy)`; expanding the
+//! product into `qx·qy`, `qx`, `qy`, `1` coefficients yields four BITs
+//! whose weighted combination reconstructs the prefix sum. A rectangle
+//! add is four signed point updates (the 2-D difference trick).
+
+/// One plain 2-D BIT over `i64` (point add / prefix sum), 1-indexed
+/// internally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bit2D {
+    w: usize,
+    h: usize,
+    t: Vec<i64>,
+}
+
+impl Bit2D {
+    fn new(w: usize, h: usize) -> Bit2D {
+        Bit2D {
+            w,
+            h,
+            t: vec![0; (w + 1) * (h + 1)],
+        }
+    }
+
+    fn add(&mut self, x: usize, y: usize, v: i64) {
+        // 1-indexed coordinates in [1, w] × [1, h].
+        let mut i = x;
+        while i <= self.w {
+            let mut j = y;
+            while j <= self.h {
+                self.t[i * (self.h + 1) + j] += v;
+                j += j & j.wrapping_neg();
+            }
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, x: usize, y: usize) -> i64 {
+        let mut s = 0;
+        let mut i = x;
+        while i > 0 {
+            let mut j = y;
+            while j > 0 {
+                s += self.t[i * (self.h + 1) + j];
+                j -= j & j.wrapping_neg();
+            }
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// The range-update / range-query 2-D Fenwick structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeFenwick2D {
+    width: usize,
+    height: usize,
+    txy: Bit2D,
+    tx: Bit2D,
+    ty: Bit2D,
+    t1: Bit2D,
+}
+
+impl RangeFenwick2D {
+    /// A zeroed `width × height` array.
+    pub fn new(width: usize, height: usize) -> RangeFenwick2D {
+        assert!(width > 0 && height > 0);
+        RangeFenwick2D {
+            width,
+            height,
+            txy: Bit2D::new(width, height),
+            tx: Bit2D::new(width, height),
+            ty: Bit2D::new(width, height),
+            t1: Bit2D::new(width, height),
+        }
+    }
+
+    /// Array width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Array height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// One corner of the difference decomposition, 1-indexed.
+    fn point(&mut self, x: usize, y: usize, v: i64) {
+        if x > self.width || y > self.height {
+            return; // the +1 corners that fall off the edge vanish
+        }
+        let (xi, yi) = (x as i64, y as i64);
+        self.txy.add(x, y, v);
+        self.tx.add(x, y, v * (1 - yi));
+        self.ty.add(x, y, v * (1 - xi));
+        self.t1.add(x, y, v * (xi - 1) * (yi - 1));
+    }
+
+    /// Adds `v` to every cell of the inclusive 0-indexed rectangle
+    /// `[x0, x1] × [y0, y1]`. `O(log² n)`.
+    pub fn add_rect(&mut self, x0: usize, y0: usize, x1: usize, y1: usize, v: i64) {
+        assert!(x0 <= x1 && x1 < self.width, "x range [{x0},{x1}]");
+        assert!(y0 <= y1 && y1 < self.height, "y range [{y0},{y1}]");
+        // Shift to 1-indexed corners.
+        self.point(x0 + 1, y0 + 1, v);
+        self.point(x0 + 1, y1 + 2, -v);
+        self.point(x1 + 2, y0 + 1, -v);
+        self.point(x1 + 2, y1 + 2, v);
+    }
+
+    /// Cumulative sum over `[0, x] × [0, y]` (0-indexed). `O(log² n)`.
+    pub fn prefix(&self, x: usize, y: usize) -> i64 {
+        debug_assert!(x < self.width && y < self.height);
+        let (xi, yi) = (x as i64 + 1, y as i64 + 1);
+        let (x1, y1) = (x + 1, y + 1);
+        self.txy.prefix(x1, y1) * xi * yi
+            + self.tx.prefix(x1, y1) * xi
+            + self.ty.prefix(x1, y1) * yi
+            + self.t1.prefix(x1, y1)
+    }
+
+    /// Sum over the inclusive 0-indexed rectangle `[x0, x1] × [y0, y1]`.
+    pub fn range_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 <= x1 && x1 < self.width);
+        debug_assert!(y0 <= y1 && y1 < self.height);
+        let mut s = self.prefix(x1, y1);
+        if x0 > 0 {
+            s -= self.prefix(x0 - 1, y1);
+        }
+        if y0 > 0 {
+            s -= self.prefix(x1, y0 - 1);
+        }
+        if x0 > 0 && y0 > 0 {
+            s += self.prefix(x0 - 1, y0 - 1);
+        }
+        s
+    }
+
+    /// Clipped signed range sum (see [`crate::PrefixSum2D::range_sum_clipped`]).
+    pub fn range_sum_clipped(&self, x0: i64, y0: i64, x1: i64, y1: i64) -> i64 {
+        let cx0 = x0.max(0);
+        let cy0 = y0.max(0);
+        let cx1 = x1.min(self.width as i64 - 1);
+        let cy1 = y1.min(self.height as i64 - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return 0;
+        }
+        self.range_sum(cx0 as usize, cy0 as usize, cx1 as usize, cy1 as usize)
+    }
+
+    /// Sum of the whole array.
+    pub fn total(&self) -> i64 {
+        self.prefix(self.width - 1, self.height - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dense2D;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_cell_update() {
+        let mut f = RangeFenwick2D::new(6, 5);
+        f.add_rect(2, 3, 2, 3, 7);
+        assert_eq!(f.range_sum(2, 3, 2, 3), 7);
+        assert_eq!(f.range_sum(0, 0, 5, 4), 7);
+        assert_eq!(f.range_sum(0, 0, 1, 4), 0);
+        assert_eq!(f.prefix(1, 4), 0);
+        assert_eq!(f.prefix(2, 3), 7);
+    }
+
+    #[test]
+    fn full_rect_update() {
+        let mut f = RangeFenwick2D::new(4, 4);
+        f.add_rect(0, 0, 3, 3, 2);
+        assert_eq!(f.total(), 32);
+        assert_eq!(f.range_sum(1, 1, 2, 2), 8);
+    }
+
+    #[test]
+    fn edge_touching_updates() {
+        let mut f = RangeFenwick2D::new(5, 3);
+        f.add_rect(4, 2, 4, 2, 1);
+        f.add_rect(0, 0, 4, 2, 1);
+        assert_eq!(f.range_sum(4, 2, 4, 2), 2);
+        assert_eq!(f.total(), 16);
+    }
+
+    proptest! {
+        /// RangeFenwick2D agrees with a naive dense array under arbitrary
+        /// interleavings of rectangle updates and range queries.
+        #[test]
+        fn matches_naive(ops in prop::collection::vec(
+            (0usize..9, 0usize..7, 0usize..9, 0usize..7, -4i64..5), 1..40),
+            queries in prop::collection::vec(
+            (0usize..9, 0usize..7, 0usize..9, 0usize..7), 1..20))
+        {
+            let (w, h) = (9, 7);
+            let mut f = RangeFenwick2D::new(w, h);
+            let mut naive = Dense2D::zeros(w, h);
+            for (a, b, c, d, v) in ops {
+                let (x0, x1) = (a.min(c), a.max(c));
+                let (y0, y1) = (b.min(d), b.max(d));
+                f.add_rect(x0, y0, x1, y1, v);
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        naive.add(x, y, v);
+                    }
+                }
+                for &(a, b, c, d) in &queries {
+                    let (qx0, qx1) = (a.min(c), a.max(c));
+                    let (qy0, qy1) = (b.min(d), b.max(d));
+                    prop_assert_eq!(
+                        f.range_sum(qx0, qy0, qx1, qy1),
+                        naive.range_sum_naive(qx0, qy0, qx1, qy1)
+                    );
+                }
+                prop_assert_eq!(f.total(), naive.total());
+            }
+        }
+
+        /// Clipping semantics match PrefixSum2D's.
+        #[test]
+        fn clipped_matches(x0 in -3i64..12, y0 in -3i64..10,
+                           x1 in -3i64..12, y1 in -3i64..10) {
+            let mut f = RangeFenwick2D::new(9, 7);
+            f.add_rect(1, 1, 7, 5, 3);
+            let naive = {
+                let mut d = crate::Diff2D::zeros(9, 7);
+                d.add_rect(1, 1, 7, 5, 3);
+                crate::PrefixSum2D::build(&d.build())
+            };
+            let (lo_x, hi_x) = (x0.min(x1), x0.max(x1));
+            let (lo_y, hi_y) = (y0.min(y1), y0.max(y1));
+            prop_assert_eq!(
+                f.range_sum_clipped(lo_x, lo_y, hi_x, hi_y),
+                naive.range_sum_clipped(lo_x, lo_y, hi_x, hi_y)
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Dense2D;
+
+/// The 2-D prefix-sum data cube of \[HAMS97\]: `P(x, y) = Σ_{i≤x, j≤y} A(i, j)`.
+///
+/// Any inclusive range sum is answered with at most four lookups and three
+/// additions (`§5.2`), which is what gives S-EulerApprox, EulerApprox and
+/// M-EulerApprox their constant per-query cost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixSum2D {
+    width: usize,
+    height: usize,
+    // Stored with a zero guard row/column so lookups avoid branches:
+    // p[(x+1) + (y+1)*(width+1)] = P(x, y).
+    p: Vec<i64>,
+}
+
+impl PrefixSum2D {
+    /// Builds the cube from a dense array in one pass.
+    pub fn build(a: &Dense2D) -> PrefixSum2D {
+        let (w, h) = (a.width(), a.height());
+        let stride = w + 1;
+        let mut p = vec![0i64; stride * (h + 1)];
+        for y in 0..h {
+            let mut row_acc = 0i64;
+            for x in 0..w {
+                row_acc += a.get(x, y);
+                p[(x + 1) + (y + 1) * stride] = row_acc + p[(x + 1) + y * stride];
+            }
+        }
+        PrefixSum2D {
+            width: w,
+            height: h,
+            p,
+        }
+    }
+
+    /// Width of the summarized array.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the summarized array.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Cumulative sum `P(x, y) = Σ_{i≤x, j≤y} A(i, j)`; `x`/`y` may be
+    /// `None`-like by passing ranges to [`Self::range_sum`] instead.
+    #[inline]
+    pub fn prefix(&self, x: usize, y: usize) -> i64 {
+        debug_assert!(x < self.width && y < self.height);
+        self.p[(x + 1) + (y + 1) * (self.width + 1)]
+    }
+
+    /// Sum over the inclusive index rectangle `[x0, x1] × [y0, y1]`.
+    ///
+    /// Four lookups, three arithmetic operations — constant time.
+    #[inline]
+    pub fn range_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        debug_assert!(x0 <= x1 && x1 < self.width, "x range [{x0},{x1}]");
+        debug_assert!(y0 <= y1 && y1 < self.height, "y range [{y0},{y1}]");
+        let stride = self.width + 1;
+        let br = self.p[(x1 + 1) + (y1 + 1) * stride];
+        let tl = self.p[x0 + y0 * stride];
+        let bl = self.p[x0 + (y1 + 1) * stride];
+        let tr = self.p[(x1 + 1) + y0 * stride];
+        br + tl - bl - tr
+    }
+
+    /// Sum over a *clipped* signed index rectangle: bounds may lie outside
+    /// the array (negative or too large); the empty intersection sums to 0.
+    ///
+    /// Estimator code uses this for Euler-index regions like
+    /// `[2·qx0 − 1, 2·qx1 − 1]` that extend past the histogram when the
+    /// query touches the data-space boundary.
+    #[inline]
+    pub fn range_sum_clipped(&self, x0: i64, y0: i64, x1: i64, y1: i64) -> i64 {
+        let cx0 = x0.max(0);
+        let cy0 = y0.max(0);
+        let cx1 = x1.min(self.width as i64 - 1);
+        let cy1 = y1.min(self.height as i64 - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return 0;
+        }
+        self.range_sum(cx0 as usize, cy0 as usize, cx1 as usize, cy1 as usize)
+    }
+
+    /// Sum of the whole array.
+    #[inline]
+    pub fn total(&self) -> i64 {
+        self.p[self.p.len() - 1]
+    }
+
+    /// Bytes of storage held by the cube.
+    pub fn storage_bytes(&self) -> usize {
+        self.p.len() * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_array(w: usize, h: usize, seed: u64) -> Dense2D {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Dense2D::zeros(w, h);
+        a.map_in_place(|_, _, _| rng.gen_range(-100..100));
+        a
+    }
+
+    #[test]
+    fn total_matches_dense() {
+        let a = random_array(17, 9, 1);
+        let p = PrefixSum2D::build(&a);
+        assert_eq!(p.total(), a.total());
+    }
+
+    #[test]
+    fn range_sums_match_naive_exhaustively() {
+        let a = random_array(9, 7, 2);
+        let p = PrefixSum2D::build(&a);
+        for y0 in 0..7 {
+            for y1 in y0..7 {
+                for x0 in 0..9 {
+                    for x1 in x0..9 {
+                        assert_eq!(
+                            p.range_sum(x0, y0, x1, y1),
+                            a.range_sum_naive(x0, y0, x1, y1),
+                            "[{x0},{x1}]x[{y0},{y1}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clipped_sums() {
+        let a = random_array(5, 5, 3);
+        let p = PrefixSum2D::build(&a);
+        assert_eq!(p.range_sum_clipped(-3, -3, 10, 10), a.total());
+        assert_eq!(p.range_sum_clipped(-3, 0, -1, 4), 0);
+        assert_eq!(p.range_sum_clipped(5, 0, 9, 4), 0);
+        assert_eq!(
+            p.range_sum_clipped(-2, 1, 2, 3),
+            a.range_sum_naive(0, 1, 2, 3)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn random_ranges_match_naive(seed in 0u64..50,
+                                     x0 in 0usize..12, y0 in 0usize..10,
+                                     dx in 0usize..12, dy in 0usize..10) {
+            let a = random_array(12, 10, seed);
+            let p = PrefixSum2D::build(&a);
+            let x1 = (x0 + dx).min(11);
+            let y1 = (y0 + dy).min(9);
+            prop_assert_eq!(p.range_sum(x0, y0, x1, y1), a.range_sum_naive(x0, y0, x1, y1));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! General-purpose dataset generators for users' own experiments —
+//! the reusable building blocks behind the paper-specific generators.
+
+use euler_geom::Rect;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::dist::{BoxMuller, Zipf};
+use crate::Dataset;
+use euler_grid::DataSpace;
+
+/// Configuration for a uniform dataset: centers uniform over the space,
+/// extents uniform in the given ranges.
+#[derive(Debug, Clone)]
+pub struct UniformConfig {
+    /// Number of objects.
+    pub count: usize,
+    /// Enclosing space.
+    pub space: DataSpace,
+    /// `[min, max)` object widths (data units). Zero-width allowed.
+    pub width: (f64, f64),
+    /// `[min, max)` object heights.
+    pub height: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a uniform dataset (objects shifted to fit the space, so the
+/// extent distributions are preserved exactly).
+pub fn uniform(cfg: &UniformConfig) -> Dataset {
+    assert!(cfg.width.0 >= 0.0 && cfg.width.1 >= cfg.width.0);
+    assert!(cfg.height.0 >= 0.0 && cfg.height.1 >= cfg.height.0);
+    let b = *cfg.space.bounds();
+    assert!(
+        cfg.width.1 <= cfg.space.width() && cfg.height.1 <= cfg.space.height(),
+        "extents must fit the space"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rects = Vec::with_capacity(cfg.count);
+    let sample = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    };
+    for _ in 0..cfg.count {
+        let w = sample(&mut rng, cfg.width);
+        let h = sample(&mut rng, cfg.height);
+        let x = rng.gen_range(b.xlo()..=(b.xhi() - w));
+        let y = rng.gen_range(b.ylo()..=(b.yhi() - h));
+        rects.push(Rect::new(x, y, x + w, y + h).expect("ordered"));
+    }
+    Dataset::new("uniform", cfg.space, rects)
+}
+
+/// Configuration for a clustered dataset: Zipf-weighted Gaussian blobs
+/// (the skew model behind `sp_skew` and the adl-like mixture).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of objects.
+    pub count: usize,
+    /// Enclosing space.
+    pub space: DataSpace,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// `[min, max)` cluster standard deviations (data units).
+    pub spread: (f64, f64),
+    /// `[min, max)` object widths.
+    pub width: (f64, f64),
+    /// `[min, max)` object heights.
+    pub height: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a clustered dataset. Objects whose center falls outside the
+/// space are shifted in, preserving extents.
+pub fn clustered(cfg: &ClusterConfig) -> Dataset {
+    assert!(cfg.clusters >= 1);
+    assert!(cfg.spread.1 >= cfg.spread.0 && cfg.spread.0 > 0.0);
+    let b = *cfg.space.bounds();
+    assert!(
+        cfg.width.1 <= cfg.space.width() && cfg.height.1 <= cfg.space.height(),
+        "extents must fit the space"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = BoxMuller::new();
+    let centers: Vec<(f64, f64, f64)> = (0..cfg.clusters)
+        .map(|_| {
+            (
+                rng.gen_range(b.xlo()..b.xhi()),
+                rng.gen_range(b.ylo()..b.yhi()),
+                if cfg.spread.1 > cfg.spread.0 {
+                    rng.gen_range(cfg.spread.0..cfg.spread.1)
+                } else {
+                    cfg.spread.0
+                },
+            )
+        })
+        .collect();
+    let weights = Zipf::new(cfg.clusters, 1.0);
+    let sample = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
+        if hi > lo {
+            rng.gen_range(lo..hi)
+        } else {
+            lo
+        }
+    };
+    let mut rects = Vec::with_capacity(cfg.count);
+    for _ in 0..cfg.count {
+        let (cx, cy, spread) = centers[weights.sample(&mut rng) - 1];
+        let x = gauss.sample_with(&mut rng, cx, spread);
+        let y = gauss.sample_with(&mut rng, cy, spread);
+        let w = sample(&mut rng, cfg.width);
+        let h = sample(&mut rng, cfg.height);
+        let xlo = (x - w / 2.0).clamp(b.xlo(), b.xhi() - w);
+        let ylo = (y - h / 2.0).clamp(b.ylo(), b.yhi() - h);
+        rects.push(Rect::new(xlo, ylo, xlo + w, ylo + h).expect("ordered"));
+    }
+    Dataset::new("clustered", cfg.space, rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_space;
+
+    #[test]
+    fn uniform_respects_ranges_and_space() {
+        let d = uniform(&UniformConfig {
+            count: 5_000,
+            space: paper_space(),
+            width: (0.5, 2.0),
+            height: (0.0, 1.0),
+            seed: 1,
+        });
+        assert_eq!(d.len(), 5_000);
+        for r in d.rects() {
+            assert!((0.5..2.0).contains(&r.width()));
+            assert!((0.0..1.0).contains(&r.height()));
+            assert!(r.xlo() >= 0.0 && r.xhi() <= 360.0);
+            assert!(r.ylo() >= 0.0 && r.yhi() <= 180.0);
+        }
+        // Roughly uniform: each quadrant holds ~25%.
+        let density = d.center_density(2, 2);
+        for q in density {
+            let frac = q as f64 / 5_000.0;
+            assert!((0.2..0.3).contains(&frac), "{frac}");
+        }
+    }
+
+    #[test]
+    fn uniform_point_datasets() {
+        let d = uniform(&UniformConfig {
+            count: 100,
+            space: paper_space(),
+            width: (0.0, 0.0),
+            height: (0.0, 0.0),
+            seed: 2,
+        });
+        assert!(d.rects().iter().all(|r| r.is_degenerate()));
+    }
+
+    #[test]
+    fn clustered_is_skewed_and_deterministic() {
+        let cfg = ClusterConfig {
+            count: 10_000,
+            space: paper_space(),
+            clusters: 8,
+            spread: (2.0, 10.0),
+            width: (0.2, 1.0),
+            height: (0.2, 1.0),
+            seed: 3,
+        };
+        let a = clustered(&cfg);
+        let b = clustered(&cfg);
+        assert_eq!(a.rects()[17], b.rects()[17]);
+        let mut density = a.center_density(36, 18);
+        density.sort_unstable_by(|x, y| y.cmp(x));
+        let top: usize = density[..density.len() / 10].iter().sum();
+        assert!(
+            top as f64 > 0.5 * a.len() as f64,
+            "top decile holds {top}/{}",
+            a.len()
+        );
+    }
+}

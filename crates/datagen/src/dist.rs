@@ -1,0 +1,247 @@
+//! Probability distributions used by the generators, implemented in-crate
+//! (the allowed dependency list has `rand` but not `rand_distr`).
+
+use rand::Rng;
+
+/// Discrete Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ 1 / k^s`. Sampled by binary search on the precomputed CDF —
+/// O(log n) per sample, exact.
+///
+/// `sz_skew` (§6.1.1) draws object side lengths from Zipf over
+/// `{1, …, 180}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `{1, …, n}` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs a nonempty support");
+        assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a value in `{1, …, n}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first k with cdf[k] >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Probability mass of value `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// Continuous power-law ("continuous Zipf") distribution on `[lo, hi]`
+/// with density `∝ x^(−s)`, sampled by inverse CDF.
+///
+/// The paper's `sz_skew` side lengths follow "a Zipf distribution between
+/// 1.0 and 180.0" — a continuous range, so the discrete [`Zipf`] is not
+/// the right model (integer side lengths leave gaps that break the
+/// O1/O2 cancellation EulerApprox relies on; see `sz_skew.rs`).
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLaw {
+    lo: f64,
+    hi: f64,
+    exponent: f64,
+}
+
+impl PowerLaw {
+    /// Power law on `[lo, hi]` with exponent `s > 0`.
+    pub fn new(lo: f64, hi: f64, exponent: f64) -> PowerLaw {
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        assert!(exponent > 0.0 && exponent.is_finite());
+        PowerLaw { lo, hi, exponent }
+    }
+
+    /// Draws one value in `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let s = self.exponent;
+        let x = if (s - 1.0).abs() < 1e-9 {
+            // Density ∝ 1/x: log-uniform.
+            self.lo * (self.hi / self.lo).powf(u)
+        } else {
+            let p = 1.0 - s;
+            let a = self.lo.powf(p);
+            let b = self.hi.powf(p);
+            (a + u * (b - a)).powf(1.0 / p)
+        };
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let x = x.clamp(self.lo, self.hi);
+        let s = self.exponent;
+        if (s - 1.0).abs() < 1e-9 {
+            (x / self.lo).ln() / (self.hi / self.lo).ln()
+        } else {
+            let p = 1.0 - s;
+            (x.powf(p) - self.lo.powf(p)) / (self.hi.powf(p) - self.lo.powf(p))
+        }
+    }
+}
+
+/// Standard-normal sampler via the Box–Muller transform, caching the
+/// second variate.
+#[derive(Debug, Clone, Default)]
+pub struct BoxMuller {
+    spare: Option<f64>,
+}
+
+impl BoxMuller {
+    /// A fresh sampler.
+    pub fn new() -> BoxMuller {
+        BoxMuller::default()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Avoid u1 == 0 for the logarithm.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decays() {
+        let z = Zipf::new(180, 1.0);
+        let total: f64 = (1..=180).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(50));
+        // Exponent 1: p(1)/p(2) = 2.
+        assert!((z.pmf(1) / z.pmf(2) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_match_pmf_roughly() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let freq = counts[k - 1] as f64 / n as f64;
+            let p = z.pmf(k);
+            assert!(
+                (freq - p).abs() < 0.01,
+                "k={k}: freq {freq:.4} vs pmf {p:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_bounds() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn power_law_bounds_and_cdf() {
+        let p = PowerLaw::new(1.0, 180.0, 1.65);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut below_2 = 0usize;
+        for _ in 0..n {
+            let v = p.sample(&mut rng);
+            assert!((1.0..=180.0).contains(&v));
+            if v <= 2.0 {
+                below_2 += 1;
+            }
+        }
+        let freq = below_2 as f64 / n as f64;
+        assert!(
+            (freq - p.cdf(2.0)).abs() < 0.01,
+            "P(X<=2): freq {freq:.4} vs cdf {:.4}",
+            p.cdf(2.0)
+        );
+        assert_eq!(p.cdf(1.0), 0.0);
+        assert!((p.cdf(180.0) - 1.0).abs() < 1e-12);
+        // Heavy head: most mass near the minimum.
+        assert!(p.cdf(5.0) > 0.6);
+    }
+
+    #[test]
+    fn power_law_log_uniform_special_case() {
+        let p = PowerLaw::new(1.0, 100.0, 1.0);
+        // For s = 1, cdf is log-uniform: P(X <= 10) = 0.5.
+        assert!((p.cdf(10.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut bm = BoxMuller::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| bm.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn box_muller_scaling() {
+        let mut bm = BoxMuller::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean = 10.0;
+        let sd = 2.5;
+        let sum: f64 = (0..n).map(|_| bm.sample_with(&mut rng, mean, sd)).sum();
+        assert!((sum / n as f64 - mean).abs() < 0.05);
+    }
+}

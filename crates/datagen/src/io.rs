@@ -1,0 +1,171 @@
+//! Plain-text dataset I/O, so users can bring their own MBR collections
+//! (e.g. a TIGER/Line extract exported to CSV) into the browsing service
+//! and persist generated datasets for cross-tool comparisons.
+//!
+//! Format: one `xlo,ylo,xhi,yhi` record per line, `#`-prefixed comment
+//! lines ignored; the first comment line written by [`save_csv`] records
+//! the dataset name and space for humans. Coordinates round-trip exactly
+//! (Rust's float formatting is shortest-round-trip).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use euler_geom::Rect;
+use euler_grid::DataSpace;
+
+use crate::Dataset;
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A data line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a dataset as CSV.
+pub fn save_csv(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    let b = dataset.space().bounds();
+    writeln!(
+        out,
+        "# spatial-histograms dataset \"{}\" in [{}, {}]x[{}, {}]; xlo,ylo,xhi,yhi",
+        dataset.name(),
+        b.xlo(),
+        b.xhi(),
+        b.ylo(),
+        b.yhi()
+    )?;
+    for r in dataset.rects() {
+        writeln!(out, "{},{},{},{}", r.xlo(), r.ylo(), r.xhi(), r.yhi())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset from CSV into the given space (records are clamped to
+/// the space during snapping, not here).
+pub fn load_csv(path: &Path, name: &str, space: DataSpace) -> Result<Dataset, IoError> {
+    let file = BufReader::new(std::fs::File::open(path)?);
+    let mut rects = Vec::new();
+    for (i, line) in file.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split(',').collect();
+        if parts.len() != 4 {
+            return Err(IoError::Parse {
+                line: i + 1,
+                reason: format!("expected 4 fields, got {}", parts.len()),
+            });
+        }
+        let mut vals = [0f64; 4];
+        for (v, p) in vals.iter_mut().zip(&parts) {
+            *v = p.trim().parse().map_err(|e| IoError::Parse {
+                line: i + 1,
+                reason: format!("bad number {p:?}: {e}"),
+            })?;
+        }
+        let rect = Rect::new(vals[0], vals[1], vals[2], vals[3]).map_err(|e| IoError::Parse {
+            line: i + 1,
+            reason: e.to_string(),
+        })?;
+        rects.push(rect);
+    }
+    Ok(Dataset::new(name, space, rects))
+}
+
+impl Dataset {
+    /// Writes the dataset as CSV (see [`save_csv`]).
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> Result<(), IoError> {
+        save_csv(self, path.as_ref())
+    }
+
+    /// Reads a dataset from CSV (see [`load_csv`]).
+    pub fn load_csv(
+        path: impl AsRef<Path>,
+        name: &str,
+        space: DataSpace,
+    ) -> Result<Dataset, IoError> {
+        load_csv(path.as_ref(), name, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sp_skew, SpSkewConfig};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "euler-datagen-test-{tag}-{}.csv",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let d = sp_skew(&SpSkewConfig {
+            count: 500,
+            ..SpSkewConfig::default()
+        });
+        let path = temp_path("roundtrip");
+        d.save_csv(&path).unwrap();
+        let back = Dataset::load_csv(&path, d.name(), *d.space()).unwrap();
+        assert_eq!(d.rects(), back.rects());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let path = temp_path("comments");
+        std::fs::write(&path, "# header\n\n1,2,3,4\n # another\n5.5,6.5,7.5,8.5\n").unwrap();
+        let d = Dataset::load_csv(&path, "t", crate::paper_space()).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.rects()[1], Rect::new(5.5, 6.5, 7.5, 8.5).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "1,2,3,4\n1,2,3\n").unwrap();
+        match Dataset::load_csv(&path, "t", crate::paper_space()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        std::fs::write(&path, "9,2,3,4\n").unwrap();
+        assert!(matches!(
+            Dataset::load_csv(&path, "t", crate::paper_space()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,105 @@
+//! Seeded synthetic dataset generators and exact ground truth for the
+//! paper's evaluation (§6.1).
+//!
+//! Four datasets, all in the normalized `360 × 180` space:
+//!
+//! * [`sp_skew`] — 1,000,000 fixed-size `3.6 × 1.8` rectangles with
+//!   spatially skewed (clustered) centers;
+//! * [`sz_skew`] — 1,000,000 squares, uniform centers, Zipf side lengths
+//!   in `[1, 180]` ("a significant number of large objects");
+//! * [`adl_like`] — 2,335,840 objects imitating the Alexandria Digital
+//!   Library's mixture "from point data to … world maps" (the real
+//!   archive is proprietary; see DESIGN.md's substitution table);
+//! * [`road_like`] — 2,665,088 tiny thin segments arranged as a synthetic
+//!   hierarchical road network, standing in for the TIGER `ca_road`
+//!   extract.
+//!
+//! [`exact`] computes *exact* per-tile Level 2 relation counts for whole
+//! query sets with O(1) difference-array updates per object per tiling —
+//! the evaluation's ground truth at dataset scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adl_like;
+pub mod custom;
+mod dataset;
+mod dist;
+pub mod exact;
+pub mod io;
+mod road_like;
+mod sp_skew;
+mod sz_skew;
+
+pub use adl_like::{adl_like, AdlConfig};
+pub use dataset::{Dataset, DatasetStats};
+pub use dist::{BoxMuller, PowerLaw, Zipf};
+pub use road_like::{road_like, RoadConfig};
+pub use sp_skew::{centers, sp_skew, SpSkewConfig};
+pub use sz_skew::{sz_skew, SzSkewConfig};
+
+use euler_grid::DataSpace;
+
+/// The four paper datasets by name, at full or scaled-down size.
+///
+/// `scale` divides every object count (1 = the paper's sizes); use small
+/// scales in tests and examples.
+pub fn paper_dataset(name: &str, scale: u32) -> Option<Dataset> {
+    assert!(scale >= 1, "scale must be at least 1");
+    let s = scale as usize;
+    match name {
+        "sp_skew" => Some(sp_skew(&SpSkewConfig {
+            count: SpSkewConfig::default().count / s,
+            ..SpSkewConfig::default()
+        })),
+        "sz_skew" => Some(sz_skew(&SzSkewConfig {
+            count: SzSkewConfig::default().count / s,
+            ..SzSkewConfig::default()
+        })),
+        "adl" => Some(adl_like(&AdlConfig {
+            count: AdlConfig::default().count / s,
+            ..AdlConfig::default()
+        })),
+        "ca_road" => Some(road_like(&RoadConfig {
+            target_count: RoadConfig::default().target_count / s,
+            ..RoadConfig::default()
+        })),
+        _ => None,
+    }
+}
+
+/// Names of the four paper datasets, in the order of §6.1.1.
+pub const PAPER_DATASETS: [&str; 4] = ["sp_skew", "sz_skew", "adl", "ca_road"];
+
+/// The normalized space shared by all datasets.
+pub fn paper_space() -> DataSpace {
+    DataSpace::paper_world()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_datasets_generate_at_small_scale() {
+        for name in PAPER_DATASETS {
+            let d = paper_dataset(name, 1000).expect(name);
+            assert!(!d.rects().is_empty(), "{name} empty");
+            let b = paper_space();
+            for r in d.rects() {
+                assert!(r.xlo() >= b.bounds().xlo() && r.xhi() <= b.bounds().xhi());
+                assert!(r.ylo() >= b.bounds().ylo() && r.yhi() <= b.bounds().yhi());
+            }
+        }
+        assert!(paper_dataset("nope", 1).is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = paper_dataset("sz_skew", 2000).unwrap();
+        let b = paper_dataset("sz_skew", 2000).unwrap();
+        assert_eq!(a.rects().len(), b.rects().len());
+        assert_eq!(a.rects()[0], b.rects()[0]);
+        assert_eq!(a.rects().last(), b.rects().last());
+    }
+}

@@ -1,0 +1,182 @@
+//! The `ca_road`-like dataset: a seeded stand-in for the 2,665,088
+//! California road segments of the 1997 TIGER/Line files (§6.1.1), which
+//! cannot be fetched offline.
+//!
+//! What matters to the estimators is that the dataset consists of a huge
+//! number of very small, thin, spatially clustered MBRs — "its large
+//! number of small objects" makes even crossover effects "barely
+//! noticeable" (§6.2). We synthesize a hierarchical road network in a
+//! source space shaped like California's bounding box and normalize it to
+//! the common 360×180 space, as the paper does:
+//!
+//! * a sparse arterial grid (highways) subdivided into many short
+//!   segments, with mild jitter so segments are thin but not exactly
+//!   degenerate after normalization;
+//! * dense local streets around Zipf-weighted population centers,
+//!   generated as random-walk polylines whose step MBRs become segments.
+
+use euler_geom::Rect;
+use euler_grid::DataSpace;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::dist::{BoxMuller, Zipf};
+use crate::{paper_space, Dataset};
+
+/// Configuration of the road-network generator.
+#[derive(Debug, Clone)]
+pub struct RoadConfig {
+    /// Target number of segments (paper: 2,665,088). The generator stops
+    /// at exactly this count.
+    pub target_count: usize,
+    /// Number of population centers for local streets.
+    pub towns: usize,
+    /// Arterial grid spacing in source units.
+    pub arterial_spacing: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadConfig {
+    fn default() -> Self {
+        RoadConfig {
+            target_count: 2_665_088,
+            towns: 60,
+            arterial_spacing: 0.5,
+            seed: 0x524f_4144, // "ROAD"
+        }
+    }
+}
+
+/// Generates the road-like dataset, normalized into the 360×180 space.
+pub fn road_like(cfg: &RoadConfig) -> Dataset {
+    let space = paper_space();
+    // Source space: California-like bounding box (degrees).
+    let src = DataSpace::new(Rect::new(-124.4, 32.5, -114.1, 42.0).expect("CA bounds"));
+    let sb = *src.bounds();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = BoxMuller::new();
+    let mut segments: Vec<Rect> = Vec::with_capacity(cfg.target_count);
+
+    // 1. Arterial grid: horizontal and vertical highways chopped into
+    //    short segments (~0.01 source degrees, TIGER-like).
+    let seg_len = 0.01;
+    let mut y = sb.ylo() + cfg.arterial_spacing / 2.0;
+    'arterials: while y < sb.yhi() {
+        let mut x = sb.xlo();
+        while x < sb.xhi() - seg_len {
+            let jitter = gauss.sample(&mut rng) * 0.0005;
+            let r = Rect::new(
+                x,
+                (y + jitter).clamp(sb.ylo(), sb.yhi() - 0.001),
+                (x + seg_len).min(sb.xhi()),
+                (y + jitter + 0.0008).clamp(sb.ylo(), sb.yhi()),
+            );
+            if let Ok(r) = r {
+                segments.push(r);
+                if segments.len() >= cfg.target_count {
+                    break 'arterials;
+                }
+            }
+            x += seg_len;
+        }
+        let mut xv = sb.xlo() + cfg.arterial_spacing / 2.0;
+        while xv < sb.xhi() {
+            let mut yy = sb.ylo();
+            while yy < sb.yhi() - seg_len {
+                let r = Rect::new(xv, yy, (xv + 0.0008).min(sb.xhi()), yy + seg_len);
+                if let Ok(r) = r {
+                    segments.push(r);
+                    if segments.len() >= cfg.target_count {
+                        break 'arterials;
+                    }
+                }
+                yy += seg_len * 4.0; // sparser vertical arterials
+            }
+            xv += cfg.arterial_spacing * 2.0;
+        }
+        y += cfg.arterial_spacing;
+    }
+
+    // 2. Local streets: random walks around Zipf-weighted towns.
+    let towns: Vec<(f64, f64, f64)> = (0..cfg.towns)
+        .map(|_| {
+            (
+                rng.gen_range(sb.xlo()..sb.xhi()),
+                rng.gen_range(sb.ylo()..sb.yhi()),
+                rng.gen_range(0.02..0.3),
+            )
+        })
+        .collect();
+    let weights = Zipf::new(cfg.towns, 1.0);
+    while segments.len() < cfg.target_count {
+        let (tx, ty, spread) = towns[weights.sample(&mut rng) - 1];
+        let mut x = gauss.sample_with(&mut rng, tx, spread);
+        let mut y = gauss.sample_with(&mut rng, ty, spread);
+        let walk_len = rng.gen_range(4..40);
+        for _ in 0..walk_len {
+            let horizontal = rng.gen_bool(0.5);
+            let step = rng.gen_range(0.002..0.012);
+            let (nx, ny) = if horizontal {
+                (x + step * if rng.gen_bool(0.5) { 1.0 } else { -1.0 }, y)
+            } else {
+                (x, y + step * if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+            };
+            let (x0, x1) = (x.min(nx), x.max(nx));
+            let (y0, y1) = (y.min(ny), y.max(ny));
+            if x0 >= sb.xlo() && x1 <= sb.xhi() && y0 >= sb.ylo() && y1 <= sb.yhi() {
+                segments.push(Rect::new(x0, y0, x1, y1).expect("ordered"));
+                if segments.len() >= cfg.target_count {
+                    break;
+                }
+            }
+            x = nx.clamp(sb.xlo(), sb.xhi());
+            y = ny.clamp(sb.ylo(), sb.yhi());
+        }
+    }
+
+    // 3. Normalize into the common 360×180 space (§6.1.1).
+    let rects: Vec<Rect> = segments
+        .iter()
+        .map(|r| space.normalize_from(&src, r))
+        .collect();
+    Dataset::new("ca_road", space, rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        road_like(&RoadConfig {
+            target_count: 40_000,
+            ..RoadConfig::default()
+        })
+    }
+
+    #[test]
+    fn exact_target_count() {
+        let d = small();
+        assert_eq!(d.len(), 40_000);
+    }
+
+    #[test]
+    fn segments_are_tiny_and_thin() {
+        let d = small();
+        let s = d.stats();
+        // After normalization: 0.01 source degrees ≈ 0.35 x-units.
+        assert!(s.mean_width < 1.0, "mean width {}", s.mean_width);
+        assert!(s.mean_height < 1.0, "mean height {}", s.mean_height);
+        assert!(s.max_area < 1.0, "max area {}", s.max_area);
+    }
+
+    #[test]
+    fn covers_the_normalized_space() {
+        let d = small();
+        let density = d.center_density(12, 12);
+        let nonempty = density.iter().filter(|&&c| c > 0).count();
+        assert!(
+            nonempty > 60,
+            "road network should span most of the space ({nonempty}/144 cells)"
+        );
+    }
+}

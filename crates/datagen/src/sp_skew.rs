@@ -1,0 +1,145 @@
+//! The `sp_skew` dataset (§6.1.1): one million fixed-size rectangles
+//! whose centers follow a strongly skewed, clustered spatial distribution
+//! "designed to simulate many real world datasets which mainly consist of
+//! small objects while demonstrating significant spatial skewness".
+//!
+//! We model the skew as a weighted mixture of Gaussian clusters (seeded,
+//! so the dataset is reproducible). Cluster weights follow a Zipf law and
+//! cluster spreads vary, producing the dense-blob-plus-sparse-fringe look
+//! of Figure 12(a).
+
+use euler_geom::{Point, Rect};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::dist::{BoxMuller, Zipf};
+use crate::{paper_space, Dataset};
+
+/// Configuration of the `sp_skew` generator.
+#[derive(Debug, Clone)]
+pub struct SpSkewConfig {
+    /// Number of objects (paper: 1,000,000).
+    pub count: usize,
+    /// Object width in data units (paper: 3.6).
+    pub width: f64,
+    /// Object height in data units (paper: 1.8).
+    pub height: f64,
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpSkewConfig {
+    fn default() -> Self {
+        SpSkewConfig {
+            count: 1_000_000,
+            width: 3.6,
+            height: 1.8,
+            clusters: 24,
+            seed: 0x5053_4b45, // "SPKE"
+        }
+    }
+}
+
+/// Generates the `sp_skew` dataset.
+pub fn sp_skew(cfg: &SpSkewConfig) -> Dataset {
+    assert!(cfg.clusters >= 1, "need at least one cluster");
+    let space = paper_space();
+    let b = *space.bounds();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut gauss = BoxMuller::new();
+
+    // Cluster centers, spreads and Zipf weights.
+    let mut centers = Vec::with_capacity(cfg.clusters);
+    for _ in 0..cfg.clusters {
+        let cx = rng.gen_range(b.xlo()..b.xhi());
+        let cy = rng.gen_range(b.ylo()..b.yhi());
+        let spread = rng.gen_range(3.0..25.0);
+        centers.push((cx, cy, spread));
+    }
+    let weights = Zipf::new(cfg.clusters, 1.0);
+
+    let mut rects = Vec::with_capacity(cfg.count);
+    while rects.len() < cfg.count {
+        let (cx, cy, spread) = centers[weights.sample(&mut rng) - 1];
+        let x = gauss.sample_with(&mut rng, cx, spread);
+        let y = gauss.sample_with(&mut rng, cy, spread / 2.0);
+        // Reject samples whose object would not fit inside the space
+        // (keeps the fixed size exact, as in the paper).
+        let xlo = x - cfg.width / 2.0;
+        let ylo = y - cfg.height / 2.0;
+        let xhi = x + cfg.width / 2.0;
+        let yhi = y + cfg.height / 2.0;
+        if xlo < b.xlo() || ylo < b.ylo() || xhi > b.xhi() || yhi > b.yhi() {
+            continue;
+        }
+        rects.push(Rect::new(xlo, ylo, xhi, yhi).expect("ordered bounds"));
+    }
+    Dataset::new("sp_skew", space, rects)
+}
+
+/// Convenience: the centers of a generated `sp_skew` dataset (used by the
+/// Figure 12(a) experiment to characterize the distribution).
+pub fn centers(d: &Dataset) -> Vec<Point> {
+    d.rects().iter().map(|r| r.center()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        sp_skew(&SpSkewConfig {
+            count: 20_000,
+            ..SpSkewConfig::default()
+        })
+    }
+
+    #[test]
+    fn objects_have_fixed_size() {
+        let d = small();
+        assert_eq!(d.len(), 20_000);
+        for r in d.rects() {
+            assert!((r.width() - 3.6).abs() < 1e-9);
+            assert!((r.height() - 1.8).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distribution_is_spatially_skewed() {
+        // Compare cell occupancy to a uniform distribution: the top 10%
+        // of cells should hold far more than 10% of the centers.
+        let d = small();
+        let mut density = d.center_density(36, 18);
+        density.sort_unstable_by(|a, b| b.cmp(a));
+        let top = density.len() / 10;
+        let top_mass: usize = density[..top].iter().sum();
+        let total: usize = density.iter().sum();
+        assert!(
+            top_mass as f64 > 0.5 * total as f64,
+            "top 10% of cells hold {top_mass}/{total} centers — not skewed enough"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.rects()[100], b.rects()[100]);
+        let c = sp_skew(&SpSkewConfig {
+            count: 20_000,
+            seed: 1,
+            ..SpSkewConfig::default()
+        });
+        assert_ne!(a.rects()[100], c.rects()[100]);
+    }
+
+    #[test]
+    fn stats_report_small_objects() {
+        let d = small();
+        let s = d.stats();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.degenerate, 0);
+        assert!((s.max_area - 3.6 * 1.8).abs() < 1e-9);
+    }
+}

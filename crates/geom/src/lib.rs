@@ -1,0 +1,64 @@
+//! Geometry substrate for the spatial-histograms workspace.
+//!
+//! This crate provides the geometric vocabulary used throughout the
+//! reproduction of *Exploring Spatial Datasets with Histograms* (Sun,
+//! Agrawal, El Abbadi — ICDE 2002):
+//!
+//! * [`Point`] and [`Rect`] — plain 2-D points and axis-aligned rectangles
+//!   (MBRs) over `f64` coordinates;
+//! * [`Interval`] — 1-D intervals with explicit open/closed endpoint
+//!   topology, the building block of the paper's "`[i,j)` vs `(i,j)`"
+//!   discussion (§3);
+//! * [`Polygon`] — simple polygons with shoelace area, even-odd
+//!   containment and MBR extraction (the ingest path for non-rectangular
+//!   objects);
+//! * the spatial-relation models of §2: the full 9-intersection model
+//!   ([`NineIntersection`], Level 3 relations), the interior–exterior
+//!   intersection model ([`InteriorExterior`], Level 2 relations) that the
+//!   paper introduces, and the Level 1 `disjoint`/`intersect` dichotomy.
+//!
+//! All relation classification here is *exact* computational geometry on
+//! explicit topologies; the histogram crates approximate these counts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod interval;
+mod point;
+mod polygon;
+mod rect;
+mod relation;
+
+pub use interval::{Endpoint, Interval};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use relation::{
+    classify_level1, classify_level2, classify_level3, level2_of_level3, InteriorExterior,
+    Level1Relation, Level2Relation, Level3Relation, NineIntersection,
+};
+
+/// Crate-wide error type for invalid geometric constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// An interval or rectangle was constructed with `lo > hi`.
+    InvertedBounds {
+        /// Human-readable description of the offending bounds.
+        detail: String,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::InvertedBounds { detail } => {
+                write!(f, "inverted bounds: {detail}")
+            }
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

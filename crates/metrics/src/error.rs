@@ -1,0 +1,120 @@
+//! The accuracy metric of §6.1.3: **Average Relative Error**,
+//! `(Σᵢ |rᵢ − eᵢ|) / (Σᵢ rᵢ)` over a query set — absolute deviations
+//! normalized by the total exact mass, so queries with large answers
+//! dominate (as in \[APR99\]).
+
+/// Average relative error over `(exact, estimate)` pairs.
+///
+/// Returns 0 for an empty input; when the exact mass is zero the error is
+/// 0 if every estimate is also 0 and `f64::INFINITY` otherwise.
+pub fn average_relative_error(pairs: &[(i64, i64)]) -> f64 {
+    let mut acc = ErrorAccumulator::default();
+    for &(exact, est) in pairs {
+        acc.push(exact as f64, est as f64);
+    }
+    acc.are()
+}
+
+/// `average_relative_error` over float pairs (for estimators that return
+/// fractional counts, e.g. Min-skew).
+pub fn are_f64(pairs: &[(f64, f64)]) -> f64 {
+    let mut acc = ErrorAccumulator::default();
+    for &(exact, est) in pairs {
+        acc.push(exact, est);
+    }
+    acc.are()
+}
+
+/// Streaming accumulator for the average relative error plus a few
+/// auxiliary statistics used in the experiment write-ups.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorAccumulator {
+    abs_err_sum: f64,
+    exact_sum: f64,
+    count: usize,
+    worst_abs: f64,
+}
+
+impl ErrorAccumulator {
+    /// Adds one `(exact, estimate)` observation.
+    pub fn push(&mut self, exact: f64, estimate: f64) {
+        let abs = (exact - estimate).abs();
+        self.abs_err_sum += abs;
+        self.exact_sum += exact;
+        self.count += 1;
+        if abs > self.worst_abs {
+            self.worst_abs = abs;
+        }
+    }
+
+    /// The average relative error accumulated so far.
+    pub fn are(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else if self.exact_sum == 0.0 {
+            if self.abs_err_sum == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.abs_err_sum / self.exact_sum
+        }
+    }
+
+    /// Largest absolute deviation seen.
+    pub fn worst_abs(&self) -> f64 {
+        self.worst_abs
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        assert_eq!(average_relative_error(&[(10, 10), (0, 0), (5, 5)]), 0.0);
+    }
+
+    #[test]
+    fn paper_formula() {
+        // Σ|r−e| = 2 + 3 = 5; Σr = 10 + 40 = 50 → 0.1.
+        assert_eq!(average_relative_error(&[(10, 12), (40, 37)]), 0.1);
+    }
+
+    #[test]
+    fn large_queries_dominate() {
+        // One tiny query off by 100% barely moves the metric when a large
+        // query is exact.
+        let are = average_relative_error(&[(1, 2), (1000, 1000)]);
+        assert!(are < 0.002);
+    }
+
+    #[test]
+    fn zero_mass_edge_cases() {
+        assert_eq!(average_relative_error(&[]), 0.0);
+        assert_eq!(average_relative_error(&[(0, 0)]), 0.0);
+        assert_eq!(average_relative_error(&[(0, 3)]), f64::INFINITY);
+    }
+
+    #[test]
+    fn accumulator_tracks_worst_case() {
+        let mut acc = ErrorAccumulator::default();
+        acc.push(10.0, 12.0);
+        acc.push(100.0, 90.0);
+        assert_eq!(acc.worst_abs(), 10.0);
+        assert_eq!(acc.count(), 2);
+        assert!((acc.are() - 12.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_pairs() {
+        assert!((are_f64(&[(10.0, 11.0), (10.0, 9.0)]) - 0.1).abs() < 1e-12);
+    }
+}

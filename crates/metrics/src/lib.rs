@@ -1,0 +1,19 @@
+//! Evaluation metrics and reporting utilities for the experiments (§6.1.3):
+//! the Average Relative Error of \[APR99\], scatter-series statistics for
+//! the estimated-vs-exact plots, wall-clock timing, and plain-text tables
+//! and charts for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod plot;
+mod scatter;
+mod table;
+mod timing;
+
+pub use error::{are_f64, average_relative_error, ErrorAccumulator};
+pub use plot::{ascii_chart, ChartSeries};
+pub use scatter::ScatterSeries;
+pub use table::TextTable;
+pub use timing::{time_it, Stopwatch};

@@ -1,0 +1,139 @@
+/// One line of an ASCII chart: a label and its y values over the shared x
+/// axis.
+#[derive(Debug, Clone)]
+pub struct ChartSeries {
+    /// Legend label (also the per-row glyph source: first character).
+    pub label: String,
+    /// Y values, one per x tick.
+    pub values: Vec<f64>,
+}
+
+impl ChartSeries {
+    /// A new series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> ChartSeries {
+        ChartSeries {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Renders a fixed-height ASCII line chart of several series over shared
+/// x tick labels — a terminal stand-in for the paper's figures, embedded
+/// in EXPERIMENTS.md.
+///
+/// Each series is drawn with the first character of its label; collisions
+/// show `*`.
+pub fn ascii_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[ChartSeries],
+    height: usize,
+) -> String {
+    assert!(height >= 2, "chart needs at least two rows");
+    let width = x_labels.len();
+    assert!(width >= 1, "chart needs at least one x tick");
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            width,
+            "series '{}' length mismatch",
+            s.label
+        );
+    }
+    let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied().map(finite))
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    let min = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied().map(finite))
+        .fold(f64::MAX, f64::min)
+        .min(0.0);
+    let span = (max - min).max(1e-12);
+
+    // Cell matrix: rows × columns (3 chars per column for readability).
+    let col_w = 3usize;
+    let mut cells = vec![vec![' '; width * col_w]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for (x, &v) in s.values.iter().enumerate() {
+            let v = finite(v);
+            let level = ((v - min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - level.min(height - 1);
+            let cx = x * col_w + 1;
+            cells[row][cx] = if cells[row][cx] == ' ' { glyph } else { '*' };
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in cells.iter().enumerate() {
+        let y = max - span * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:>9.3} |"));
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +", ""));
+    out.push_str(&"-".repeat(width * col_w));
+    out.push('\n');
+    out.push_str(&format!("{:>10} ", ""));
+    for l in x_labels {
+        let mut t = l.clone();
+        t.truncate(col_w);
+        out.push_str(&format!("{t:<3}"));
+    }
+    out.push('\n');
+    out.push_str("legend: ");
+    for (i, s) in series.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{} = {}",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let x: Vec<String> = (1..=5).map(|i| i.to_string()).collect();
+        let s = vec![
+            ChartSeries::new("adl", vec![0.1, 0.2, 0.4, 0.8, 1.6]),
+            ChartSeries::new("sz", vec![1.6, 0.8, 0.4, 0.2, 0.1]),
+        ];
+        let chart = ascii_chart("ARE vs query size", &x, &s, 8);
+        assert!(chart.contains("ARE vs query size"));
+        assert!(chart.contains("legend: a = adl, s = sz"));
+        assert!(chart.contains('a'));
+        assert!(chart.contains('s'));
+        // Crossing point may render as '*'; just ensure a full frame.
+        assert_eq!(chart.lines().count(), 8 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_series() {
+        let x = vec!["1".to_string()];
+        ascii_chart("t", &x, &[ChartSeries::new("a", vec![1.0, 2.0])], 4);
+    }
+
+    #[test]
+    fn handles_nonfinite_values() {
+        let x: Vec<String> = (0..3).map(|i| i.to_string()).collect();
+        let s = vec![ChartSeries::new("e", vec![f64::INFINITY, 1.0, 0.5])];
+        let chart = ascii_chart("inf", &x, &s, 4);
+        assert!(chart.contains('e'));
+    }
+}

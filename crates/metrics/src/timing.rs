@@ -1,0 +1,84 @@
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result with the elapsed wall-clock time —
+/// the §6.5 measurement ("we record the time to process each query set in
+/// wall-clock time").
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// An accumulating stopwatch for repeated measured sections.
+#[derive(Debug, Clone, Default)]
+pub struct Stopwatch {
+    total: Duration,
+    laps: usize,
+}
+
+impl Stopwatch {
+    /// A fresh stopwatch.
+    pub fn new() -> Stopwatch {
+        Stopwatch::default()
+    }
+
+    /// Measures one closure invocation, accumulating its duration.
+    pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.laps += 1;
+        out
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Number of measured laps.
+    pub fn laps(&self) -> usize {
+        self.laps
+    }
+
+    /// Mean time per lap (zero when nothing was measured).
+    pub fn mean(&self) -> Duration {
+        if self.laps == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.laps as u32
+        }
+    }
+
+    /// Total in fractional milliseconds (the unit of Figure 19).
+    pub fn total_ms(&self) -> f64 {
+        self.total.as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::new();
+        for i in 0..3 {
+            let v = sw.measure(|| i * 2);
+            assert_eq!(v, i * 2);
+        }
+        assert_eq!(sw.laps(), 3);
+        assert!(sw.total() >= sw.mean());
+        assert!(sw.total_ms() >= 0.0);
+    }
+}

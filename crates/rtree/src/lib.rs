@@ -1,0 +1,29 @@
+//! An R-tree substrate for exact spatial aggregation.
+//!
+//! The paper's §1/§2 baseline — "the current implementation of the
+//! GeoBrowsing service prototype builds an index structure on top of the
+//! actual data … always returns accurate results \[but\] the performance …
+//! is not satisfactory when the number of results or the number of tiles
+//! is very high" — needs an actual index to be comparable against. This
+//! crate provides a classic R-tree (Guttman's quadratic split for
+//! inserts and deletes with tree condensation; Sort-Tile-Recursive and
+//! Hilbert-curve bulk loading) with:
+//!
+//! * id-returning window queries ([`RTree::search_intersecting`]);
+//! * subtree-count–pruned aggregate counting per Level 2 relation
+//!   ([`RTree::level2_counts`]), the exact-but-slow browsing backend.
+//!
+//! The tree stores plain [`euler_geom::Rect`]s; for snapped semantics, index the
+//! snapped grid-unit rectangles (non-integer bounds make the strict
+//! comparisons of Level 2 classification unambiguous).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod hilbert;
+mod node;
+mod tree;
+
+pub use hilbert::hilbert_index;
+pub use node::{Entry, Node, MAX_ENTRIES, MIN_ENTRIES};
+pub use tree::{Level2Tally, RTree, TreeStats};

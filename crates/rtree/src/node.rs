@@ -1,0 +1,226 @@
+use euler_geom::Rect;
+
+/// Maximum entries per node (fanout `M`).
+pub const MAX_ENTRIES: usize = 16;
+/// Minimum entries per node after a split (`m = M / 2 - ...`, Guttman
+/// recommends 30–50% of `M`).
+pub const MIN_ENTRIES: usize = 6;
+
+/// A data entry: an MBR plus the caller's object id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Object MBR.
+    pub rect: Rect,
+    /// Caller-assigned identifier.
+    pub id: u64,
+}
+
+/// An R-tree node.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Leaf node holding data entries.
+    Leaf {
+        /// Data entries.
+        entries: Vec<Entry>,
+    },
+    /// Internal node holding child subtrees.
+    Internal {
+        /// Child nodes with cached MBR and subtree count.
+        children: Vec<ChildRef>,
+    },
+}
+
+/// A reference to a child subtree with its cached bounding box and size.
+#[derive(Debug, Clone)]
+pub struct ChildRef {
+    /// MBR of everything beneath this child.
+    pub mbr: Rect,
+    /// Number of data entries beneath this child.
+    pub count: usize,
+    /// The child node.
+    pub node: Box<Node>,
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty() -> Node {
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of data entries beneath this node.
+    pub fn count(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => entries.len(),
+            Node::Internal { children } => children.iter().map(|c| c.count).sum(),
+        }
+    }
+
+    /// MBR of this node's contents, or `None` when empty.
+    pub fn mbr(&self) -> Option<Rect> {
+        match self {
+            Node::Leaf { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            Node::Internal { children } => {
+                children.iter().map(|c| c.mbr).reduce(|a, b| a.union(&b))
+            }
+        }
+    }
+
+    /// Height of the subtree (leaf = 1).
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children } => {
+                1 + children.first().map(|c| c.node.height()).unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split: picks the pair of seeds wasting the most
+/// area, then assigns the rest by maximal preference difference.
+/// Generic over the splittable item so leaves and internal nodes share it.
+pub fn quadratic_split<T, F: Fn(&T) -> Rect>(items: Vec<T>, rect_of: F) -> (Vec<T>, Vec<T>) {
+    debug_assert!(items.len() > MAX_ENTRIES);
+    // Seed selection: the pair with the largest dead space.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let ri = rect_of(&items[i]);
+            let rj = rect_of(&items[j]);
+            let dead = ri.union(&rj).area() - ri.area() - rj.area();
+            if dead > worst {
+                worst = dead;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a: Vec<T> = Vec::with_capacity(items.len());
+    let mut group_b: Vec<T> = Vec::with_capacity(items.len());
+    let mut rest: Vec<Option<T>> = items.into_iter().map(Some).collect();
+
+    let a0 = rest[seed_a].take().expect("seed a");
+    let mut mbr_a = Some(rect_of(&a0));
+    group_a.push(a0);
+    let b0 = rest[seed_b].take().expect("seed b");
+    let mut mbr_b = Some(rect_of(&b0));
+    group_b.push(b0);
+
+    let mut remaining: Vec<T> = rest.into_iter().flatten().collect();
+    while !remaining.is_empty() {
+        let total_left = remaining.len();
+        // Force-assign when a group must take everything to reach MIN.
+        if group_a.len() + total_left == MIN_ENTRIES {
+            for item in remaining.drain(..) {
+                mbr_a = Some(mbr_a.map_or(rect_of(&item), |m| m.union(&rect_of(&item))));
+                group_a.push(item);
+            }
+            break;
+        }
+        if group_b.len() + total_left == MIN_ENTRIES {
+            for item in remaining.drain(..) {
+                mbr_b = Some(mbr_b.map_or(rect_of(&item), |m| m.union(&rect_of(&item))));
+                group_b.push(item);
+            }
+            break;
+        }
+        // Pick the item with the largest |d_a − d_b| preference.
+        let ma = mbr_a.expect("group a seeded");
+        let mb = mbr_b.expect("group b seeded");
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = rect_of(item);
+                let da = ma.enlargement(&r);
+                let db = mb.enlargement(&r);
+                (i, (da - db).abs())
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite enlargements"))
+            .expect("nonempty remaining");
+        let item = remaining.swap_remove(idx);
+        let r = rect_of(&item);
+        let da = ma.enlargement(&r);
+        let db = mb.enlargement(&r);
+        let to_a = match da.partial_cmp(&db).expect("finite") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Ties: smaller area, then fewer entries.
+                if ma.area() != mb.area() {
+                    ma.area() < mb.area()
+                } else {
+                    group_a.len() <= group_b.len()
+                }
+            }
+        };
+        if to_a {
+            mbr_a = Some(ma.union(&r));
+            group_a.push(item);
+        } else {
+            mbr_b = Some(mb.union(&r));
+            group_b.push(item);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x: f64, y: f64) -> Rect {
+        Rect::new(x, y, x + 1.0, y + 1.0).unwrap()
+    }
+
+    #[test]
+    fn empty_node_properties() {
+        let n = Node::empty();
+        assert_eq!(n.count(), 0);
+        assert!(n.mbr().is_none());
+        assert_eq!(n.height(), 1);
+    }
+
+    #[test]
+    fn split_separates_two_clusters() {
+        // Two clear clusters far apart must end up in different groups.
+        let mut items: Vec<Entry> = Vec::new();
+        for i in 0..9 {
+            items.push(Entry {
+                rect: r(i as f64 * 0.3, 0.0),
+                id: i,
+            });
+        }
+        for i in 0..8 {
+            items.push(Entry {
+                rect: r(100.0 + i as f64 * 0.3, 100.0),
+                id: 100 + i,
+            });
+        }
+        let (a, b) = quadratic_split(items, |e| e.rect);
+        assert!(a.len() >= MIN_ENTRIES && b.len() >= MIN_ENTRIES);
+        let near_a = a.iter().filter(|e| e.id < 100).count();
+        let near_b = b.iter().filter(|e| e.id < 100).count();
+        // One group all-near, the other all-far.
+        assert!(near_a == a.len() && near_b == 0 || near_a == 0 && near_b == b.len());
+    }
+
+    #[test]
+    fn split_respects_min_entries() {
+        let items: Vec<Entry> = (0..MAX_ENTRIES as u64 + 1)
+            .map(|i| Entry {
+                rect: r(i as f64, i as f64),
+                id: i,
+            })
+            .collect();
+        let (a, b) = quadratic_split(items, |e| e.rect);
+        assert_eq!(a.len() + b.len(), MAX_ENTRIES + 1);
+        assert!(a.len() >= MIN_ENTRIES, "group a has {}", a.len());
+        assert!(b.len() >= MIN_ENTRIES, "group b has {}", b.len());
+    }
+}

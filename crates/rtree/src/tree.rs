@@ -1,0 +1,575 @@
+use euler_geom::{Level2Relation, Rect};
+
+use crate::node::{quadratic_split, ChildRef, Entry, Node, MAX_ENTRIES, MIN_ENTRIES};
+
+/// Aggregate Level 2 tallies from an exact index traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Level2Tally {
+    /// Objects disjoint from the query (Level 2).
+    pub disjoint: u64,
+    /// Objects contained in the query.
+    pub contains: u64,
+    /// Objects containing the query.
+    pub contained: u64,
+    /// Objects overlapping the query.
+    pub overlaps: u64,
+}
+
+impl Level2Tally {
+    /// Total objects tallied.
+    pub fn total(&self) -> u64 {
+        self.disjoint + self.contains + self.contained + self.overlaps
+    }
+}
+
+/// Structural statistics of a tree (diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeStats {
+    /// Tree height (leaf-only tree = 1).
+    pub height: usize,
+    /// Total node count.
+    pub nodes: usize,
+    /// Data entries.
+    pub entries: usize,
+}
+
+/// A classic R-tree over `(Rect, u64)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RTree {
+    /// An empty tree.
+    pub fn new() -> RTree {
+        RTree {
+            root: Node::empty(),
+            len: 0,
+        }
+    }
+
+    /// Assembles a tree from a prebuilt root (bulk loaders).
+    pub(crate) fn from_root(root: Node, len: usize) -> RTree {
+        debug_assert_eq!(root.count(), len);
+        RTree { root, len }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk-loads with Sort-Tile-Recursive: sort by x-center into vertical
+    /// slices, sort each slice by y-center, pack runs of `MAX_ENTRIES`.
+    pub fn bulk_load(mut items: Vec<Entry>) -> RTree {
+        let len = items.len();
+        if len == 0 {
+            return RTree::new();
+        }
+        // Leaf level.
+        items.sort_by(|a, b| {
+            a.rect
+                .center()
+                .x
+                .partial_cmp(&b.rect.center().x)
+                .expect("finite centers")
+        });
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let slice_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_len = len.div_ceil(slice_count);
+        let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
+        for slice in items.chunks_mut(slice_len.max(1)) {
+            slice.sort_by(|a, b| {
+                a.rect
+                    .center()
+                    .y
+                    .partial_cmp(&b.rect.center().y)
+                    .expect("finite centers")
+            });
+            for run in slice.chunks(MAX_ENTRIES) {
+                leaves.push(Node::Leaf {
+                    entries: run.to_vec(),
+                });
+            }
+        }
+        // Build upper levels by packing children in order.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<Node> = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            for run in level.chunks(MAX_ENTRIES) {
+                let children: Vec<ChildRef> = run
+                    .iter()
+                    .map(|n| ChildRef {
+                        mbr: n.mbr().expect("packed nodes are nonempty"),
+                        count: n.count(),
+                        node: Box::new(n.clone()),
+                    })
+                    .collect();
+                next.push(Node::Internal { children });
+            }
+            level = next;
+        }
+        RTree {
+            root: level.pop().expect("at least one node"),
+            len,
+        }
+    }
+
+    /// Inserts one entry (Guttman: least-enlargement descent, quadratic
+    /// split on overflow, root split grows the tree).
+    pub fn insert(&mut self, rect: Rect, id: u64) {
+        let entry = Entry { rect, id };
+        if let Some((left, right)) = Self::insert_rec(&mut self.root, entry) {
+            // Root split.
+            let old = std::mem::replace(&mut self.root, Node::empty());
+            drop(old); // contents already moved into left/right
+            let children = vec![
+                ChildRef {
+                    mbr: left.mbr().expect("nonempty"),
+                    count: left.count(),
+                    node: Box::new(left),
+                },
+                ChildRef {
+                    mbr: right.mbr().expect("nonempty"),
+                    count: right.count(),
+                    node: Box::new(right),
+                },
+            ];
+            self.root = Node::Internal { children };
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `Some((left, right))` when the node split.
+    fn insert_rec(node: &mut Node, entry: Entry) -> Option<(Node, Node)> {
+        match node {
+            Node::Leaf { entries } => {
+                entries.push(entry);
+                if entries.len() <= MAX_ENTRIES {
+                    return None;
+                }
+                let items = std::mem::take(entries);
+                let (a, b) = quadratic_split(items, |e| e.rect);
+                Some((Node::Leaf { entries: a }, Node::Leaf { entries: b }))
+            }
+            Node::Internal { children } => {
+                if children.is_empty() {
+                    // Degenerate (only possible transiently); become a leaf.
+                    *node = Node::Leaf {
+                        entries: vec![entry],
+                    };
+                    return None;
+                }
+                // Least enlargement, ties by area.
+                let (idx, _) = children
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (i, (c.mbr.enlargement(&entry.rect), c.mbr.area())))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("nonempty children");
+                let child = &mut children[idx];
+                child.mbr = child.mbr.union(&entry.rect);
+                child.count += 1;
+                if let Some((a, b)) = Self::insert_rec(&mut child.node, entry) {
+                    children.swap_remove(idx);
+                    for n in [a, b] {
+                        children.push(ChildRef {
+                            mbr: n.mbr().expect("nonempty"),
+                            count: n.count(),
+                            node: Box::new(n),
+                        });
+                    }
+                    if children.len() > MAX_ENTRIES {
+                        let items = std::mem::take(children);
+                        let (ga, gb) = quadratic_split(items, |c| c.mbr);
+                        return Some((
+                            Node::Internal { children: ga },
+                            Node::Internal { children: gb },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Removes one entry matching `(rect, id)` (Guttman's delete with
+    /// tree condensation: underfull nodes are dissolved and their entries
+    /// reinserted). Returns false when no such entry exists.
+    pub fn remove(&mut self, rect: &Rect, id: u64) -> bool {
+        let mut orphans: Vec<Entry> = Vec::new();
+        if Self::remove_rec(&mut self.root, rect, id, &mut orphans).is_none() {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Collapse a root that lost all but one child.
+        loop {
+            let replacement = match &mut self.root {
+                Node::Internal { children } if children.len() == 1 => {
+                    *children.pop().expect("len checked").node
+                }
+                Node::Internal { children } if children.is_empty() => Node::empty(),
+                _ => break,
+            };
+            self.root = replacement;
+        }
+        for e in orphans {
+            // Reinsert without recounting: insert() bumps len, so balance.
+            self.insert(e.rect, e.id);
+            self.len -= 1;
+        }
+        // Orphans were already counted in len before removal; restore.
+        true
+    }
+
+    /// Removes the entry beneath `node`; underfull nodes dissolve into
+    /// `orphans`. Returns the number of entries physically removed from
+    /// this subtree (the deleted entry plus any orphaned ones), or `None`
+    /// when the entry was not found here.
+    fn remove_rec(
+        node: &mut Node,
+        rect: &Rect,
+        id: u64,
+        orphans: &mut Vec<Entry>,
+    ) -> Option<usize> {
+        match node {
+            Node::Leaf { entries } => {
+                let pos = entries.iter().position(|e| e.id == id && e.rect == *rect)?;
+                entries.swap_remove(pos);
+                Some(1)
+            }
+            Node::Internal { children } => {
+                let mut hit: Option<(usize, usize)> = None;
+                for (i, c) in children.iter_mut().enumerate() {
+                    if !c.mbr.intersects_closed(rect) {
+                        continue;
+                    }
+                    if let Some(gone) = Self::remove_rec(&mut c.node, rect, id, orphans) {
+                        hit = Some((i, gone));
+                        break;
+                    }
+                }
+                let (i, mut gone) = hit?;
+                let child = &mut children[i];
+                child.count -= gone;
+                if child.count < MIN_ENTRIES {
+                    // Dissolve the child; its remaining entries go to the
+                    // reinsert pool and count as removed at this level.
+                    gone += child.count;
+                    let child = children.swap_remove(i);
+                    Self::collect_entries(*child.node, orphans);
+                } else {
+                    child.mbr = child.node.mbr().expect("nonempty child");
+                }
+                Some(gone)
+            }
+        }
+    }
+
+    fn collect_entries(node: Node, out: &mut Vec<Entry>) {
+        match node {
+            Node::Leaf { entries } => out.extend(entries),
+            Node::Internal { children } => {
+                for c in children {
+                    Self::collect_entries(*c.node, out);
+                }
+            }
+        }
+    }
+
+    /// Visits every entry whose rect **closed-intersects** the window.
+    pub fn search_intersecting(&self, window: &Rect, mut visit: impl FnMut(&Entry)) {
+        Self::search_rec(&self.root, window, &mut visit);
+    }
+
+    fn search_rec(node: &Node, window: &Rect, visit: &mut impl FnMut(&Entry)) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    if e.rect.intersects_closed(window) {
+                        visit(e);
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for c in children {
+                    if c.mbr.intersects_closed(window) {
+                        Self::search_rec(&c.node, window, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact Level 2 relation tallies against `query`, with subtree
+    /// pruning: a subtree whose MBR is strictly inside the query is all
+    /// `contains`; one whose MBR misses the query's open interior is all
+    /// `disjoint`. This is the "index on top of the actual data" browsing
+    /// backend the paper's estimators replace.
+    pub fn level2_counts(&self, query: &Rect) -> Level2Tally {
+        let mut tally = Level2Tally::default();
+        Self::level2_rec(&self.root, query, &mut tally);
+        tally
+    }
+
+    fn level2_rec(node: &Node, query: &Rect, tally: &mut Level2Tally) {
+        match node {
+            Node::Leaf { entries } => {
+                for e in entries {
+                    match euler_geom::classify_level2(query, &e.rect) {
+                        Level2Relation::Disjoint => tally.disjoint += 1,
+                        Level2Relation::Contains => tally.contains += 1,
+                        Level2Relation::Contained => tally.contained += 1,
+                        Level2Relation::Overlap => tally.overlaps += 1,
+                        Level2Relation::Equals => tally.contained += 1, // boundary case; unreachable for snapped data
+                    }
+                }
+            }
+            Node::Internal { children } => {
+                for c in children {
+                    if c.mbr.inside_open(query) {
+                        // Every object under c is strictly inside the query.
+                        tally.contains += c.count as u64;
+                    } else if !c.mbr.intersects_open(query) {
+                        tally.disjoint += c.count as u64;
+                    } else {
+                        Self::level2_rec(&c.node, query, tally);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        fn nodes(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children } => {
+                    1 + children.iter().map(|c| nodes(&c.node)).sum::<usize>()
+                }
+            }
+        }
+        TreeStats {
+            height: self.root.height(),
+            nodes: nodes(&self.root),
+            entries: self.len,
+        }
+    }
+
+    /// Validates the structural invariants (tests / debug): cached MBRs
+    /// and counts match subtree contents; all leaves at the same depth.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn depths(n: &Node, d: usize, out: &mut Vec<usize>) {
+            match n {
+                Node::Leaf { .. } => out.push(d),
+                Node::Internal { children } => {
+                    for c in children {
+                        depths(&c.node, d + 1, out);
+                    }
+                }
+            }
+        }
+        fn check(n: &Node) -> Result<(), String> {
+            if let Node::Internal { children } = n {
+                for c in children {
+                    let actual_mbr = c.node.mbr().ok_or("empty child")?;
+                    if actual_mbr != c.mbr {
+                        return Err(format!("stale MBR: cached {} actual {}", c.mbr, actual_mbr));
+                    }
+                    if c.node.count() != c.count {
+                        return Err(format!(
+                            "stale count: cached {} actual {}",
+                            c.count,
+                            c.node.count()
+                        ));
+                    }
+                    check(&c.node)?;
+                }
+            }
+            Ok(())
+        }
+        check(&self.root)?;
+        let mut ds = Vec::new();
+        depths(&self.root, 0, &mut ds);
+        if ds.windows(2).any(|w| w[0] != w[1]) {
+            return Err("leaves at different depths".into());
+        }
+        if self.root.count() != self.len {
+            return Err(format!(
+                "len mismatch: {} vs {}",
+                self.root.count(),
+                self.len
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_entries(n: usize, seed: u64) -> Vec<Entry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|id| {
+                let x = rng.gen_range(0.0..350.0);
+                let y = rng.gen_range(0.0..170.0);
+                let w = rng.gen_range(0.01..10.0);
+                let h = rng.gen_range(0.01..10.0);
+                Entry {
+                    rect: Rect::new(x, y, (x + w).min(360.0), (y + h).min(180.0)).unwrap(),
+                    id,
+                }
+            })
+            .collect()
+    }
+
+    fn brute_intersecting(entries: &[Entry], w: &Rect) -> Vec<u64> {
+        let mut ids: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.rect.intersects_closed(w))
+            .map(|e| e.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn bulk_load_invariants_and_search() {
+        let entries = random_entries(5_000, 1);
+        let tree = RTree::bulk_load(entries.clone());
+        assert_eq!(tree.len(), 5_000);
+        tree.check_invariants().unwrap();
+        let window = Rect::new(100.0, 40.0, 160.0, 90.0).unwrap();
+        let mut got = Vec::new();
+        tree.search_intersecting(&window, |e| got.push(e.id));
+        got.sort_unstable();
+        assert_eq!(got, brute_intersecting(&entries, &window));
+    }
+
+    #[test]
+    fn incremental_insert_matches_brute_force() {
+        let entries = random_entries(2_000, 2);
+        let mut tree = RTree::new();
+        for e in &entries {
+            tree.insert(e.rect, e.id);
+        }
+        tree.check_invariants().unwrap();
+        for window in [
+            Rect::new(0.0, 0.0, 360.0, 180.0).unwrap(),
+            Rect::new(50.0, 50.0, 51.0, 51.0).unwrap(),
+            Rect::new(300.0, 100.0, 360.0, 180.0).unwrap(),
+        ] {
+            let mut got = Vec::new();
+            tree.search_intersecting(&window, |e| got.push(e.id));
+            got.sort_unstable();
+            assert_eq!(got, brute_intersecting(&entries, &window), "{window}");
+        }
+    }
+
+    #[test]
+    fn level2_counts_match_brute_force() {
+        let entries = random_entries(3_000, 3);
+        let tree = RTree::bulk_load(entries.clone());
+        for query in [
+            Rect::new(100.5, 40.5, 160.5, 90.5).unwrap(),
+            Rect::new(0.5, 0.5, 359.5, 179.5).unwrap(),
+            Rect::new(200.25, 100.25, 202.25, 102.25).unwrap(),
+        ] {
+            let tally = tree.level2_counts(&query);
+            let mut expect = Level2Tally::default();
+            for e in &entries {
+                match euler_geom::classify_level2(&query, &e.rect) {
+                    Level2Relation::Disjoint => expect.disjoint += 1,
+                    Level2Relation::Contains => expect.contains += 1,
+                    Level2Relation::Contained => expect.contained += 1,
+                    Level2Relation::Overlap => expect.overlaps += 1,
+                    Level2Relation::Equals => expect.contained += 1,
+                }
+            }
+            assert_eq!(tally, expect, "query {query}");
+            assert_eq!(tally.total(), 3_000);
+        }
+    }
+
+    #[test]
+    fn remove_keeps_invariants_and_results() {
+        let entries = random_entries(1_500, 7);
+        let mut tree = RTree::bulk_load(entries.clone());
+        // Remove every third entry; check invariants and queries along
+        // the way.
+        let mut alive: Vec<Entry> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            if i % 3 == 0 {
+                assert!(tree.remove(&e.rect, e.id), "entry {i} should exist");
+            } else {
+                alive.push(*e);
+            }
+            if i % 200 == 0 {
+                tree.check_invariants().unwrap();
+            }
+        }
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.len(), alive.len());
+        let window = Rect::new(50.0, 20.0, 200.0, 120.0).unwrap();
+        let mut got = Vec::new();
+        tree.search_intersecting(&window, |e| got.push(e.id));
+        got.sort_unstable();
+        assert_eq!(got, brute_intersecting(&alive, &window));
+        // Removing a nonexistent entry is a no-op.
+        assert!(!tree.remove(&Rect::new(0.0, 0.0, 1.0, 1.0).unwrap(), 999_999));
+        assert_eq!(tree.len(), alive.len());
+    }
+
+    #[test]
+    fn remove_down_to_empty_and_reuse() {
+        let entries = random_entries(300, 8);
+        let mut tree = RTree::bulk_load(entries.clone());
+        for e in &entries {
+            assert!(tree.remove(&e.rect, e.id));
+        }
+        assert!(tree.is_empty());
+        tree.check_invariants().unwrap();
+        // The emptied tree accepts new inserts.
+        tree.insert(Rect::new(1.0, 1.0, 2.0, 2.0).unwrap(), 1);
+        assert_eq!(tree.len(), 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tree_height_grows_logarithmically() {
+        let tree = RTree::bulk_load(random_entries(10_000, 4));
+        let stats = tree.stats();
+        assert_eq!(stats.entries, 10_000);
+        // ceil(log_16(10000/16)) + 1 ≈ 4.
+        assert!(stats.height <= 5, "height {}", stats.height);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let tree = RTree::new();
+        assert!(tree.is_empty());
+        let q = Rect::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert_eq!(tree.level2_counts(&q).total(), 0);
+        let mut one = RTree::new();
+        one.insert(Rect::new(1.5, 1.5, 2.5, 2.5).unwrap(), 7);
+        assert_eq!(one.level2_counts(&q).contains, 1);
+        one.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,73 @@
+//! A GeoBrowsing session over an ADL-like world collection (the paper's
+//! Figure 1 scenario): tile the world, render contains/overlap heat maps,
+//! read the zero-hit/mega-hit advice, then zoom into the hottest region
+//! with a finer tiling — all on constant-time histogram queries.
+//!
+//! ```sh
+//! cargo run --release --example browse_world
+//! ```
+
+use spatial_histograms::datagen::{adl_like, AdlConfig};
+use spatial_histograms::grid::GridRect;
+use spatial_histograms::prelude::*;
+
+fn main() {
+    let grid = Grid::paper_default();
+    let dataset = adl_like(&AdlConfig {
+        count: 250_000,
+        ..AdlConfig::default()
+    });
+    println!("loaded {} ({} records)", dataset.name(), dataset.len());
+
+    // Index the collection behind the concurrent browsing service.
+    let service = GeoBrowsingService::with_objects(grid, dataset.rects());
+
+    // Browse the whole world as 36x18 tiles of 10x10 degrees.
+    let world = Tiling::new(grid.full(), 36, 18).unwrap();
+    let result = service.browse(&world);
+    println!("\n=== world view: records CONTAINED per 10x10-degree tile ===");
+    print!("{}", render_heatmap(&result, Relation::Contains));
+
+    let tips = advise(&result, Relation::Contains, 5_000);
+    println!(
+        "advice: zero-tiles {:.0}%, mega-tiles {:.0}%, hottest {:?} -> {:?}",
+        100.0 * tips.zero_fraction,
+        100.0 * tips.mega_fraction,
+        tips.hottest,
+        tips.suggestion
+    );
+
+    // Zoom into the hottest tile's neighbourhood with a finer tiling,
+    // asking a different Level 2 question: which objects OVERLAP tiles?
+    let ((hc, hr), _) = tips.hottest.expect("nonempty world");
+    let (x0, y0) = (hc * 10, hr * 10);
+    let region = GridRect::new(
+        x0.saturating_sub(10),
+        y0.saturating_sub(10),
+        (x0 + 20).min(grid.nx()),
+        (y0 + 20).min(grid.ny()),
+        &grid,
+    )
+    .unwrap();
+    let zoom = Tiling::new(region, 22, 24).unwrap_or_else(|_| {
+        Tiling::new(region, region.width().min(22), region.height().min(24)).unwrap()
+    });
+    let zoomed = service.browse(&zoom);
+    println!(
+        "\n=== zoom on {region}: {}x{} tiles, OVERLAP counts ===",
+        zoom.cols(),
+        zoom.rows()
+    );
+    print!("{}", render_heatmap(&zoomed, Relation::Overlap));
+
+    // The whole session ran on approximate counts; verify a tile against
+    // the exact backend to show the estimates are faithful.
+    let exact = ExactBrowser::new(dataset.snap(&grid));
+    let exact_world = exact.browse(&world);
+    let ((c, r), _) = tips.hottest.unwrap();
+    println!(
+        "hottest tile check: estimated {} vs exact {}",
+        result.get(c, r),
+        exact_world.get(c, r)
+    );
+}

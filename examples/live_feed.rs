@@ -1,0 +1,109 @@
+//! A live-updating, multi-attribute browsing scenario: a stream of
+//! geo-tagged observations (three subject types) arrives while analysts
+//! browse. Demonstrates the two write-path options and the faceted
+//! service:
+//!
+//! * [`DynamicGeoBrowsingService`] — O(log² n) updates, no snapshot
+//!   rebuilds, reads always current;
+//! * [`FacetedService`] — one histogram per subject type, browsing any
+//!   filter subset exactly (counts are additive over the partition).
+//!
+//! ```sh
+//! cargo run --release --example live_feed
+//! ```
+
+use spatial_histograms::browse::{render_heatmap, DynamicGeoBrowsingService, FacetedService};
+use spatial_histograms::core::persist::PersistError;
+use spatial_histograms::core::EulerHistogram;
+use spatial_histograms::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Subject {
+    Wildfire,
+    Flood,
+    Quake,
+}
+
+fn feed(n: usize) -> Vec<(Subject, Rect)> {
+    // A deterministic synthetic event stream: wildfires cluster in one
+    // corner, floods along a "river", quakes on a diagonal "fault".
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            match i % 3 {
+                0 => {
+                    let x = 40.0 + (t * 7.3) % 80.0;
+                    let y = 100.0 + (t * 3.1) % 60.0;
+                    (
+                        Subject::Wildfire,
+                        Rect::new(x, y, x + 2.0, y + 2.0).unwrap(),
+                    )
+                }
+                1 => {
+                    let x = (t * 11.7) % 320.0;
+                    let y = 60.0 + 20.0 * ((x / 40.0).sin());
+                    (Subject::Flood, Rect::new(x, y, x + 6.0, y + 1.0).unwrap())
+                }
+                _ => {
+                    let x = (t * 5.9) % 300.0;
+                    let y = (x * 0.5) % 170.0;
+                    (Subject::Quake, Rect::new(x, y, x + 0.5, y + 0.5).unwrap())
+                }
+            }
+        })
+        .collect()
+}
+
+fn main() -> Result<(), PersistError> {
+    let grid = Grid::paper_default();
+    let tiling = Tiling::new(grid.full(), 36, 18).unwrap();
+
+    // 1. The dynamic service absorbs the stream with no rebuilds.
+    let live = DynamicGeoBrowsingService::new(grid);
+    let events = feed(30_000);
+    for (_, rect) in &events {
+        live.insert(rect);
+    }
+    println!("live service: {} events indexed", live.len());
+    let snapshot = live.browse(&tiling);
+    println!("=== all events, intersect counts ===");
+    print!(
+        "{}",
+        render_heatmap(&snapshot, spatial_histograms::browse::Relation::Intersect)
+    );
+
+    // 2. The faceted service answers per-subject filters exactly.
+    let faceted: FacetedService<Subject> = FacetedService::new(grid);
+    for (subject, rect) in &events {
+        faceted.insert(*subject, rect);
+    }
+    for filter in [
+        vec![Subject::Wildfire],
+        vec![Subject::Flood, Subject::Quake],
+    ] {
+        let result = faceted.browse(&tiling, &filter);
+        let total: i64 = result.counts().iter().map(|c| c.intersecting()).sum();
+        println!(
+            "filter {filter:?}: {} facet objects, {} tile-intersections",
+            filter.iter().map(|f| faceted.facet_len(f)).sum::<u64>(),
+            total
+        );
+    }
+
+    // 3. Persist tonight's histogram and reload it tomorrow without
+    //    replaying the stream.
+    let snapper = Snapper::new(grid);
+    let mut hist = EulerHistogram::new(grid);
+    for (_, rect) in &events {
+        hist.insert(&snapper.snap(rect));
+    }
+    let bytes = hist.to_bytes();
+    let restored = EulerHistogram::from_bytes(bytes.clone())?;
+    assert_eq!(hist, restored);
+    println!(
+        "persisted {} buckets into {} bytes and restored them intact",
+        grid.euler_dims().0 * grid.euler_dims().1,
+        bytes.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,301 @@
+//! `geobrowse` — command-line spatial dataset browsing.
+//!
+//! Loads a CSV of MBRs (or generates one of the paper's datasets), builds
+//! an Euler histogram, runs one browsing query (a tiling), and renders the
+//! per-tile counts as a terminal heat map with refinement advice.
+//!
+//! ```sh
+//! geobrowse --demo adl --tiles 36x18 --relation contains
+//! geobrowse --data roads.csv --grid 360x180 --region 100,60,148,108 \
+//!           --tiles 22x24 --relation overlap --estimator m --boundaries 3,10
+//! ```
+
+use std::process::ExitCode;
+
+use spatial_histograms::browse::{advise, render_heatmap, EulerBrowser, Relation};
+use spatial_histograms::core::EulerApprox;
+use spatial_histograms::core::{EulerHistogram, MEulerApprox, SEulerApprox};
+use spatial_histograms::datagen::{paper_dataset, Dataset};
+use spatial_histograms::metrics::time_it;
+use spatial_histograms::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    data: Option<String>,
+    demo: Option<String>,
+    scale: u32,
+    grid: (usize, usize),
+    tiles: (usize, usize),
+    region: Option<(f64, f64, f64, f64)>,
+    relation: Relation,
+    estimator: String,
+    boundaries: Vec<usize>,
+    mega: i64,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            data: None,
+            demo: None,
+            scale: 10,
+            grid: (360, 180),
+            tiles: (36, 18),
+            region: None,
+            relation: Relation::Intersect,
+            estimator: "s".into(),
+            boundaries: vec![3, 10],
+            mega: 10_000,
+        }
+    }
+}
+
+const USAGE: &str = "\
+geobrowse — browse a spatial dataset with Euler histograms
+
+USAGE:
+  geobrowse [--data FILE.csv | --demo sp_skew|sz_skew|adl|ca_road]
+            [--scale N]            demo dataset size divisor (default 10)
+            [--grid NXxNY]         grid cells (default 360x180)
+            [--tiles CxR]          tiling columns x rows (default 36x18)
+            [--region x0,y0,x1,y1] browse sub-region in data units (grid-aligned)
+            [--relation contains|contained|overlap|intersect|disjoint]
+            [--estimator s|euler|m]  (default s = S-EulerApprox)
+            [--boundaries s1,s2,..]  M-EulerApprox group sides (default 3,10)
+            [--mega N]             mega-hit threshold for advice (default 10000)
+";
+
+fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
+    let mut it = s.split(sep);
+    let a = it.next()?.trim().parse().ok()?;
+    let b = it.next()?.trim().parse().ok()?;
+    it.next().is_none().then_some((a, b))
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => o.data = Some(value(&mut i)?),
+            "--demo" => o.demo = Some(value(&mut i)?),
+            "--scale" => {
+                o.scale = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?
+            }
+            "--grid" => {
+                o.grid = parse_pair(&value(&mut i)?, 'x').ok_or("bad --grid, expected NXxNY")?
+            }
+            "--tiles" => {
+                o.tiles = parse_pair(&value(&mut i)?, 'x').ok_or("bad --tiles, expected CxR")?
+            }
+            "--region" => {
+                let v = value(&mut i)?;
+                let parts: Vec<f64> = v
+                    .split(',')
+                    .map(|p| p.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --region: {e}"))?;
+                if parts.len() != 4 {
+                    return Err("bad --region, expected x0,y0,x1,y1".into());
+                }
+                o.region = Some((parts[0], parts[1], parts[2], parts[3]));
+            }
+            "--relation" => {
+                o.relation = match value(&mut i)?.as_str() {
+                    "contains" => Relation::Contains,
+                    "contained" => Relation::Contained,
+                    "overlap" => Relation::Overlap,
+                    "intersect" => Relation::Intersect,
+                    "disjoint" => Relation::Disjoint,
+                    other => return Err(format!("unknown relation {other:?}")),
+                }
+            }
+            "--estimator" => {
+                o.estimator = value(&mut i)?;
+                if !["s", "euler", "m"].contains(&o.estimator.as_str()) {
+                    return Err(format!("unknown estimator {:?}", o.estimator));
+                }
+            }
+            "--boundaries" => {
+                o.boundaries = value(&mut i)?
+                    .split(',')
+                    .map(|p| p.trim().parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --boundaries: {e}"))?
+            }
+            "--mega" => {
+                o.mega = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --mega: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if o.data.is_none() && o.demo.is_none() {
+        return Err("one of --data or --demo is required".into());
+    }
+    if o.data.is_some() && o.demo.is_some() {
+        return Err("--data and --demo are mutually exclusive".into());
+    }
+    Ok(o)
+}
+
+fn run(o: &Options) -> Result<(), String> {
+    let space = DataSpace::paper_world();
+    let grid = Grid::new(space, o.grid.0, o.grid.1).map_err(|e| e.to_string())?;
+
+    let dataset: Dataset = if let Some(path) = &o.data {
+        Dataset::load_csv(path, path, space).map_err(|e| e.to_string())?
+    } else {
+        let name = o.demo.as_deref().expect("checked in parse");
+        paper_dataset(name, o.scale.max(1))
+            .ok_or_else(|| format!("unknown demo dataset {name:?}"))?
+    };
+    eprintln!("dataset: {} objects", dataset.len());
+
+    let region = match o.region {
+        None => grid.full(),
+        Some((x0, y0, x1, y1)) => {
+            let r = Rect::new(x0, y0, x1, y1).map_err(|e| e.to_string())?;
+            grid.align(&r, 1e-9).map_err(|e| e.to_string())?
+        }
+    };
+    let tiling = Tiling::new(region, o.tiles.0, o.tiles.1).map_err(|e| e.to_string())?;
+
+    let objects = dataset.snap(&grid);
+    let (result, build_time, query_time) = match o.estimator.as_str() {
+        "m" => {
+            let boundaries: Vec<f64> = MEulerApprox::boundaries_from_sides(&o.boundaries);
+            let (est, build_time) = time_it(|| MEulerApprox::build(grid, &objects, &boundaries));
+            let browser = EulerBrowser::new(est);
+            let (result, query_time) = time_it(|| browser.browse(&tiling));
+            (result, build_time, query_time)
+        }
+        "euler" => {
+            let (est, build_time) =
+                time_it(|| EulerApprox::new(EulerHistogram::build(grid, &objects).freeze()));
+            let browser = EulerBrowser::new(est);
+            let (result, query_time) = time_it(|| browser.browse(&tiling));
+            (result, build_time, query_time)
+        }
+        _ => {
+            let (est, build_time) =
+                time_it(|| SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze()));
+            let browser = EulerBrowser::new(est);
+            let (result, query_time) = time_it(|| browser.browse(&tiling));
+            (result, build_time, query_time)
+        }
+    };
+
+    print!("{}", render_heatmap(&result, o.relation));
+    let tips = advise(&result, o.relation, o.mega);
+    println!(
+        "tiles: {} | zero {:.0}% | mega {:.0}% | hottest {:?} | suggestion {:?}",
+        tiling.len(),
+        100.0 * tips.zero_fraction,
+        100.0 * tips.mega_fraction,
+        tips.hottest,
+        tips.suggestion
+    );
+    println!(
+        "build {:.1} ms | browse {:.3} ms ({:.1} ns/tile)",
+        build_time.as_secs_f64() * 1e3,
+        query_time.as_secs_f64() * 1e3,
+        query_time.as_secs_f64() * 1e9 / tiling.len() as f64
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(o) => match run(&o) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            let is_help = msg.is_empty();
+            if !is_help {
+                eprintln!("error: {msg}\n");
+            }
+            eprint!("{USAGE}");
+            if is_help {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let o = parse_args(&args(&[
+            "--demo",
+            "adl",
+            "--grid",
+            "180x90",
+            "--tiles",
+            "10x5",
+            "--region",
+            "0,0,180,90",
+            "--relation",
+            "contains",
+            "--estimator",
+            "m",
+            "--boundaries",
+            "3,5,10",
+            "--mega",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(o.demo.as_deref(), Some("adl"));
+        assert_eq!(o.grid, (180, 90));
+        assert_eq!(o.tiles, (10, 5));
+        assert_eq!(o.region, Some((0.0, 0.0, 180.0, 90.0)));
+        assert_eq!(o.relation, Relation::Contains);
+        assert_eq!(o.estimator, "m");
+        assert_eq!(o.boundaries, vec![3, 5, 10]);
+        assert_eq!(o.mega, 500);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--demo", "adl", "--data", "x.csv"])).is_err());
+        assert!(parse_args(&args(&["--demo", "adl", "--grid", "bad"])).is_err());
+        assert!(parse_args(&args(&["--demo", "adl", "--relation", "nope"])).is_err());
+        assert!(parse_args(&args(&["--demo"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse_args(&args(&["--demo", "sp_skew"])).unwrap();
+        assert_eq!(o.grid, (360, 180));
+        assert_eq!(o.tiles, (36, 18));
+        assert_eq!(o.relation, Relation::Intersect);
+        assert_eq!(o.estimator, "s");
+    }
+}

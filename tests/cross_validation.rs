@@ -1,0 +1,128 @@
+//! Cross-crate validation: every independent implementation of the same
+//! quantity must agree — the Euler histogram's `n_ii` vs the CD corner
+//! histograms vs the exact O(N²) structure vs per-object classification
+//! vs the R-tree oracle vs the difference-array ground truth.
+
+use spatial_histograms::baselines::{BtHistogram, CdHistogram, NaiveScan, RTreeOracle};
+use spatial_histograms::core::{EulerHistogram, ExactContains2D, Level2Estimator};
+use spatial_histograms::datagen::exact::ground_truth;
+use spatial_histograms::datagen::{paper_dataset, PAPER_DATASETS};
+use spatial_histograms::prelude::*;
+
+/// All paper datasets at 1/200 scale, snapped to a coarse grid so the
+/// exact O(N²) structure stays small.
+fn scaled_datasets(grid: &Grid) -> Vec<(String, Vec<SnappedRect>)> {
+    PAPER_DATASETS
+        .iter()
+        .map(|name| {
+            let d = paper_dataset(name, 200).expect("dataset");
+            (name.to_string(), d.snap(grid))
+        })
+        .collect()
+}
+
+#[test]
+fn intersect_counts_agree_across_five_implementations() {
+    let grid = Grid::new(DataSpace::paper_world(), 36, 18).unwrap();
+    for (name, objects) in scaled_datasets(&grid) {
+        let euler = EulerHistogram::build(grid, &objects).freeze();
+        let cd = CdHistogram::build(&grid, &objects);
+        let bt = BtHistogram::build(grid, &objects);
+        let exact2d = ExactContains2D::build(&grid, &objects);
+        let scan = NaiveScan::new(objects.clone());
+        for (x0, y0, w, h) in [
+            (0usize, 0usize, 36usize, 18usize),
+            (3, 2, 6, 5),
+            (10, 8, 1, 1),
+            (0, 0, 2, 18),
+            (30, 12, 6, 6),
+        ] {
+            let q = GridRect::unchecked(x0, y0, x0 + w, y0 + h);
+            let reference = scan.estimate(&q).intersecting();
+            assert_eq!(euler.intersect_count(&q), reference, "{name} euler {q}");
+            assert_eq!(cd.intersect_count(&q), reference, "{name} cd {q}");
+            assert_eq!(bt.intersect_count(&q), reference, "{name} bt {q}");
+            assert_eq!(
+                exact2d.counts(&q).intersecting(),
+                reference,
+                "{name} exact2d {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn level2_oracles_agree_everywhere() {
+    let grid = Grid::new(DataSpace::paper_world(), 36, 18).unwrap();
+    for (name, objects) in scaled_datasets(&grid) {
+        let exact2d = ExactContains2D::build(&grid, &objects);
+        let rtree = RTreeOracle::build(&objects);
+        let scan = NaiveScan::new(objects.clone());
+        let qs = QuerySet::q_n(&grid, 6).unwrap();
+        let gt = ground_truth(&objects, qs.tiling());
+        for (q, gt_counts) in gt.iter_with(qs.tiling()) {
+            let reference = scan.estimate(&q);
+            assert_eq!(*gt_counts, reference, "{name} ground_truth {q}");
+            assert_eq!(exact2d.counts(&q), reference, "{name} exact2d {q}");
+            assert_eq!(rtree.estimate(&q), reference, "{name} rtree {q}");
+        }
+    }
+}
+
+#[test]
+fn estimators_are_conservative_about_structure() {
+    // For every dataset and estimator: totals equal |S| and N_d is exact
+    // (n_ii is exact by Corollary 4.1, so the disjoint count always is).
+    let grid = Grid::new(DataSpace::paper_world(), 36, 18).unwrap();
+    for (name, objects) in scaled_datasets(&grid) {
+        let hist = EulerHistogram::build(grid, &objects).freeze();
+        let estimators: Vec<Box<dyn Level2Estimator>> = vec![
+            Box::new(SEulerApprox::new(hist.clone())),
+            Box::new(EulerApprox::new(hist.clone())),
+            Box::new(MEulerApprox::build(grid, &objects, &[9.0, 100.0])),
+        ];
+        let qs = QuerySet::q_n(&grid, 9).unwrap();
+        let gt = ground_truth(&objects, qs.tiling());
+        for est in &estimators {
+            for (q, exact) in gt.iter_with(qs.tiling()) {
+                let e = est.estimate(&q);
+                assert_eq!(e.total(), objects.len() as i64, "{name} {} {q}", est.name());
+                assert_eq!(e.disjoint, exact.disjoint, "{name} {} {q}", est.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn one_dimensional_exact_matches_brute_force() {
+    use spatial_histograms::core::ExactContains1D;
+    // 1-D intervals with assorted endpoints, validated against direct
+    // interval arithmetic.
+    let objects: Vec<(f64, f64)> = (0..200)
+        .map(|i| {
+            let a = 0.01 + (i as f64 * 0.37) % 9.0;
+            let len = 0.05 + (i as f64 * 0.13) % 2.0;
+            (a, (a + len).min(9.99))
+        })
+        .collect();
+    let e = ExactContains1D::build(10, &objects);
+    for m in 0..9 {
+        for k in (m + 1)..=10 {
+            let contains = objects
+                .iter()
+                .filter(|&&(a, b)| a > m as f64 && b < k as f64)
+                .count() as i64;
+            let contained = objects
+                .iter()
+                .filter(|&&(a, b)| a < m as f64 && b > k as f64)
+                .count() as i64;
+            let intersect = objects
+                .iter()
+                .filter(|&&(a, b)| a < k as f64 && b > m as f64)
+                .count() as i64;
+            assert_eq!(e.contains(m, k), contains, "contains [{m},{k}]");
+            assert_eq!(e.contained(m, k), contained, "contained [{m},{k}]");
+            assert_eq!(e.intersect(m, k), intersect, "intersect [{m},{k}]");
+        }
+    }
+}
