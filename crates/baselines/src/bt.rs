@@ -7,10 +7,8 @@
 //! benchmarks: identical storage and query cost, but intersect-only
 //! answers.
 
-use euler_core::{EulerHistogram, FrozenEulerHistogram};
+use euler_core::{EulerHistogram, FrozenEulerHistogram, Level2Estimator, RelationCounts};
 use euler_grid::{Grid, GridRect, SnappedRect};
-
-use crate::IntersectEstimator;
 
 /// The Beigel–Tanin intersect-count histogram.
 #[derive(Debug, Clone)]
@@ -38,17 +36,30 @@ impl BtHistogram {
     }
 }
 
-impl IntersectEstimator for BtHistogram {
+impl Level2Estimator for BtHistogram {
     fn name(&self) -> &'static str {
         "Beigel-Tanin"
     }
 
-    fn intersect_estimate(&self, q: &GridRect) -> f64 {
-        self.intersect_count(q) as f64
+    /// Level 1 collapse: BT answers *intersect* exactly but cannot split
+    /// it into contains/contained/overlap (§2) — everything intersecting
+    /// lands in `overlaps`.
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        let n_ii = self.intersect_count(q);
+        RelationCounts {
+            disjoint: self.hist.object_count() as i64 - n_ii,
+            contains: 0,
+            contained: 0,
+            overlaps: n_ii,
+        }
     }
 
     fn object_count(&self) -> u64 {
         self.hist.object_count()
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.storage_buckets() as u64
     }
 }
 

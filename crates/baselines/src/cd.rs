@@ -18,10 +18,9 @@
 //! predicate is exact, so CD serves as an independent cross-check of the
 //! Euler histogram's `n_ii` in the integration tests.
 
+use euler_core::{Level2Estimator, RelationCounts};
 use euler_cube::{Dense2D, PrefixSum2D};
 use euler_grid::{Grid, GridRect, SnappedRect};
-
-use crate::IntersectEstimator;
 
 /// The CD structure: prefix sums over the four corner histograms.
 #[derive(Debug, Clone)]
@@ -87,17 +86,30 @@ impl CdHistogram {
     }
 }
 
-impl IntersectEstimator for CdHistogram {
+impl Level2Estimator for CdHistogram {
     fn name(&self) -> &'static str {
         "CD"
     }
 
-    fn intersect_estimate(&self, q: &GridRect) -> f64 {
-        self.intersect_count(q) as f64
+    /// Level 1 collapse: CD's intersect count is exact, but the four
+    /// corner histograms carry no containment information — everything
+    /// intersecting lands in `overlaps`.
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        let n_ii = self.intersect_count(q);
+        RelationCounts {
+            disjoint: self.size as i64 - n_ii,
+            contains: 0,
+            contained: 0,
+            overlaps: n_ii,
+        }
     }
 
     fn object_count(&self) -> u64 {
         self.size
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.storage_buckets() as u64
     }
 }
 

@@ -16,6 +16,15 @@
 //! * [`RTreeOracle`] — exact Level 2 counts through an R-tree, the
 //!   "index structure on top of the actual data" GeoBrowsing baseline
 //!   whose per-query cost motivates constant-time histograms (§1).
+//!
+//! Every baseline implements [`euler_core::Level2Estimator`], the single
+//! estimator interface of the workspace. The Level-1-only techniques
+//! (CD, Beigel–Tanin, Min-skew) answer `estimate` by collapsing every
+//! intersecting object into `overlaps` — the §2 capability gap, visible
+//! directly in the shared result tables. Their exact/approximate
+//! intersect counts stay available as inherent methods
+//! ([`CdHistogram::intersect_count`], [`BtHistogram::intersect_count`],
+//! [`MinSkew::intersect_estimate`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -31,19 +40,3 @@ pub use cd::CdHistogram;
 pub use minskew::{MinSkew, MinSkewBucket};
 pub use naive::NaiveScan;
 pub use oracle::RTreeOracle;
-
-use euler_grid::GridRect;
-
-/// A Level 1 (intersect-count) estimator — the interface prior work
-/// supports (§2: existing techniques "only distinguish between two types
-/// of spatial relations: disjoint and intersect").
-pub trait IntersectEstimator {
-    /// Short name used in result tables.
-    fn name(&self) -> &'static str;
-
-    /// Estimated number of objects intersecting the aligned query.
-    fn intersect_estimate(&self, q: &GridRect) -> f64;
-
-    /// Number of objects summarized.
-    fn object_count(&self) -> u64;
-}

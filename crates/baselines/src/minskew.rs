@@ -15,11 +15,10 @@
 //! a query's expected intersect count from a bucket is the fraction of the
 //! bucket covered by the query expanded by half the mean extent.
 
+use euler_core::{Level2Estimator, RelationCounts};
 use euler_cube::{Dense2D, PrefixSum2D};
 use euler_grid::{Grid, GridRect, SnappedRect};
 use serde::{Deserialize, Serialize};
-
-use crate::IntersectEstimator;
 
 /// One Min-skew bucket: a cell-aligned region with its statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,14 +163,9 @@ impl MinSkew {
     pub fn storage_buckets(&self) -> usize {
         self.buckets.len()
     }
-}
 
-impl IntersectEstimator for MinSkew {
-    fn name(&self) -> &'static str {
-        "Min-skew"
-    }
-
-    fn intersect_estimate(&self, q: &GridRect) -> f64 {
+    /// Approximate Level 1 intersect count for an aligned query.
+    pub fn intersect_estimate(&self, q: &GridRect) -> f64 {
         // An object with mean extent (w, h) and center c intersects q iff
         // c lies in q expanded by (w/2, h/2); centers are uniform within
         // their bucket.
@@ -191,9 +185,33 @@ impl IntersectEstimator for MinSkew {
         }
         total
     }
+}
+
+impl Level2Estimator for MinSkew {
+    fn name(&self) -> &'static str {
+        "Min-skew"
+    }
+
+    /// Level 1 collapse: the uniformity model yields an (approximate)
+    /// intersect count only — everything intersecting lands in
+    /// `overlaps`, rounded to the nearest object.
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        let n_ii = self.intersect_estimate(q).round() as i64;
+        RelationCounts {
+            disjoint: self.size as i64 - n_ii,
+            contains: 0,
+            contained: 0,
+            overlaps: n_ii,
+        }
+    }
 
     fn object_count(&self) -> u64 {
         self.size
+    }
+
+    fn storage_cells(&self) -> u64 {
+        // Seven scalars per bucket record.
+        (self.buckets.len() * 7) as u64
     }
 }
 

@@ -34,6 +34,10 @@ impl Level2Estimator for NaiveScan {
     fn object_count(&self) -> u64 {
         self.objects.len() as u64
     }
+
+    fn storage_cells(&self) -> u64 {
+        0 // nothing beyond the raw objects
+    }
 }
 
 #[cfg(test)]

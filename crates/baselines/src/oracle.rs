@@ -57,6 +57,12 @@ impl Level2Estimator for RTreeOracle {
     fn object_count(&self) -> u64 {
         self.tree.len() as u64
     }
+
+    fn storage_cells(&self) -> u64 {
+        // One record per data entry plus one MBR per node.
+        let s = self.tree.stats();
+        (s.entries + s.nodes) as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,48 @@
+//! Batch-engine throughput across thread counts (the parallel fan-out of
+//! `euler-engine`), on the paper's Q₂…Q₂₀ query-set family.
+//!
+//! The measured estimator is the exact scan — O(n) per tile — because
+//! that's the regime where fanning a batch across workers pays: the
+//! Euler-family estimators answer a tile in tens of nanoseconds
+//! (see `query_latency.rs`), so for them the spawn cost of a batch
+//! dominates. The acceptance shape is that ≥4 threads beats the
+//! sequential (1-thread) loop on the Q₁₀ tiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use euler_baselines::NaiveScan;
+use euler_bench::engine;
+use euler_datagen::{adl_like, AdlConfig};
+use euler_engine::QueryBatch;
+use euler_grid::{Grid, QuerySet};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let grid = Grid::paper_default();
+    let d = adl_like(&AdlConfig {
+        count: 8_000,
+        ..AdlConfig::default()
+    });
+    let objects = d.snap(&grid);
+    let eng = engine(NaiveScan::new(objects));
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    // A spread of the paper's eleven sets: largest tiles, the acceptance
+    // Q10 point, and the densest sets.
+    for qs in QuerySet::paper_sets(&grid)
+        .into_iter()
+        .filter(|qs| matches!(qs.tile_size(), 20 | 10 | 5 | 2))
+    {
+        let batch = QueryBatch::from(&qs);
+        group.throughput(Throughput::Elements(batch.len() as u64));
+        for threads in [1usize, 2, 4, 8] {
+            let eng = eng.clone().with_threads(threads);
+            group.bench_with_input(BenchmarkId::new(qs.label(), threads), &batch, |b, batch| {
+                b.iter(|| eng.run_batch(batch))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

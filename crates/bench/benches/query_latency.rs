@@ -4,9 +4,7 @@
 //! the Euler family sits in the tens of nanoseconds.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use euler_baselines::{
-    BtHistogram, CdHistogram, IntersectEstimator, MinSkew, NaiveScan, RTreeOracle,
-};
+use euler_baselines::{BtHistogram, CdHistogram, MinSkew, NaiveScan, RTreeOracle};
 use euler_core::{EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, SEulerApprox};
 use euler_datagen::{adl_like, AdlConfig};
 use euler_grid::{Grid, GridRect};
@@ -58,12 +56,8 @@ fn bench_query_latency(c: &mut Criterion) {
     group.bench_function("euler", |b| b.iter(|| euler.estimate(&next())));
     group.bench_function("m_euler_2", |b| b.iter(|| m2.estimate(&next())));
     group.bench_function("m_euler_5", |b| b.iter(|| m5.estimate(&next())));
-    group.bench_function("cd_intersect", |b| {
-        b.iter(|| cd.intersect_estimate(&next()))
-    });
-    group.bench_function("bt_intersect", |b| {
-        b.iter(|| bt.intersect_estimate(&next()))
-    });
+    group.bench_function("cd_intersect", |b| b.iter(|| cd.intersect_count(&next())));
+    group.bench_function("bt_intersect", |b| b.iter(|| bt.intersect_count(&next())));
     group.bench_function("minskew_intersect", |b| {
         b.iter(|| minskew.intersect_estimate(&next()))
     });

@@ -9,15 +9,14 @@
 //! * (b) `N_cs` near-exact for `sp_skew`/`ca_road`; blows up for
 //!   `sz_skew` and for `adl` at small query sizes (~120% worst case).
 
-use euler_bench::{emit_report, pct, PaperEnv};
-use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_bench::{are_matrix, emit_report, engine, pct, PaperEnv, Relation};
+use euler_core::SEulerApprox;
 use euler_datagen::PAPER_DATASETS;
-use euler_metrics::{ascii_chart, ChartSeries, ErrorAccumulator, TextTable};
+use euler_metrics::{ascii_chart, ChartSeries, TextTable};
 
 fn main() {
     let mut env = PaperEnv::from_env();
     let sets = env.query_sets();
-    let grid = env.grid;
     let mut body = String::new();
     body.push_str(&format!(
         "Figure 14: S-EulerApprox average relative error, scale 1/{}\n\n",
@@ -35,17 +34,11 @@ fn main() {
     for (di, name) in PAPER_DATASETS.iter().enumerate() {
         let objects = env.snapped(name).to_vec();
         let gts = env.ground_truth(&objects, &sets);
-        let est = SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
-        for (si, (qs, gt)) in sets.iter().zip(&gts).enumerate() {
-            let mut acc_o = ErrorAccumulator::default();
-            let mut acc_cs = ErrorAccumulator::default();
-            for (q, exact) in gt.iter_with(qs.tiling()) {
-                let e = est.estimate(&q).clamped();
-                acc_o.push(exact.overlaps as f64, e.overlaps as f64);
-                acc_cs.push(exact.contains as f64, e.contains as f64);
-            }
-            results_o[di][si] = acc_o.are();
-            results_cs[di][si] = acc_cs.are();
+        let est = engine(SEulerApprox::new(env.frozen(name)));
+        let ares = are_matrix(&est, &sets, &gts, &[Relation::Overlap, Relation::Contains]);
+        for (si, row) in ares.iter().enumerate() {
+            results_o[di][si] = row[0];
+            results_cs[di][si] = row[1];
         }
     }
 

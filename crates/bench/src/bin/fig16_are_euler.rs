@@ -7,14 +7,13 @@
 //! M-EulerApprox. The S-EulerApprox columns are included for the
 //! side-by-side comparison the paper makes in prose.
 
-use euler_bench::{emit_report, pct, PaperEnv};
-use euler_core::{EulerApprox, EulerHistogram, Level2Estimator, SEulerApprox};
-use euler_metrics::{ErrorAccumulator, TextTable};
+use euler_bench::{are_matrix, emit_report, engine, pct, PaperEnv, Relation};
+use euler_core::{EulerApprox, SEulerApprox};
+use euler_metrics::TextTable;
 
 fn main() {
     let mut env = PaperEnv::from_env();
     let sets = env.query_sets();
-    let grid = env.grid;
     let mut body = String::new();
     body.push_str(&format!(
         "Figure 16: EulerApprox average relative error (S-EulerApprox shown for comparison), scale 1/{}\n\n",
@@ -24,29 +23,21 @@ fn main() {
     for name in ["adl", "sz_skew"] {
         let objects = env.snapped(name).to_vec();
         let gts = env.ground_truth(&objects, &sets);
-        let hist = EulerHistogram::build(grid, &objects).freeze();
-        let euler = EulerApprox::new(hist.clone());
-        let s_euler = SEulerApprox::new(hist);
+        let hist = env.frozen(name);
+        let euler = engine(EulerApprox::new(hist.clone()));
+        let s_euler = engine(SEulerApprox::new(hist));
+        let ares_e = are_matrix(
+            &euler,
+            &sets,
+            &gts,
+            &[Relation::Contains, Relation::Contained],
+        );
+        let ares_s = are_matrix(&s_euler, &sets, &gts, &[Relation::Contains]);
         let mut t = TextTable::new(&["query", "N_cs(Euler)", "N_cd(Euler)", "N_cs(S-Euler)"]);
         let mut worst_cs: f64 = 0.0;
-        for (qs, gt) in sets.iter().zip(&gts) {
-            let mut acc_cs = ErrorAccumulator::default();
-            let mut acc_cd = ErrorAccumulator::default();
-            let mut acc_s_cs = ErrorAccumulator::default();
-            for (q, exact) in gt.iter_with(qs.tiling()) {
-                let e = euler.estimate(&q).clamped();
-                let s = s_euler.estimate(&q).clamped();
-                acc_cs.push(exact.contains as f64, e.contains as f64);
-                acc_cd.push(exact.contained as f64, e.contained as f64);
-                acc_s_cs.push(exact.contains as f64, s.contains as f64);
-            }
-            worst_cs = worst_cs.max(acc_cs.are());
-            t.row(&[
-                qs.label(),
-                pct(acc_cs.are()),
-                pct(acc_cd.are()),
-                pct(acc_s_cs.are()),
-            ]);
+        for ((qs, e_row), s_row) in sets.iter().zip(&ares_e).zip(&ares_s) {
+            worst_cs = worst_cs.max(e_row[0]);
+            t.row(&[qs.label(), pct(e_row[0]), pct(e_row[1]), pct(s_row[0])]);
         }
         body.push_str(&format!("dataset {name}\n"));
         body.push_str(&t.render());

@@ -3,20 +3,27 @@
 //! (a) wall-clock time to process each whole query set Q₂₀…Q₂ for
 //! S-EulerApprox, EulerApprox and M-EulerApprox (plus the baselines the
 //! paper discusses: the exact R-tree index of §1 and the CD intersect
-//! histogram), on the `adl` dataset.
+//! histogram), on the `adl` dataset. Every algorithm is dispatched
+//! through the shared `euler-engine` batch path (single-threaded, so the
+//! per-algorithm comparison matches the paper's sequential setting).
 //!
 //! (b) M-EulerApprox time versus histogram count `m` — the paper's
 //! "roughly the same regardless of the number of histograms" observation.
+//!
+//! (c) batch-engine thread scaling on Q₁₀ — the parallel speedup the
+//! `euler-engine` fan-out buys when per-query cost is non-trivial.
 //!
 //! Paper shapes to reproduce: constant per-query cost for every Euler
 //! estimator (total time linear in the query count, ≤ tens of ms for all
 //! 16,200 Q₂ queries on 2000-era hardware); S ≈ Euler ≈ M in cost; the
 //! exact index is orders of magnitude slower on large result sets.
 
-use euler_baselines::{CdHistogram, IntersectEstimator, RTreeOracle};
-use euler_bench::{emit_report, PaperEnv};
-use euler_core::{EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, SEulerApprox};
-use euler_metrics::{time_it, TextTable};
+use euler_baselines::{CdHistogram, RTreeOracle};
+use euler_bench::{emit_report, engine, time_query_set, PaperEnv};
+use euler_core::{EulerApprox, MEulerApprox, SEulerApprox};
+use euler_engine::QueryBatch;
+use euler_grid::GridRect;
+use euler_metrics::TextTable;
 
 fn main() {
     let mut env = PaperEnv::from_env();
@@ -24,26 +31,33 @@ fn main() {
     let grid = env.grid;
     let objects = env.snapped("adl").to_vec();
 
-    let hist = EulerHistogram::build(grid, &objects).freeze();
-    let s_euler = SEulerApprox::new(hist.clone());
-    let euler = EulerApprox::new(hist);
-    let m_eulers: Vec<(usize, MEulerApprox)> = [2usize, 3, 4, 5]
-        .iter()
-        .map(|&m| {
-            let sides: Vec<usize> = match m {
-                2 => vec![10],
-                3 => vec![3, 10],
-                4 => vec![3, 5, 10],
-                _ => vec![3, 5, 10, 15],
-            };
-            (
-                m,
-                MEulerApprox::build(grid, &objects, &MEulerApprox::boundaries_from_sides(&sides)),
-            )
-        })
-        .collect();
-    let cd = CdHistogram::build(&grid, &objects);
-    let rtree = RTreeOracle::build(&objects);
+    let hist = env.frozen("adl");
+    let m_sides = |m: usize| -> Vec<usize> {
+        match m {
+            2 => vec![10],
+            3 => vec![3, 10],
+            4 => vec![3, 5, 10],
+            _ => vec![3, 5, 10, 15],
+        }
+    };
+    let build_m = |m: usize| {
+        MEulerApprox::build(
+            grid,
+            &objects,
+            &MEulerApprox::boundaries_from_sides(&m_sides(m)),
+        )
+    };
+
+    // One single-threaded engine per algorithm — the uniform trait
+    // dispatch replaces the former per-algorithm query loops.
+    let sequential = [
+        ("S-Euler", engine(SEulerApprox::new(hist.clone()))),
+        ("Euler", engine(EulerApprox::new(hist.clone()))),
+        ("M-Euler(2)", engine(build_m(2))),
+        ("CD", engine(CdHistogram::build(&grid, &objects))),
+    ]
+    .map(|(name, e)| (name, e.with_threads(1)));
+    let rtree = engine(RTreeOracle::build(&objects)).with_threads(1);
 
     let mut body = String::new();
     body.push_str(&format!(
@@ -64,69 +78,77 @@ fn main() {
         "R-tree",
     ]);
     for qs in &sets {
-        let queries: Vec<_> = qs.iter().collect();
-        let run = |per_query: &dyn Fn(&euler_grid::GridRect) -> i64| -> String {
-            let mut sink = 0i64;
-            let (_, d) = time_it(|| {
-                for q in &queries {
-                    sink = sink.wrapping_add(per_query(q));
-                }
-            });
-            std::hint::black_box(sink);
-            format!("{:.3}", d.as_secs_f64() * 1e3)
-        };
-        let s_time = run(&|q| s_euler.estimate(q).contains);
-        let e_time = run(&|q| euler.estimate(q).contains);
-        let m_time = run(&|q| m_eulers[0].1.estimate(q).contains);
-        let cd_time = run(&|q| cd.intersect_estimate(q) as i64);
+        let mut row = vec![qs.label(), qs.len().to_string()];
+        for (_, eng) in &sequential {
+            let report = time_query_set(eng, qs);
+            row.push(format!("{:.3}", report.elapsed.as_secs_f64() * 1e3));
+        }
         // The exact index is slow on the big query sets; cap the measured
         // tiles so the bin stays interactive, then extrapolate linearly.
+        let queries: Vec<GridRect> = qs.iter().collect();
         let cap = 200.min(queries.len());
-        let mut sink = 0i64;
-        let (_, rt) = time_it(|| {
-            for q in queries.iter().take(cap) {
-                sink = sink.wrapping_add(rtree.estimate(q).contains);
-            }
-        });
-        let rt_ms = rt.as_secs_f64() * 1e3 * queries.len() as f64 / cap as f64;
-        std::hint::black_box(sink);
-        t.row(&[
-            qs.label(),
-            queries.len().to_string(),
-            s_time,
-            e_time,
-            m_time,
-            cd_time,
-            format!("{rt_ms:.1}{}", if cap < queries.len() { "*" } else { "" }),
-        ]);
+        let report = rtree.run_batch(&QueryBatch::new(&queries[..cap])).report;
+        let rt_ms = report.elapsed.as_secs_f64() * 1e3 * queries.len() as f64 / cap as f64;
+        row.push(format!(
+            "{rt_ms:.1}{}",
+            if cap < queries.len() { "*" } else { "" }
+        ));
+        t.row(&row);
     }
     body.push_str(&t.render());
     body.push_str("(* extrapolated from 200 tiles)\n\n");
 
     // (b) M-EulerApprox time vs m on the largest query set.
     body.push_str("Figure 19(b): M-EulerApprox time vs histogram count, Q2 (16,200 tiles)\n");
-    let q2: Vec<_> = sets
+    let q2 = sets
         .iter()
         .find(|qs| qs.tile_size() == 2)
-        .expect("Q2 present")
-        .iter()
-        .collect();
+        .expect("Q2 present");
     let mut tb = TextTable::new(&["m", "total ms", "ns/query"]);
-    for (m, est) in &m_eulers {
-        let mut sink = 0i64;
-        let (_, d) = time_it(|| {
-            for q in &q2 {
-                sink = sink.wrapping_add(est.estimate(q).contains);
-            }
-        });
-        std::hint::black_box(sink);
+    for m in [2usize, 3, 4, 5] {
+        let eng = engine(build_m(m)).with_threads(1);
+        let report = time_query_set(&eng, q2);
         tb.row(&[
             m.to_string(),
-            format!("{:.3}", d.as_secs_f64() * 1e3),
-            format!("{:.0}", d.as_secs_f64() * 1e9 / q2.len() as f64),
+            format!("{:.3}", report.elapsed.as_secs_f64() * 1e3),
+            format!(
+                "{:.0}",
+                report.elapsed.as_secs_f64() * 1e9 / report.queries as f64
+            ),
         ]);
     }
     body.push_str(&tb.render());
+
+    // (c) engine thread scaling. Fan-out pays when per-query cost is
+    // real (the exact scan is O(n) per tile); the Euler estimators
+    // answer in tens of nanoseconds, so their batches stay flat — the
+    // constant-time claim, restated as "too fast to parallelize".
+    body.push_str("\nFigure 19(c): batch-engine thread scaling, Q10\n");
+    let q10 = sets
+        .iter()
+        .find(|qs| qs.tile_size() == 10)
+        .expect("Q10 present");
+    let scan = engine(euler_baselines::NaiveScan::new(objects.clone()));
+    let s_euler = engine(SEulerApprox::new(hist));
+    let mut tc = TextTable::new(&["threads", "exact-scan ms", "scan q/s", "S-Euler ms"]);
+    let mut scan_ms = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let scan_report = time_query_set(&scan.clone().with_threads(threads), q10);
+        let se_report = time_query_set(&s_euler.clone().with_threads(threads), q10);
+        scan_ms.push(scan_report.elapsed.as_secs_f64() * 1e3);
+        tc.row(&[
+            threads.to_string(),
+            format!("{:.3}", scan_report.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", scan_report.throughput_qps()),
+            format!("{:.3}", se_report.elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    body.push_str(&tc.render());
+    body.push_str(&format!(
+        "exact-scan speedup at 4 threads: {:.2}x ({} core(s) available)\n",
+        scan_ms[0] / scan_ms[2],
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
 
     body.push_str(
         "\nPaper shape check: Euler-family times grow linearly with #tiles,\n\

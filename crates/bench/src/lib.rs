@@ -17,10 +17,15 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 
+pub use euler_browse::Relation;
+use euler_core::{EulerHistogram, FrozenEulerHistogram, Level2Estimator};
 use euler_datagen::exact::{ground_truth_all, GroundTruth};
 use euler_datagen::{paper_dataset, Dataset};
+use euler_engine::{BatchReport, EstimatorEngine, QueryBatch};
 use euler_grid::{Grid, QuerySet, SnappedRect};
+use euler_metrics::ErrorAccumulator;
 
 /// The experiment environment: the paper grid plus dataset scaling.
 pub struct PaperEnv {
@@ -87,6 +92,60 @@ impl PaperEnv {
         let tilings: Vec<_> = sets.iter().map(|qs| *qs.tiling()).collect();
         ground_truth_all(objects, &tilings)
     }
+
+    /// The frozen Euler histogram of a (cached) snapped dataset — the
+    /// shared input of every Euler-family estimator, hoisted here so the
+    /// figure binaries stop repeating the build-and-freeze block.
+    pub fn frozen(&mut self, name: &str) -> FrozenEulerHistogram {
+        let grid = self.grid;
+        EulerHistogram::build(grid, self.snapped(name)).freeze()
+    }
+}
+
+/// Wraps any estimator into a batch engine using every available core.
+/// The figure binaries dispatch each estimator through this one path
+/// instead of hand-rolling per-algorithm query loops.
+pub fn engine(est: impl Level2Estimator + Send + Sync + 'static) -> EstimatorEngine {
+    EstimatorEngine::new(Arc::new(est))
+}
+
+/// Per-query-set, per-relation average relative errors for one
+/// estimator, with every estimate computed through the batch engine.
+///
+/// Returns `out[set][relation]`, matching the order of `sets` and
+/// `relations`; estimates are clamped before scoring (as the figures
+/// present them). Ground truths must align with `sets`
+/// ([`PaperEnv::ground_truth`] output order).
+pub fn are_matrix(
+    engine: &EstimatorEngine,
+    sets: &[QuerySet],
+    gts: &[GroundTruth],
+    relations: &[Relation],
+) -> Vec<Vec<f64>> {
+    assert_eq!(sets.len(), gts.len(), "one ground truth per query set");
+    sets.iter()
+        .zip(gts)
+        .map(|(qs, gt)| {
+            let result = engine.run_batch(&QueryBatch::from(qs));
+            relations
+                .iter()
+                .map(|rel| {
+                    let mut acc = ErrorAccumulator::default();
+                    for (est, exact) in result.counts.iter().zip(gt.counts()) {
+                        let e = est.clamped();
+                        acc.push(rel.of(exact) as f64, rel.of(&e) as f64);
+                    }
+                    acc.are()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs a whole query set through the engine and returns the measured
+/// batch report (wall-clock latency, throughput, totals).
+pub fn time_query_set(engine: &EstimatorEngine, qs: &QuerySet) -> BatchReport {
+    engine.run_batch(&QueryBatch::from(qs)).report
 }
 
 /// Writes an experiment report to stdout and `results/<id>.txt`.
@@ -155,6 +214,28 @@ mod tests {
         for c in gt[0].counts() {
             assert_eq!(c.total(), objects.len() as i64);
         }
+    }
+
+    #[test]
+    fn engine_helpers_score_the_exact_scan_at_zero() {
+        let mut env = PaperEnv::with_scale(2000);
+        let objects = env.snapped("sp_skew").to_vec();
+        let sets: Vec<_> = env
+            .query_sets()
+            .into_iter()
+            .filter(|qs| qs.tile_size() >= 15)
+            .collect();
+        let gts = env.ground_truth(&objects, &sets);
+        let eng = engine(euler_baselines::NaiveScan::new(objects));
+        let m = are_matrix(&eng, &sets, &gts, &[Relation::Overlap, Relation::Contains]);
+        assert_eq!(m.len(), sets.len());
+        assert!(
+            m.iter().flatten().all(|&v| v == 0.0),
+            "exact scan must have zero ARE: {m:?}"
+        );
+        let report = time_query_set(&eng, &sets[0]);
+        assert_eq!(report.queries, sets[0].len());
+        assert_eq!(report.estimator, "NaiveScan");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use std::sync::Arc;
 
-use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_core::{EulerHistogram, SEulerApprox};
+use euler_engine::{EstimatorEngine, QueryBatch};
 use euler_geom::Rect;
 use euler_grid::{Grid, SnappedRect, Snapper, Tiling};
 use parking_lot::RwLock;
@@ -101,14 +102,28 @@ impl GeoBrowsingService {
         snap
     }
 
-    /// Answers a browsing query on the current snapshot.
+    /// A batch engine over the current snapshot — the shared multi-tile
+    /// dispatch path. The engine keeps the snapshot `Arc`, so writes
+    /// after this call don't affect an engine already handed out.
+    pub fn engine(&self, threads: usize) -> EstimatorEngine {
+        EstimatorEngine::new(self.snapshot()).with_threads(threads)
+    }
+
+    /// Answers a browsing query on the current snapshot (sequentially —
+    /// cheaper than fan-out for interactive tile counts).
     pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        let snap = self.snapshot();
-        let counts = tiling
-            .iter()
-            .map(|(_, tile)| snap.estimate(&tile).clamped())
-            .collect();
-        BrowseResult::new(*tiling, counts)
+        self.browse_parallel(tiling, 1)
+    }
+
+    /// Answers a browsing query with the batch engine fanned across
+    /// `threads` workers. Identical results to [`browse`]; worthwhile
+    /// from a few thousand tiles.
+    pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
+        let result = self.engine(threads).run_batch(&QueryBatch::from(tiling));
+        BrowseResult::new(
+            *tiling,
+            result.counts.into_iter().map(|c| c.clamped()).collect(),
+        )
     }
 }
 
@@ -125,6 +140,7 @@ impl Browser for GeoBrowsingService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use euler_core::Level2Estimator;
     use euler_grid::DataSpace;
 
     fn grid() -> Grid {
@@ -142,6 +158,26 @@ mod tests {
         svc.remove(&r);
         assert_eq!(svc.len(), 0);
         assert_eq!(svc.browse(&tiling).get(0, 0).contains, 0);
+    }
+
+    #[test]
+    fn parallel_browse_matches_sequential() {
+        let svc = GeoBrowsingService::new(grid());
+        for i in 0..40 {
+            let x = 0.1 + (i % 7) as f64;
+            let y = 0.1 + (i % 5) as f64;
+            svc.insert(&Rect::new(x, y, x + 0.7, y + 0.6).unwrap());
+        }
+        let tiling = Tiling::new(svc.grid().full(), 8, 8).unwrap();
+        let seq = svc.browse(&tiling);
+        for threads in [2, 4, 16] {
+            let par = svc.browse_parallel(&tiling, threads);
+            assert_eq!(seq.counts(), par.counts(), "{threads} threads");
+        }
+        // The engine reports through the shared estimator interface.
+        let report = svc.engine(4).run_batch(&QueryBatch::from(&tiling)).report;
+        assert_eq!(report.queries, 64);
+        assert_eq!(report.estimator, "S-EulerApprox");
     }
 
     #[test]

@@ -72,9 +72,19 @@ impl std::fmt::Display for RelationCounts {
     }
 }
 
-/// A constant-time estimator of Level 2 relation counts for grid-aligned
-/// queries — the interface shared by S-EulerApprox, EulerApprox and
-/// M-EulerApprox (and by the exact oracles used in evaluation).
+/// An estimator of Level 2 relation counts for grid-aligned queries —
+/// the single interface every summary in the workspace implements: the
+/// Euler family (S-/Euler-/M-EulerApprox), the exact structures
+/// (`ExactContains2D`, the R-tree oracle) and the Level 1 baselines
+/// (CD, Beigel–Tanin, Min-skew, naive scan).
+///
+/// The trait is object-safe: batch machinery (`euler-engine`, the
+/// benches) holds `Arc<dyn Level2Estimator + Send + Sync>` and dispatches
+/// uniformly. Level-1-only baselines implement [`estimate`] by collapsing
+/// every intersecting object into `overlaps` — the capability gap the
+/// paper's §2 describes, made visible through the shared interface.
+///
+/// [`estimate`]: Level2Estimator::estimate
 pub trait Level2Estimator {
     /// Short name used in result tables ("S-EulerApprox", …).
     fn name(&self) -> &'static str;
@@ -84,6 +94,12 @@ pub trait Level2Estimator {
 
     /// Number of objects summarized.
     fn object_count(&self) -> u64;
+
+    /// Auxiliary storage in scalar cells (bucket entries, prefix-sum
+    /// entries, tree records…) — the space axis of the paper's
+    /// accuracy/storage trade-off tables. Zero for summaries that keep no
+    /// structure beyond the raw objects.
+    fn storage_cells(&self) -> u64;
 }
 
 impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
@@ -95,6 +111,24 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
     }
     fn object_count(&self) -> u64 {
         (**self).object_count()
+    }
+    fn storage_cells(&self) -> u64 {
+        (**self).storage_cells()
+    }
+}
+
+impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        (**self).estimate(q)
+    }
+    fn object_count(&self) -> u64 {
+        (**self).object_count()
+    }
+    fn storage_cells(&self) -> u64 {
+        (**self).storage_cells()
     }
 }
 

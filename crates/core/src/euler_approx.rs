@@ -162,6 +162,11 @@ impl<H: EulerSource> Level2Estimator for EulerApprox<H> {
     fn object_count(&self) -> u64 {
         self.hist.object_count()
     }
+
+    fn storage_cells(&self) -> u64 {
+        let (ew, eh) = self.hist.grid().euler_dims();
+        (ew * eh) as u64
+    }
 }
 
 #[cfg(test)]

@@ -231,6 +231,25 @@ impl ExactContains2D {
     }
 }
 
+impl crate::Level2Estimator for ExactContains2D {
+    fn name(&self) -> &'static str {
+        "Exact-4idx"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        self.counts(q)
+    }
+
+    fn object_count(&self) -> u64 {
+        self.size as u64
+    }
+
+    fn storage_cells(&self) -> u64 {
+        // The dense 4-index cube can exceed u64 on absurd grids; saturate.
+        u64::try_from(self.allocated_buckets()).unwrap_or(u64::MAX)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,6 +176,10 @@ impl Level2Estimator for MEulerApprox {
     fn object_count(&self) -> u64 {
         self.total_objects
     }
+
+    fn storage_cells(&self) -> u64 {
+        self.storage_buckets() as u64
+    }
 }
 
 /// Outcome of the pragmatic tuning loop of §6.4.

@@ -43,6 +43,11 @@ impl<H: EulerSource> Level2Estimator for SEulerApprox<H> {
     fn object_count(&self) -> u64 {
         self.hist.object_count()
     }
+
+    fn storage_cells(&self) -> u64 {
+        let (ew, eh) = self.hist.grid().euler_dims();
+        (ew * eh) as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,382 @@
+//! **euler-engine** — the parallel batch query engine.
+//!
+//! A browsing interaction is never one query: §1's GeoBrowsing scenario
+//! issues one Level 2 query *per tile* of the displayed region (528 for
+//! the California example, 16,200 for the Q₂ set). Each tile query is
+//! independent and the estimators are read-only after construction, so a
+//! batch parallelizes embarrassingly. [`EstimatorEngine`] owns an
+//! `Arc`-shared [`Level2Estimator`], accepts a [`QueryBatch`] (a slice of
+//! [`GridRect`]s, a [`Tiling`], or a [`QuerySet`]), splits it into
+//! contiguous chunks across a scoped thread pool, and lets every worker
+//! write its chunk of per-tile results while accumulating a worker-local
+//! [`RelationCounts`] total — merged once at the end, so there is no
+//! shared mutable state and no per-query synchronization.
+//!
+//! Wall-clock latency and derived throughput for each batch are measured
+//! with `euler-metrics` and returned in a [`BatchReport`].
+//!
+//! ```
+//! use euler_core::{EulerHistogram, SEulerApprox};
+//! use euler_engine::{EstimatorEngine, QueryBatch};
+//! use euler_geom::Rect;
+//! use euler_grid::{DataSpace, Grid, Snapper, Tiling};
+//! use std::sync::Arc;
+//!
+//! // Ten small objects on a 36x18 grid.
+//! let grid = Grid::new(DataSpace::paper_world(), 36, 18).unwrap();
+//! let snapper = Snapper::new(grid);
+//! let objects: Vec<_> = (0..10)
+//!     .map(|i| {
+//!         let x = 20.0 + 30.0 * i as f64;
+//!         snapper.snap(&Rect::new(x, 40.0, x + 5.0, 45.0).unwrap())
+//!     })
+//!     .collect();
+//! let est = SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+//!
+//! // Browse the whole space as a 6x6 tiling, four workers.
+//! let engine = EstimatorEngine::new(Arc::new(est)).with_threads(4);
+//! let result = engine.run_batch(&QueryBatch::from(&Tiling::new(grid.full(), 6, 6).unwrap()));
+//!
+//! assert_eq!(result.counts.len(), 36);
+//! // Every per-tile estimate accounts for all ten objects.
+//! assert!(result.counts.iter().all(|c| c.total() == 10));
+//! assert_eq!(result.report.total.total(), 36 * 10);
+//! assert!(result.report.throughput_qps() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Duration;
+
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_grid::{GridRect, QuerySet, Tiling};
+use euler_metrics::time_it;
+
+/// The estimator handle the engine shares across workers.
+pub type SharedEstimator = Arc<dyn Level2Estimator + Send + Sync>;
+
+/// A batch of aligned queries: borrowed from a slice, or materialized
+/// from a [`Tiling`] / [`QuerySet`] in row-major tile order.
+#[derive(Debug, Clone)]
+pub struct QueryBatch<'a> {
+    queries: Cow<'a, [GridRect]>,
+}
+
+impl<'a> QueryBatch<'a> {
+    /// A batch borrowing an existing query slice.
+    pub fn new(queries: &'a [GridRect]) -> QueryBatch<'a> {
+        QueryBatch {
+            queries: Cow::Borrowed(queries),
+        }
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries, in batch order.
+    pub fn as_slice(&self) -> &[GridRect] {
+        &self.queries
+    }
+}
+
+impl<'a> From<&'a [GridRect]> for QueryBatch<'a> {
+    fn from(queries: &'a [GridRect]) -> QueryBatch<'a> {
+        QueryBatch::new(queries)
+    }
+}
+
+impl From<Vec<GridRect>> for QueryBatch<'static> {
+    fn from(queries: Vec<GridRect>) -> QueryBatch<'static> {
+        QueryBatch {
+            queries: Cow::Owned(queries),
+        }
+    }
+}
+
+impl From<&Tiling> for QueryBatch<'static> {
+    fn from(tiling: &Tiling) -> QueryBatch<'static> {
+        QueryBatch {
+            queries: Cow::Owned(tiling.iter().map(|(_, t)| t).collect()),
+        }
+    }
+}
+
+impl From<&QuerySet> for QueryBatch<'static> {
+    fn from(qs: &QuerySet) -> QueryBatch<'static> {
+        QueryBatch {
+            queries: Cow::Owned(qs.iter().collect()),
+        }
+    }
+}
+
+/// Measured outcome of one [`EstimatorEngine::run_batch`] call.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Estimator name (from [`Level2Estimator::name`]).
+    pub estimator: &'static str,
+    /// Number of queries processed.
+    pub queries: usize,
+    /// Worker threads actually used (capped at the batch size).
+    pub threads: usize,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Component-wise sum of every per-query estimate.
+    pub total: RelationCounts,
+}
+
+impl BatchReport {
+    /// Queries per second of wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean wall-clock latency per query (includes fan-out overhead).
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.queries as u32
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} queries / {} thread(s) in {:.3} ms ({:.0} q/s)",
+            self.estimator,
+            self.queries,
+            self.threads,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput_qps(),
+        )
+    }
+}
+
+/// Per-query results plus the batch-level measurement.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One estimate per query, in batch order.
+    pub counts: Vec<RelationCounts>,
+    /// Latency / throughput / totals for the batch.
+    pub report: BatchReport,
+}
+
+/// The batch engine: a frozen, `Arc`-shared estimator plus a worker
+/// count. Cloning the engine clones the handle, not the histogram.
+#[derive(Clone)]
+pub struct EstimatorEngine {
+    estimator: SharedEstimator,
+    threads: usize,
+}
+
+impl EstimatorEngine {
+    /// Wraps a shared estimator; defaults to one worker per available
+    /// core.
+    pub fn new(estimator: SharedEstimator) -> EstimatorEngine {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EstimatorEngine { estimator, threads }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> EstimatorEngine {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The shared estimator.
+    pub fn estimator(&self) -> &SharedEstimator {
+        &self.estimator
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every query of the batch, returning per-query counts in batch
+    /// order plus the measured [`BatchReport`].
+    ///
+    /// The batch is split into `threads` contiguous chunks; each worker
+    /// owns a disjoint `chunks_mut` slice of the result vector and a
+    /// worker-local running total, so workers never contend. With one
+    /// thread (or a single-query batch) no threads are spawned at all —
+    /// the sequential path is the baseline the benches compare against.
+    pub fn run_batch(&self, batch: &QueryBatch<'_>) -> BatchResult {
+        let queries = batch.as_slice();
+        let n = queries.len();
+        let threads = self.threads.min(n).max(1);
+        let mut counts = vec![RelationCounts::default(); n];
+        let est = &self.estimator;
+
+        let (total, elapsed) = time_it(|| {
+            if threads == 1 {
+                let mut total = RelationCounts::default();
+                for (q, slot) in queries.iter().zip(counts.iter_mut()) {
+                    *slot = est.estimate(q);
+                    total = total.add(slot);
+                }
+                total
+            } else {
+                let chunk = n.div_ceil(threads);
+                std::thread::scope(|s| {
+                    let workers: Vec<_> = queries
+                        .chunks(chunk)
+                        .zip(counts.chunks_mut(chunk))
+                        .map(|(qs, out)| {
+                            s.spawn(move || {
+                                let mut local = RelationCounts::default();
+                                for (q, slot) in qs.iter().zip(out.iter_mut()) {
+                                    *slot = est.estimate(q);
+                                    local = local.add(slot);
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|w| w.join().expect("engine worker panicked"))
+                        .fold(RelationCounts::default(), |acc, t| acc.add(&t))
+                })
+            }
+        });
+
+        BatchResult {
+            counts,
+            report: BatchReport {
+                estimator: est.name(),
+                queries: n,
+                threads,
+                elapsed,
+                total,
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for EstimatorEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EstimatorEngine")
+            .field("estimator", &self.estimator.name())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_core::{EulerHistogram, SEulerApprox};
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, Snapper};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn setup(n_objects: usize) -> (Grid, SharedEstimator) {
+        let grid = Grid::new(DataSpace::paper_world(), 40, 20).unwrap();
+        let snapper = Snapper::new(grid);
+        let mut rng = StdRng::seed_from_u64(9);
+        let objects: Vec<_> = (0..n_objects)
+            .map(|_| {
+                let x = rng.gen_range(-180.0..170.0);
+                let y = rng.gen_range(-90.0..80.0);
+                let w = rng.gen_range(0.5..20.0);
+                let h = rng.gen_range(0.5..15.0);
+                snapper.snap(&Rect::new(x, y, (x + w).min(180.0), (y + h).min(90.0)).unwrap())
+            })
+            .collect();
+        let est = SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze());
+        (grid, Arc::new(est))
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (grid, est) = setup(400);
+        let batch = QueryBatch::from(&Tiling::new(grid.full(), 8, 5).unwrap());
+        let seq = EstimatorEngine::new(est.clone()).with_threads(1);
+        let seq_result = seq.run_batch(&batch);
+        for threads in [2, 3, 4, 8] {
+            let par = EstimatorEngine::new(est.clone()).with_threads(threads);
+            let r = par.run_batch(&batch);
+            assert_eq!(r.counts, seq_result.counts, "threads={threads}");
+            assert_eq!(r.report.total, seq_result.report.total);
+            assert_eq!(r.report.threads, threads);
+        }
+    }
+
+    #[test]
+    fn batch_order_is_tiling_order() {
+        let (grid, est) = setup(100);
+        let tiling = Tiling::new(grid.full(), 4, 4).unwrap();
+        let engine = EstimatorEngine::new(est.clone()).with_threads(4);
+        let r = engine.run_batch(&QueryBatch::from(&tiling));
+        for (i, (_, tile)) in tiling.iter().enumerate() {
+            assert_eq!(r.counts[i], est.estimate(&tile), "tile {tile}");
+        }
+    }
+
+    #[test]
+    fn slice_and_vec_batches() {
+        let (_, est) = setup(50);
+        let queries = vec![
+            GridRect::unchecked(0, 0, 10, 10),
+            GridRect::unchecked(10, 10, 20, 20),
+            GridRect::unchecked(0, 0, 40, 20),
+        ];
+        let engine = EstimatorEngine::new(est).with_threads(2);
+        let from_slice = engine.run_batch(&QueryBatch::new(&queries));
+        let from_vec = engine.run_batch(&QueryBatch::from(queries.clone()));
+        assert_eq!(from_slice.counts, from_vec.counts);
+        assert_eq!(from_slice.counts.len(), 3);
+        // Every S-EulerApprox estimate accounts for all objects.
+        assert!(from_slice.counts.iter().all(|c| c.total() == 50));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, est) = setup(10);
+        let engine = EstimatorEngine::new(est).with_threads(4);
+        let r = engine.run_batch(&QueryBatch::new(&[]));
+        assert!(r.counts.is_empty());
+        assert_eq!(r.report.queries, 0);
+        assert_eq!(r.report.mean_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let (_, est) = setup(10);
+        let engine = EstimatorEngine::new(est).with_threads(64);
+        let queries = [
+            GridRect::unchecked(0, 0, 5, 5),
+            GridRect::unchecked(5, 5, 10, 10),
+        ];
+        let r = engine.run_batch(&QueryBatch::new(&queries));
+        assert_eq!(r.counts.len(), 2);
+        assert_eq!(r.report.threads, 2, "workers capped at batch size");
+    }
+
+    #[test]
+    fn report_summary_mentions_estimator() {
+        let (grid, est) = setup(20);
+        let engine = EstimatorEngine::new(est).with_threads(2);
+        let r = engine.run_batch(&QueryBatch::from(&Tiling::new(grid.full(), 2, 2).unwrap()));
+        let s = r.report.summary();
+        assert!(s.contains("S-EulerApprox"), "{s}");
+        assert!(s.contains("4 queries"), "{s}");
+        assert!(r.report.throughput_qps() > 0.0);
+    }
+}

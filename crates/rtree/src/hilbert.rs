@@ -128,7 +128,7 @@ mod tests {
         (0..n as u64)
             .map(|id| {
                 // Clustered: a few dense blobs.
-                let blob = rng.gen_range(0..5);
+                let blob = rng.gen_range(0..5usize);
                 let (bx, by) = [
                     (30.0, 40.0),
                     (200.0, 90.0),

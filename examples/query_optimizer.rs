@@ -9,7 +9,7 @@
 //! cargo run --release --example query_optimizer
 //! ```
 
-use spatial_histograms::baselines::{IntersectEstimator, MinSkew};
+use spatial_histograms::baselines::MinSkew;
 use spatial_histograms::core::{EulerHistogram, Level2Estimator, SEulerApprox};
 use spatial_histograms::datagen::{adl_like, sp_skew, AdlConfig, SpSkewConfig};
 use spatial_histograms::prelude::*;

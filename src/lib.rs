@@ -16,6 +16,7 @@
 //! | [`rtree`] | R-tree substrate for exact index baselines |
 //! | [`baselines`] | CD, Beigel–Tanin, Min-skew, naive scan, R-tree oracle |
 //! | [`datagen`] | the paper's four datasets (seeded) and exact ground truth |
+//! | [`engine`] | the batch query engine: shared-estimator fan-out across threads |
 //! | [`browse`] | the GeoBrowsing service: multi-tile queries, heat maps, advice |
 //! | [`metrics`] | average relative error, scatter stats, timing, text tables |
 //!
@@ -42,6 +43,7 @@ pub use euler_browse as browse;
 pub use euler_core as core;
 pub use euler_cube as cube;
 pub use euler_datagen as datagen;
+pub use euler_engine as engine;
 pub use euler_geom as geom;
 pub use euler_grid as grid;
 pub use euler_metrics as metrics;
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use euler_core::{
         EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, RelationCounts, SEulerApprox,
     };
+    pub use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
     pub use euler_geom::{Level2Relation, Point, Rect};
     pub use euler_grid::{DataSpace, Grid, GridRect, QuerySet, SnappedRect, Snapper, Tiling};
 }

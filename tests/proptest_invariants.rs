@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 use spatial_histograms::baselines::CdHistogram;
 use spatial_histograms::core::model::count_by_classification;
-use spatial_histograms::core::{EulerHistogram, ExactContains2D, Level2Estimator};
+use spatial_histograms::core::{
+    DynamicEulerHistogram, EulerHistogram, ExactContains2D, Level2Estimator,
+};
 use spatial_histograms::datagen::exact::ground_truth;
 use spatial_histograms::prelude::*;
 
@@ -114,6 +116,37 @@ proptest! {
             }
         }
         prop_assert_eq!(incremental, EulerHistogram::build(g, &kept));
+    }
+
+    /// A dynamically maintained histogram (random inserts, then removing
+    /// a random subset) answers every tile of a tiling exactly like a
+    /// histogram freshly built-and-frozen from the surviving objects —
+    /// the update path and the bulk path agree through the estimator.
+    #[test]
+    fn dynamic_agrees_with_fresh_freeze(raw in arb_objects(),
+                                        keep_mask in prop::collection::vec(prop::bool::ANY, 80),
+                                        cols in 1usize..6, rows in 1usize..5) {
+        let g = grid();
+        let objects = snap_objects(&raw);
+        let mut dynamic = DynamicEulerHistogram::new(g);
+        for o in &objects {
+            dynamic.insert(o);
+        }
+        let kept: Vec<SnappedRect> = objects
+            .iter()
+            .zip(&keep_mask)
+            .filter_map(|(o, &k)| k.then_some(*o))
+            .collect();
+        for (o, &k) in objects.iter().zip(&keep_mask) {
+            if !k {
+                dynamic.remove(o);
+            }
+        }
+        let fresh = SEulerApprox::new(EulerHistogram::build(g, &kept).freeze());
+        let tiling = Tiling::new(g.full(), cols, rows).unwrap();
+        for (_, tile) in tiling.iter() {
+            prop_assert_eq!(dynamic.s_euler_estimate(&tile), fresh.estimate(&tile));
+        }
     }
 
     /// Estimators are exact whenever the dataset admits no containing or

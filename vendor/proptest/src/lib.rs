@@ -1,0 +1,131 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Implements the subset this workspace uses — the [`proptest!`],
+//! [`prop_compose!`], `prop_assert*!` and [`prop_assume!`] macros, range
+//! / tuple / vec / bool strategies — over a deterministic, seeded,
+//! **non-shrinking** runner. Failing cases are reported verbatim (with
+//! the generated inputs) instead of being minimized.
+//!
+//! Case count defaults to 256 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod runner;
+pub mod strategy;
+
+/// `proptest::prelude` equivalent: everything tests import.
+pub mod prelude {
+    pub use crate::runner::{TestCaseError, TestRng};
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+
+    /// Strategy namespaces (`prop::collection`, `prop::bool`).
+    pub mod prop {
+        /// Collection strategies.
+        pub mod collection {
+            pub use crate::strategy::{vec, SizeRange};
+        }
+        /// Boolean strategies.
+        pub mod bool {
+            pub use crate::strategy::ANY;
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)*);
+                $crate::runner::run(stringify!($name), strategy, |($($pat,)*)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Composes strategies into a named derived strategy:
+/// `fn name(args)(bindings in strategies) -> T { body }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($argn:ident : $argt:ty),* $(,)? )
+                                ( $($pat:pat in $strat:expr),+ $(,)? )
+                                -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::map(($($strat,)+), move |($($pat,)+)| $body)
+        }
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` ({})\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fails the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current test case (resampled, not failed) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::runner::TestCaseError::Reject);
+        }
+    };
+}

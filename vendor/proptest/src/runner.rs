@@ -1,0 +1,152 @@
+//! The test runner: deterministic seeding, rejection handling, verbatim
+//! failure reports (no shrinking).
+
+use crate::strategy::Strategy;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is resampled.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (see `prop_assume!`).
+    pub fn reject() -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// The runner's random source: xoshiro256++ seeded per test name, so
+/// runs are reproducible and independent of test execution order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from `seed` via SplitMix64.
+    pub fn new(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
+/// Runs `test` against `cases` inputs drawn from `strategy`, panicking
+/// on the first failing case with the inputs that produced it.
+pub fn run<S>(name: &str, strategy: S, test: impl Fn(S::Value) -> Result<(), TestCaseError>)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+{
+    let cases = case_count();
+    // Seed from the test name so each property gets an independent,
+    // stable stream.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    while passed < cases {
+        let value = strategy.new_value(&mut rng);
+        match test(value.clone()) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed}/{cases} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed after {passed} passing case(s): {msg}\n\
+                     inputs: {value:#?}\n(no shrinking in the offline proptest stand-in)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        run("always_ok", (0u32..10,), |(v,)| {
+            counter.set(counter.get() + 1);
+            if v < 10 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("impossible"))
+            }
+        });
+        count += counter.get();
+        assert_eq!(count, case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failing_property_panics_with_inputs() {
+        run("always_fails", (0u32..10,), |(_v,)| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rejections_resample() {
+        run("rejects_half", (0u32..10,), |(v,)| {
+            if v < 5 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+    }
+}

@@ -1,0 +1,206 @@
+//! Value-generation strategies: ranges, tuples, vectors, bool, map.
+
+use std::ops::Range;
+
+use crate::runner::TestRng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = self.start + u * (self.end - self.start);
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+    (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+}
+
+/// Always-uniform boolean strategy (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+/// The uniform boolean strategy instance.
+pub const ANY: AnyBool = AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Length specification for [`vec`]: an exact size or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of `element` values with lengths from
+/// `size` (`prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + ((rng.next_u64() as u128 * span as u128) >> 64) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// A strategy applying `f` to another strategy's output (the engine
+/// behind `prop_compose!`).
+pub fn map<S: Strategy, T, F: Fn(S::Value) -> T>(inner: S, f: F) -> MapStrategy<S, F> {
+    MapStrategy { inner, f }
+}
+
+/// See [`map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for MapStrategy<S, F> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::new(11);
+        let strat = (0usize..5, -2.0..2.0f64, ANY);
+        for _ in 0..100 {
+            let (i, f, _b) = strat.new_value(&mut rng);
+            assert!(i < 5);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_spec() {
+        let mut rng = TestRng::new(3);
+        let exact = vec(0u32..9, 7usize);
+        assert_eq!(exact.new_value(&mut rng).len(), 7);
+        let ranged = vec(0u32..9, 2..5usize);
+        for _ in 0..50 {
+            let v = ranged.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::new(1);
+        let doubled = map((1u32..4,), |(v,)| v * 2);
+        for _ in 0..20 {
+            let v = doubled.new_value(&mut rng);
+            assert!(v == 2 || v == 4 || v == 6);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait names and derive macros
+//! the workspace imports. The traits are empty markers and the derives
+//! expand to nothing — see `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive_stub::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace only *declares* serde derives on plain-old-data types;
+//! nothing consumes the generated impls (persistence is hand-coded in
+//! `euler-core::persist`). These derives therefore expand to nothing,
+//! which keeps offline builds dependency-free.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
