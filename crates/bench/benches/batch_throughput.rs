@@ -7,6 +7,15 @@
 //! (see `query_latency.rs`), so for them the spawn cost of a batch
 //! dominates. The acceptance shape is that ≥4 threads beats the
 //! sequential (1-thread) loop on the Q₁₀ tiling.
+//!
+//! Every configuration runs twice: bare, and with a telemetry
+//! [`Recorder`] attached (the `-recorded` benchmark ids). The recorded
+//! variant is the overhead budget check for the always-on telemetry
+//! layer — it must stay within a few percent of bare.
+//!
+//! Set `EULER_BENCH_QUICK=1` for a seconds-long smoke run (small dataset,
+//! one query set, two thread counts) — used by CI, since the vendored
+//! criterion stub has no CLI test mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use euler_baselines::NaiveScan;
@@ -14,11 +23,13 @@ use euler_bench::engine;
 use euler_datagen::{adl_like, AdlConfig};
 use euler_engine::QueryBatch;
 use euler_grid::{Grid, QuerySet};
+use euler_metrics::Recorder;
 
 fn bench_batch_throughput(c: &mut Criterion) {
+    let quick = std::env::var_os("EULER_BENCH_QUICK").is_some();
     let grid = Grid::paper_default();
     let d = adl_like(&AdlConfig {
-        count: 8_000,
+        count: if quick { 500 } else { 8_000 },
         ..AdlConfig::default()
     });
     let objects = d.snap(&grid);
@@ -27,18 +38,29 @@ fn bench_batch_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_throughput");
     group.sample_size(10);
     // A spread of the paper's eleven sets: largest tiles, the acceptance
-    // Q10 point, and the densest sets.
+    // Q10 point, and the densest sets. Quick mode keeps only Q10.
+    let tile_sizes: &[usize] = if quick { &[10] } else { &[20, 10, 5, 2] };
+    let thread_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     for qs in QuerySet::paper_sets(&grid)
         .into_iter()
-        .filter(|qs| matches!(qs.tile_size(), 20 | 10 | 5 | 2))
+        .filter(|qs| tile_sizes.contains(&qs.tile_size()))
     {
         let batch = QueryBatch::from(&qs);
         group.throughput(Throughput::Elements(batch.len() as u64));
-        for threads in [1usize, 2, 4, 8] {
-            let eng = eng.clone().with_threads(threads);
+        for &threads in thread_counts {
+            let bare = eng.clone().with_threads(threads);
             group.bench_with_input(BenchmarkId::new(qs.label(), threads), &batch, |b, batch| {
-                b.iter(|| eng.run_batch(batch))
+                b.iter(|| bare.run_batch(batch))
             });
+            let recorded = eng
+                .clone()
+                .with_threads(threads)
+                .with_recorder(Recorder::shared());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-recorded", qs.label()), threads),
+                &batch,
+                |b, batch| b.iter(|| recorded.run_batch(batch)),
+            );
         }
     }
     group.finish();

@@ -23,7 +23,7 @@ use euler_bench::{emit_report, engine, time_query_set, PaperEnv};
 use euler_core::{EulerApprox, MEulerApprox, SEulerApprox};
 use euler_engine::QueryBatch;
 use euler_grid::GridRect;
-use euler_metrics::TextTable;
+use euler_metrics::{fmt_duration, Recorder, TextTable};
 
 fn main() {
     let mut env = PaperEnv::from_env();
@@ -49,14 +49,19 @@ fn main() {
     };
 
     // One single-threaded engine per algorithm — the uniform trait
-    // dispatch replaces the former per-algorithm query loops.
+    // dispatch replaces the former per-algorithm query loops. Each engine
+    // carries its own recorder so 19(a) can report latency percentiles,
+    // not just per-set means.
     let sequential = [
         ("S-Euler", engine(SEulerApprox::new(hist.clone()))),
         ("Euler", engine(EulerApprox::new(hist.clone()))),
         ("M-Euler(2)", engine(build_m(2))),
         ("CD", engine(CdHistogram::build(&grid, &objects))),
     ]
-    .map(|(name, e)| (name, e.with_threads(1)));
+    .map(|(name, e)| {
+        let rec = Recorder::shared();
+        (name, e.with_threads(1).with_recorder(rec.clone()), rec)
+    });
     let rtree = engine(RTreeOracle::build(&objects)).with_threads(1);
 
     let mut body = String::new();
@@ -79,7 +84,7 @@ fn main() {
     ]);
     for qs in &sets {
         let mut row = vec![qs.label(), qs.len().to_string()];
-        for (_, eng) in &sequential {
+        for (_, eng, _) in &sequential {
             let report = time_query_set(eng, qs);
             row.push(format!("{:.3}", report.elapsed.as_secs_f64() * 1e3));
         }
@@ -97,6 +102,26 @@ fn main() {
     }
     body.push_str(&t.render());
     body.push_str("(* extrapolated from 200 tiles)\n\n");
+
+    // Per-query latency distribution across all sets above, from each
+    // engine's recorder — the paper reports means only; the percentiles
+    // show the constant-time claim holds at the tail too.
+    body.push_str("Figure 19(a) latency percentiles: per-query time across Q20..Q2\n");
+    let mut tq = TextTable::new(&["estimator", "queries", "mean", "p50", "p95", "p99", "max"]);
+    for (name, _, rec) in &sequential {
+        let s = rec.snapshot();
+        tq.row(&[
+            name.to_string(),
+            s.queries.to_string(),
+            fmt_duration(s.query_latency.mean()),
+            fmt_duration(s.query_latency.p50()),
+            fmt_duration(s.query_latency.p95()),
+            fmt_duration(s.query_latency.p99()),
+            fmt_duration(s.query_latency.max()),
+        ]);
+    }
+    body.push_str(&tq.render());
+    body.push('\n');
 
     // (b) M-EulerApprox time vs m on the largest query set.
     body.push_str("Figure 19(b): M-EulerApprox time vs histogram count, Q2 (16,200 tiles)\n");

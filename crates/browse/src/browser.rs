@@ -136,9 +136,13 @@ impl<E: Level2Estimator> EulerBrowser<E> {
 
 impl<E: Level2Estimator + Sync> EulerBrowser<E> {
     /// Answers a large tiling with scoped worker threads, one chunk of
-    /// tile rows per worker. Results are identical to [`Browser::browse`];
-    /// worthwhile from a few thousand tiles (each estimate is tens of
-    /// nanoseconds, so smaller tilings are faster sequentially).
+    /// tile rows per worker.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `euler_engine::EstimatorEngine` (which adds telemetry and \
+                worker-local accumulation), or browse through \
+                `GeoBrowsingService::browse` with `BrowseOptions::threads`"
+    )]
     pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
         let threads = threads.clamp(1, tiling.rows().max(1));
         if threads == 1 {
@@ -147,10 +151,10 @@ impl<E: Level2Estimator + Sync> EulerBrowser<E> {
         let cols = tiling.cols();
         let mut counts = vec![RelationCounts::default(); tiling.len()];
         let rows_per = tiling.rows().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (chunk_idx, chunk) in counts.chunks_mut(rows_per * cols).enumerate() {
                 let estimator = &self.estimator;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let row0 = chunk_idx * rows_per;
                     for (i, slot) in chunk.iter_mut().enumerate() {
                         let (col, row) = (i % cols, row0 + i / cols);
@@ -158,8 +162,7 @@ impl<E: Level2Estimator + Sync> EulerBrowser<E> {
                     }
                 });
             }
-        })
-        .expect("browse worker panicked");
+        });
         BrowseResult::new(*tiling, counts)
     }
 }
@@ -213,8 +216,13 @@ mod tests {
         assert_eq!(res.max_of(Relation::Intersect), 2);
     }
 
+    /// The engine is the parallel multi-tile path: clamped engine results
+    /// over a tiling match the sequential [`Browser::browse`] loop.
     #[test]
-    fn parallel_browse_matches_sequential() {
+    fn engine_browse_matches_sequential() {
+        use euler_engine::{EstimatorEngine, QueryBatch};
+        use std::sync::Arc;
+
         let g = Grid::new(
             DataSpace::new(Rect::new(0.0, 0.0, 36.0, 18.0).unwrap()),
             36,
@@ -229,12 +237,21 @@ mod tests {
                 s.snap(&Rect::new(x, y, x + 1.7, y + 1.1).unwrap())
             })
             .collect();
-        let b = EulerBrowser::new(SEulerApprox::new(EulerHistogram::build(g, &objs).freeze()));
+        let est = SEulerApprox::new(EulerHistogram::build(g, &objs).freeze());
+        let b = EulerBrowser::new(est.clone());
         let tiling = Tiling::new(g.full(), 18, 18).unwrap();
         let seq = b.browse(&tiling);
         for threads in [1, 2, 3, 7, 64] {
-            let par = b.browse_parallel(&tiling, threads);
-            assert_eq!(seq.counts(), par.counts(), "{threads} threads");
+            let engine = EstimatorEngine::builder(Arc::new(est.clone()))
+                .threads(threads)
+                .build();
+            let par: Vec<_> = engine
+                .run_batch(&QueryBatch::from(&tiling))
+                .counts
+                .into_iter()
+                .map(|c| c.clamped())
+                .collect();
+            assert_eq!(seq.counts(), &par[..], "{threads} threads");
         }
     }
 

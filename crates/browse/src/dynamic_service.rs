@@ -1,6 +1,10 @@
+use std::sync::Arc;
+use std::time::Instant;
+
 use euler_core::{DynamicEulerHistogram, RelationCounts};
 use euler_geom::Rect;
 use euler_grid::{Grid, Snapper, Tiling};
+use euler_metrics::{Recorder, RelationTally, TelemetryShard, TelemetrySnapshot};
 use parking_lot::RwLock;
 
 use crate::{BrowseResult, Browser};
@@ -22,6 +26,7 @@ pub struct DynamicGeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
     hist: RwLock<DynamicEulerHistogram>,
+    recorder: Arc<Recorder>,
 }
 
 impl DynamicGeoBrowsingService {
@@ -31,6 +36,7 @@ impl DynamicGeoBrowsingService {
             grid,
             snapper: Snapper::new(grid),
             hist: RwLock::new(DynamicEulerHistogram::new(grid)),
+            recorder: Recorder::shared(),
         }
     }
 
@@ -71,13 +77,45 @@ impl DynamicGeoBrowsingService {
         self.hist.write().remove(&snapped);
     }
 
+    /// The service's telemetry recorder (always on).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// A point-in-time readout of the service's query stats.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
+    }
+
     /// Answers a browsing query with current data (S-EulerApprox algebra).
+    ///
+    /// Per-tile latencies accumulate into a local shard while the read
+    /// lock is held and fold into the recorder once per call, so the
+    /// instrumentation adds no contention on the shared counters.
     pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
+        let start = Instant::now();
+        let mut shard = TelemetryShard::new();
         let hist = self.hist.read();
         let counts: Vec<RelationCounts> = tiling
             .iter()
-            .map(|(_, tile)| hist.s_euler_estimate(&tile).clamped())
+            .map(|(_, tile)| {
+                let t0 = Instant::now();
+                let c = hist.s_euler_estimate(&tile).clamped();
+                shard.record_query(
+                    t0.elapsed(),
+                    RelationTally::new(
+                        c.disjoint as u64,
+                        c.contains as u64,
+                        c.contained as u64,
+                        c.overlaps as u64,
+                    ),
+                );
+                c
+            })
             .collect();
+        drop(hist);
+        self.recorder.absorb(&shard);
+        self.recorder.record_batch(start.elapsed());
         BrowseResult::new(*tiling, counts)
     }
 }
@@ -128,11 +166,27 @@ mod tests {
         let stat = GeoBrowsingService::with_objects(grid(), &rects);
         let dynamic = DynamicGeoBrowsingService::with_objects(grid(), &rects);
         let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
-        let a = stat.browse(&tiling);
+        let a = stat.browse(&tiling, &crate::BrowseOptions::default());
         let b = dynamic.browse(&tiling);
         for ((c, r), _t) in tiling.iter() {
             assert_eq!(a.get(c, r), b.get(c, r), "tile ({c},{r})");
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_dynamic_browses() {
+        let svc = DynamicGeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 2.8, 2.8).unwrap());
+        let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
+        svc.browse(&tiling);
+        svc.browse(&tiling);
+        let stats = svc.telemetry();
+        assert_eq!(stats.queries, 24);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.query_latency.count(), 24);
+        assert!(stats.query_latency.p50() <= stats.query_latency.max());
+        // Every tile accounts for the one object.
+        assert_eq!(stats.objects_estimated, 24);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`ExactBrowser`] — the exact difference-array backend (ground truth
 //!   at scale);
 //! * [`GeoBrowsingService`] — a concurrent, updatable front end: writers
-//!   insert/remove objects, readers browse consistent snapshots;
+//!   insert/remove objects, readers browse consistent snapshots through
+//!   the one engine-backed entry point
+//!   ([`GeoBrowsingService::browse`] + [`BrowseOptions`]), with always-on
+//!   telemetry (latency percentiles, zero-hit/mega-hit counters);
 //! * [`DynamicGeoBrowsingService`] — the same front end over the
 //!   O(log²n)-update dynamic Euler histogram (no snapshot rebuilds);
 //! * [`FacetedService`] — multi-attribute browsing (Figure 1's
@@ -46,6 +49,7 @@ pub use exact_browser::ExactBrowser;
 pub use faceted::FacetedService;
 pub use pyramid::{PyramidBrowser, PyramidError};
 pub use render::render_heatmap;
-pub use service::GeoBrowsingService;
+pub use service::{BrowseOptions, GeoBrowsingService};
 
 pub use euler_core::RelationCounts;
+pub use euler_metrics::{Recorder, TelemetrySnapshot};

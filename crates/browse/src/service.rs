@@ -4,9 +4,75 @@ use euler_core::{EulerHistogram, SEulerApprox};
 use euler_engine::{EstimatorEngine, QueryBatch};
 use euler_geom::Rect;
 use euler_grid::{Grid, SnappedRect, Snapper, Tiling};
+use euler_metrics::{Recorder, TelemetrySnapshot};
 use parking_lot::RwLock;
 
 use crate::{BrowseResult, Browser};
+
+/// Options for a multi-tile browse: worker count and telemetry.
+///
+/// The default is the interactive profile — sequential (fan-out only
+/// pays from a few thousand tiles) with telemetry on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrowseOptions {
+    threads: usize,
+    telemetry: bool,
+    mega_threshold: i64,
+}
+
+impl Default for BrowseOptions {
+    fn default() -> BrowseOptions {
+        BrowseOptions {
+            threads: 1,
+            telemetry: true,
+            mega_threshold: 10_000,
+        }
+    }
+}
+
+impl BrowseOptions {
+    /// The default options: one thread, telemetry on, mega-hit threshold
+    /// 10 000.
+    pub fn new() -> BrowseOptions {
+        BrowseOptions::default()
+    }
+
+    /// Sets the engine worker count; `0` means one worker per available
+    /// core.
+    pub fn threads(mut self, threads: usize) -> BrowseOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Toggles recording into the service's [`Recorder`].
+    pub fn telemetry(mut self, on: bool) -> BrowseOptions {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets the per-tile intersect count from which a tile counts as a
+    /// mega-hit in the telemetry.
+    pub fn mega_threshold(mut self, threshold: i64) -> BrowseOptions {
+        self.mega_threshold = threshold;
+        self
+    }
+
+    /// The effective worker count for this machine.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Whether telemetry recording is enabled.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry
+    }
+}
 
 /// A concurrent GeoBrowsing front end over an updatable Euler histogram.
 ///
@@ -19,10 +85,17 @@ use crate::{BrowseResult, Browser};
 ///
 /// Freezing is deferred and amortized: the snapshot is rebuilt on first
 /// read after a batch of writes.
+///
+/// Every browse is dispatched through the batch engine and (unless
+/// disabled per call) recorded into the service's always-on [`Recorder`]:
+/// queries served, latency percentiles, per-relation totals and the
+/// zero-hit/mega-hit tile counters that drive refinement advice. Read
+/// the stats with [`GeoBrowsingService::telemetry`].
 pub struct GeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
     inner: RwLock<Inner>,
+    recorder: Arc<Recorder>,
 }
 
 struct Inner {
@@ -40,6 +113,7 @@ impl GeoBrowsingService {
                 hist: EulerHistogram::new(grid),
                 snapshot: None,
             }),
+            recorder: Recorder::shared(),
         }
     }
 
@@ -54,6 +128,7 @@ impl GeoBrowsingService {
                 hist: EulerHistogram::build(grid, &snapped),
                 snapshot: None,
             }),
+            recorder: Recorder::shared(),
         }
     }
 
@@ -102,28 +177,63 @@ impl GeoBrowsingService {
         snap
     }
 
-    /// A batch engine over the current snapshot — the shared multi-tile
-    /// dispatch path. The engine keeps the snapshot `Arc`, so writes
-    /// after this call don't affect an engine already handed out.
-    pub fn engine(&self, threads: usize) -> EstimatorEngine {
-        EstimatorEngine::new(self.snapshot()).with_threads(threads)
+    /// The service's telemetry recorder (always on; shared with every
+    /// engine the service hands out).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
     }
 
-    /// Answers a browsing query on the current snapshot (sequentially —
-    /// cheaper than fan-out for interactive tile counts).
-    pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        self.browse_parallel(tiling, 1)
+    /// A point-in-time readout of the service's query stats: queries and
+    /// batches served, `p50/p95/p99/max` latency, per-relation estimate
+    /// totals, zero-hit/mega-hit tiles.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder.snapshot()
+    }
+
+    /// A batch engine over the current snapshot — the shared multi-tile
+    /// dispatch path, wired to the service recorder. The engine keeps the
+    /// snapshot `Arc`, so writes after this call don't affect an engine
+    /// already handed out.
+    pub fn engine(&self, threads: usize) -> EstimatorEngine {
+        EstimatorEngine::builder(self.snapshot())
+            .threads(threads)
+            .recorder(self.recorder.clone())
+            .build()
+    }
+
+    /// Answers a browsing query on the current snapshot — the one
+    /// multi-tile entry point. `opts` picks the worker count (engine
+    /// fan-out; worthwhile from a few thousand tiles) and whether the
+    /// call is recorded into the service telemetry.
+    pub fn browse(&self, tiling: &Tiling, opts: &BrowseOptions) -> BrowseResult {
+        let mut builder =
+            EstimatorEngine::builder(self.snapshot()).threads(opts.effective_threads());
+        if opts.telemetry {
+            builder = builder.recorder(self.recorder.clone());
+        }
+        let result = builder.build().run_batch(&QueryBatch::from(tiling));
+        let counts: Vec<_> = result.counts.into_iter().map(|c| c.clamped()).collect();
+        if opts.telemetry {
+            let hits = |c: &euler_core::RelationCounts| c.intersecting();
+            let zero = counts.iter().filter(|c| hits(c) == 0).count();
+            let mega = counts
+                .iter()
+                .filter(|c| hits(c) >= opts.mega_threshold)
+                .count();
+            self.recorder.add_zero_hits(zero as u64);
+            self.recorder.add_mega_hits(mega as u64);
+        }
+        BrowseResult::new(*tiling, counts)
     }
 
     /// Answers a browsing query with the batch engine fanned across
-    /// `threads` workers. Identical results to [`browse`]; worthwhile
-    /// from a few thousand tiles.
+    /// `threads` workers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `browse(tiling, &BrowseOptions::new().threads(n))`"
+    )]
     pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
-        let result = self.engine(threads).run_batch(&QueryBatch::from(tiling));
-        BrowseResult::new(
-            *tiling,
-            result.counts.into_iter().map(|c| c.clamped()).collect(),
-        )
+        self.browse(tiling, &BrowseOptions::new().threads(threads))
     }
 }
 
@@ -133,7 +243,7 @@ impl Browser for GeoBrowsingService {
     }
 
     fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        GeoBrowsingService::browse(self, tiling)
+        GeoBrowsingService::browse(self, tiling, &BrowseOptions::default())
     }
 }
 
@@ -147,6 +257,10 @@ mod tests {
         Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap()
     }
 
+    fn opts() -> BrowseOptions {
+        BrowseOptions::default()
+    }
+
     #[test]
     fn insert_remove_roundtrip() {
         let svc = GeoBrowsingService::new(grid());
@@ -154,10 +268,10 @@ mod tests {
         svc.insert(&r);
         assert_eq!(svc.len(), 1);
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
-        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 1);
+        assert_eq!(svc.browse(&tiling, &opts()).get(0, 0).contains, 1);
         svc.remove(&r);
         assert_eq!(svc.len(), 0);
-        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 0);
+        assert_eq!(svc.browse(&tiling, &opts()).get(0, 0).contains, 0);
     }
 
     #[test]
@@ -169,15 +283,56 @@ mod tests {
             svc.insert(&Rect::new(x, y, x + 0.7, y + 0.6).unwrap());
         }
         let tiling = Tiling::new(svc.grid().full(), 8, 8).unwrap();
-        let seq = svc.browse(&tiling);
-        for threads in [2, 4, 16] {
-            let par = svc.browse_parallel(&tiling, threads);
+        let seq = svc.browse(&tiling, &opts());
+        for threads in [0, 2, 4, 16] {
+            let par = svc.browse(&tiling, &opts().threads(threads));
             assert_eq!(seq.counts(), par.counts(), "{threads} threads");
         }
         // The engine reports through the shared estimator interface.
         let report = svc.engine(4).run_batch(&QueryBatch::from(&tiling)).report;
         assert_eq!(report.queries, 64);
         assert_eq!(report.estimator, "S-EulerApprox");
+    }
+
+    #[test]
+    fn telemetry_records_browses_and_advice_counters() {
+        let svc = GeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+        let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
+
+        svc.browse(&tiling, &opts().mega_threshold(1));
+        let stats = svc.telemetry();
+        assert_eq!(stats.queries, 16);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.query_latency.count(), 16);
+        // One object in one tile: 15 zero-hit tiles, 1 mega-hit (≥ 1).
+        assert_eq!(stats.zero_hits, 15);
+        assert_eq!(stats.mega_hits, 1);
+        assert!(stats.query_latency.p50() <= stats.query_latency.p99());
+
+        // Telemetry off: nothing moves.
+        svc.browse(&tiling, &opts().telemetry(false));
+        let after = svc.telemetry();
+        assert_eq!(after.queries, 16);
+        assert_eq!(after.batches, 1);
+
+        // The engine() path shares the same recorder.
+        svc.engine(2).run_batch(&QueryBatch::from(&tiling));
+        assert_eq!(svc.telemetry().queries, 32);
+
+        // The snapshot renders as text tables.
+        assert!(svc.telemetry().render().contains("p99"));
+    }
+
+    #[test]
+    fn trait_browse_uses_default_options() {
+        let svc = GeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+        let tiling = Tiling::new(svc.grid().full(), 2, 2).unwrap();
+        let via_trait = Browser::browse(&svc, &tiling);
+        assert_eq!(via_trait.counts().len(), 4);
+        assert_eq!(svc.telemetry().queries, 4);
+        assert_eq!(Browser::name(&svc), "GeoBrowsingService");
     }
 
     #[test]
@@ -208,7 +363,7 @@ mod tests {
                         let x = 0.1 + (i % 7) as f64;
                         svc.insert(&Rect::new(x, 0.1, x + 0.5, 0.6).unwrap());
                     } else {
-                        let res = svc.browse(&tiling);
+                        let res = svc.browse(&tiling, &BrowseOptions::default());
                         let total = res.counts()[0].total();
                         assert!(total >= 1);
                     }
@@ -219,5 +374,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(svc.len(), 51);
+        // Telemetry saw every concurrent browse exactly once.
+        assert_eq!(svc.telemetry().queries, 3 * 50 * 4);
     }
 }

@@ -13,7 +13,32 @@
 //! shared mutable state and no per-query synchronization.
 //!
 //! Wall-clock latency and derived throughput for each batch are measured
-//! with `euler-metrics` and returned in a [`BatchReport`].
+//! with `euler-metrics` and returned in a [`BatchReport`]. Attach a
+//! [`Recorder`] (via [`EstimatorEngine::builder`]) and every query is
+//! additionally timed into lock-free telemetry — per-worker
+//! [`TelemetryShard`]s folded at join, so the instrumentation adds no
+//! cross-thread contention and `p50/p95/p99` latency percentiles come
+//! out of [`Recorder::snapshot`]:
+//!
+//! ```
+//! use euler_core::{EulerHistogram, SEulerApprox};
+//! use euler_engine::{EstimatorEngine, QueryBatch};
+//! use euler_grid::{Grid, Tiling};
+//! use euler_metrics::Recorder;
+//!
+//! let grid = Grid::paper_default();
+//! let est = SEulerApprox::new(EulerHistogram::new(grid).freeze());
+//! let recorder = Recorder::shared();
+//! let engine = EstimatorEngine::builder(std::sync::Arc::new(est))
+//!     .threads(2)
+//!     .recorder(recorder.clone())
+//!     .build();
+//! engine.run_batch(&QueryBatch::from(&Tiling::new(grid.full(), 6, 6).unwrap()));
+//! let stats = recorder.snapshot();
+//! assert_eq!(stats.queries, 36);
+//! assert_eq!(stats.batches, 1);
+//! assert!(stats.query_latency.p50() <= stats.query_latency.p99());
+//! ```
 //!
 //! ```
 //! use euler_core::{EulerHistogram, SEulerApprox};
@@ -49,11 +74,11 @@
 
 use std::borrow::Cow;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use euler_core::{Level2Estimator, RelationCounts};
 use euler_grid::{GridRect, QuerySet, Tiling};
-use euler_metrics::time_it;
+use euler_metrics::{time_it, Recorder, RelationTally, TelemetryShard};
 
 /// The estimator handle the engine shares across workers.
 pub type SharedEstimator = Arc<dyn Level2Estimator + Send + Sync>;
@@ -135,12 +160,15 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
-    /// Queries per second of wall-clock time.
+    /// Queries per second of wall-clock time. Always finite: an empty
+    /// batch is 0 q/s, and a clock too coarse to see a non-empty batch
+    /// is floored at one nanosecond of elapsed time.
     pub fn throughput_qps(&self) -> f64 {
-        if self.elapsed.is_zero() {
-            return f64::INFINITY;
+        if self.queries == 0 {
+            return 0.0;
         }
-        self.queries as f64 / self.elapsed.as_secs_f64()
+        let secs = self.elapsed.max(Duration::from_nanos(1)).as_secs_f64();
+        self.queries as f64 / secs
     }
 
     /// Mean wall-clock latency per query (includes fan-out overhead).
@@ -174,27 +202,132 @@ pub struct BatchResult {
     pub report: BatchReport,
 }
 
-/// The batch engine: a frozen, `Arc`-shared estimator plus a worker
-/// count. Cloning the engine clones the handle, not the histogram.
+/// Runs one contiguous chunk of queries, writing per-query results into
+/// `out` and returning the chunk's running total. With a shard, each
+/// query is individually timed and recorded — worker-locally, so the
+/// instrumentation adds no cross-thread traffic (the shard folds into
+/// the shared [`Recorder`] once, at join).
+fn estimate_chunk(
+    est: &SharedEstimator,
+    queries: &[GridRect],
+    out: &mut [RelationCounts],
+    shard: Option<&mut TelemetryShard>,
+) -> RelationCounts {
+    let mut total = RelationCounts::default();
+    match shard {
+        None => {
+            for (q, slot) in queries.iter().zip(out.iter_mut()) {
+                *slot = est.estimate(q);
+                total = total.add(slot);
+            }
+        }
+        Some(shard) => {
+            for (q, slot) in queries.iter().zip(out.iter_mut()) {
+                let start = Instant::now();
+                *slot = est.estimate(q);
+                let latency = start.elapsed();
+                total = total.add(slot);
+                let c = slot.clamped();
+                shard.record_query(
+                    latency,
+                    RelationTally::new(
+                        c.disjoint as u64,
+                        c.contains as u64,
+                        c.contained as u64,
+                        c.overlaps as u64,
+                    ),
+                );
+            }
+        }
+    }
+    total
+}
+
+/// Configures an [`EstimatorEngine`]:
+/// `EstimatorEngine::builder(est).threads(4).recorder(r).build()`.
+#[derive(Clone)]
+pub struct EngineBuilder {
+    estimator: SharedEstimator,
+    threads: Option<usize>,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl EngineBuilder {
+    /// Sets the worker count (clamped to at least 1); defaults to one
+    /// worker per available core.
+    pub fn threads(mut self, threads: usize) -> EngineBuilder {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Attaches a telemetry recorder: every query and batch the engine
+    /// runs is recorded into it (per-worker shards, folded at join).
+    pub fn recorder(mut self, recorder: Arc<Recorder>) -> EngineBuilder {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> EstimatorEngine {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        EstimatorEngine {
+            estimator: self.estimator,
+            threads,
+            recorder: self.recorder,
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("estimator", &self.estimator.name())
+            .field("threads", &self.threads)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+/// The batch engine: a frozen, `Arc`-shared estimator, a worker count,
+/// and an optional telemetry recorder. Cloning the engine clones the
+/// handles, not the histogram.
 #[derive(Clone)]
 pub struct EstimatorEngine {
     estimator: SharedEstimator,
     threads: usize,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl EstimatorEngine {
     /// Wraps a shared estimator; defaults to one worker per available
-    /// core.
+    /// core and no telemetry.
     pub fn new(estimator: SharedEstimator) -> EstimatorEngine {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        EstimatorEngine { estimator, threads }
+        EstimatorEngine::builder(estimator).build()
+    }
+
+    /// Starts a builder: set threads and telemetry, then
+    /// [`EngineBuilder::build`].
+    pub fn builder(estimator: SharedEstimator) -> EngineBuilder {
+        EngineBuilder {
+            estimator,
+            threads: None,
+            recorder: None,
+        }
     }
 
     /// Sets the worker count (clamped to at least 1).
     pub fn with_threads(mut self, threads: usize) -> EstimatorEngine {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a telemetry recorder (see [`EngineBuilder::recorder`]).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> EstimatorEngine {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -208,28 +341,37 @@ impl EstimatorEngine {
         self.threads
     }
 
+    /// The attached telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
     /// Runs every query of the batch, returning per-query counts in batch
     /// order plus the measured [`BatchReport`].
     ///
     /// The batch is split into `threads` contiguous chunks; each worker
-    /// owns a disjoint `chunks_mut` slice of the result vector and a
-    /// worker-local running total, so workers never contend. With one
-    /// thread (or a single-query batch) no threads are spawned at all —
-    /// the sequential path is the baseline the benches compare against.
+    /// owns a disjoint `chunks_mut` slice of the result vector, a
+    /// worker-local running total, and (when a recorder is attached) a
+    /// worker-local [`TelemetryShard`], so workers never contend — the
+    /// shards fold into the recorder at join, after the batch clock
+    /// stops. Without a recorder the hot loop carries zero
+    /// instrumentation. With one thread (or a single-query batch) no
+    /// threads are spawned at all — the sequential path is the baseline
+    /// the benches compare against.
     pub fn run_batch(&self, batch: &QueryBatch<'_>) -> BatchResult {
         let queries = batch.as_slice();
         let n = queries.len();
         let threads = self.threads.min(n).max(1);
         let mut counts = vec![RelationCounts::default(); n];
         let est = &self.estimator;
+        let record = self.recorder.is_some();
+        let mut shards: Vec<TelemetryShard> = Vec::new();
 
         let (total, elapsed) = time_it(|| {
             if threads == 1 {
-                let mut total = RelationCounts::default();
-                for (q, slot) in queries.iter().zip(counts.iter_mut()) {
-                    *slot = est.estimate(q);
-                    total = total.add(slot);
-                }
+                let mut shard = record.then(TelemetryShard::new);
+                let total = estimate_chunk(est, queries, &mut counts, shard.as_mut());
+                shards.extend(shard);
                 total
             } else {
                 let chunk = n.div_ceil(threads);
@@ -239,22 +381,29 @@ impl EstimatorEngine {
                         .zip(counts.chunks_mut(chunk))
                         .map(|(qs, out)| {
                             s.spawn(move || {
-                                let mut local = RelationCounts::default();
-                                for (q, slot) in qs.iter().zip(out.iter_mut()) {
-                                    *slot = est.estimate(q);
-                                    local = local.add(slot);
-                                }
-                                local
+                                let mut shard = record.then(TelemetryShard::new);
+                                let total = estimate_chunk(est, qs, out, shard.as_mut());
+                                (total, shard)
                             })
                         })
                         .collect();
-                    workers
-                        .into_iter()
-                        .map(|w| w.join().expect("engine worker panicked"))
-                        .fold(RelationCounts::default(), |acc, t| acc.add(&t))
+                    let mut total = RelationCounts::default();
+                    for w in workers {
+                        let (t, shard) = w.join().expect("engine worker panicked");
+                        total = total.add(&t);
+                        shards.extend(shard);
+                    }
+                    total
                 })
             }
         });
+
+        if let Some(rec) = &self.recorder {
+            for shard in &shards {
+                rec.absorb(shard);
+            }
+            rec.record_batch(elapsed);
+        }
 
         BatchResult {
             counts,
@@ -274,6 +423,7 @@ impl std::fmt::Debug for EstimatorEngine {
         f.debug_struct("EstimatorEngine")
             .field("estimator", &self.estimator.name())
             .field("threads", &self.threads)
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -354,6 +504,101 @@ mod tests {
         assert!(r.counts.is_empty());
         assert_eq!(r.report.queries, 0);
         assert_eq!(r.report.mean_latency(), Duration::ZERO);
+    }
+
+    /// Regression: a zero-length batch must yield a well-defined report —
+    /// no NaN or ∞ from the derived rates, and a renderable summary.
+    #[test]
+    fn empty_batch_report_has_finite_rates() {
+        let (_, est) = setup(10);
+        for threads in [1, 4] {
+            let engine = EstimatorEngine::new(est.clone()).with_threads(threads);
+            let report = engine.run_batch(&QueryBatch::new(&[])).report;
+            assert_eq!(report.throughput_qps(), 0.0);
+            assert!(report.throughput_qps().is_finite());
+            assert!(!report.throughput_qps().is_nan());
+            assert_eq!(report.mean_latency(), Duration::ZERO);
+            assert!(report.summary().contains("0 queries"));
+        }
+        // A synthetic zero-elapsed (but non-empty) report is finite too.
+        let report = BatchReport {
+            estimator: "x",
+            queries: 5,
+            threads: 1,
+            elapsed: Duration::ZERO,
+            total: RelationCounts::default(),
+        };
+        assert!(report.throughput_qps().is_finite());
+    }
+
+    #[test]
+    fn builder_configures_threads_and_recorder() {
+        let (_, est) = setup(10);
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(est)
+            .threads(3)
+            .recorder(recorder.clone())
+            .build();
+        assert_eq!(engine.threads(), 3);
+        assert!(engine.recorder().is_some());
+        assert!(format!("{engine:?}").contains("recorder: true"));
+    }
+
+    /// The recorder sees every query exactly once, whatever the thread
+    /// count, and its relation totals match the clamped batch results.
+    #[test]
+    fn telemetry_counts_are_exact_across_thread_counts() {
+        let (grid, est) = setup(300);
+        let batch = QueryBatch::from(&Tiling::new(grid.full(), 8, 5).unwrap());
+        for threads in [1usize, 2, 4, 8] {
+            let recorder = Recorder::shared();
+            let engine = EstimatorEngine::builder(est.clone())
+                .threads(threads)
+                .recorder(recorder.clone())
+                .build();
+            let r = engine.run_batch(&batch);
+            // A second, recorder-less engine gives identical results.
+            let bare = EstimatorEngine::new(est.clone()).with_threads(threads);
+            assert_eq!(bare.run_batch(&batch).counts, r.counts);
+
+            let stats = recorder.snapshot();
+            assert_eq!(stats.queries, 40, "threads={threads}");
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.query_latency.count(), 40);
+            assert_eq!(stats.batch_latency.count(), 1);
+            let clamped: Vec<_> = r.counts.iter().map(|c| c.clamped()).collect();
+            let sum = |f: fn(&RelationCounts) -> i64| -> u64 {
+                clamped.iter().map(|c| f(c) as u64).sum()
+            };
+            assert_eq!(stats.relations.disjoint, sum(|c| c.disjoint));
+            assert_eq!(stats.relations.contains, sum(|c| c.contains));
+            assert_eq!(stats.relations.contained, sum(|c| c.contained));
+            assert_eq!(stats.relations.overlaps, sum(|c| c.overlaps));
+            assert_eq!(
+                stats.objects_estimated,
+                clamped.iter().map(|c| c.total() as u64).sum::<u64>()
+            );
+            assert!(stats.query_latency.p50() <= stats.query_latency.max());
+        }
+    }
+
+    /// Running more batches accumulates telemetry; snapshots diff cleanly.
+    #[test]
+    fn telemetry_accumulates_and_diffs() {
+        let (grid, est) = setup(50);
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(est)
+            .threads(2)
+            .recorder(recorder.clone())
+            .build();
+        let batch = QueryBatch::from(&Tiling::new(grid.full(), 4, 4).unwrap());
+        engine.run_batch(&batch);
+        let before = recorder.snapshot();
+        engine.run_batch(&batch);
+        engine.run_batch(&batch);
+        let delta = recorder.snapshot().delta_since(&before);
+        assert_eq!(delta.queries, 32);
+        assert_eq!(delta.batches, 2);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Evaluation metrics and reporting utilities for the experiments (§6.1.3):
 //! the Average Relative Error of \[APR99\], scatter-series statistics for
-//! the estimated-vs-exact plots, wall-clock timing, and plain-text tables
-//! and charts for EXPERIMENTS.md.
+//! the estimated-vs-exact plots, wall-clock timing, plain-text tables
+//! and charts for EXPERIMENTS.md — plus the always-on [`telemetry`]
+//! subsystem (lock-free counters and log-scale latency histograms) the
+//! query hot path reports through.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -10,10 +12,15 @@ mod error;
 mod plot;
 mod scatter;
 mod table;
+pub mod telemetry;
 mod timing;
 
 pub use error::{are_f64, average_relative_error, ErrorAccumulator};
 pub use plot::{ascii_chart, ChartSeries};
 pub use scatter::ScatterSeries;
 pub use table::TextTable;
+pub use telemetry::{
+    fmt_duration, Counter, HistogramSnapshot, LatencyHistogram, LocalHistogram, Recorder,
+    RelationTally, TelemetryShard, TelemetrySnapshot,
+};
 pub use timing::{time_it, Stopwatch};

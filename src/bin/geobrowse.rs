@@ -2,15 +2,21 @@
 //!
 //! Loads a CSV of MBRs (or generates one of the paper's datasets), builds
 //! an Euler histogram, runs one browsing query (a tiling), and renders the
-//! per-tile counts as a terminal heat map with refinement advice.
+//! per-tile counts as a terminal heat map with refinement advice. The
+//! `stats` subcommand replays the browse through the instrumented batch
+//! engine and prints the telemetry readout (latency percentiles, relation
+//! totals, zero-hit/mega-hit counters) instead of the heat map.
 //!
 //! ```sh
 //! geobrowse --demo adl --tiles 36x18 --relation contains
 //! geobrowse --data roads.csv --grid 360x180 --region 100,60,148,108 \
 //!           --tiles 22x24 --relation overlap --estimator m --boundaries 3,10
+//! geobrowse stats --demo adl --repeat 20 --threads 4
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use spatial_histograms::browse::{advise, render_heatmap, EulerBrowser, Relation};
 use spatial_histograms::core::EulerApprox;
@@ -19,8 +25,17 @@ use spatial_histograms::datagen::{paper_dataset, Dataset};
 use spatial_histograms::metrics::time_it;
 use spatial_histograms::prelude::*;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Render the heat map and advice (the default).
+    Browse,
+    /// Replay the tiling through the batch engine and print telemetry.
+    Stats,
+}
+
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
+    command: Command,
     data: Option<String>,
     demo: Option<String>,
     scale: u32,
@@ -31,11 +46,14 @@ struct Options {
     estimator: String,
     boundaries: Vec<usize>,
     mega: i64,
+    repeat: u32,
+    threads: usize,
 }
 
 impl Default for Options {
     fn default() -> Options {
         Options {
+            command: Command::Browse,
             data: None,
             demo: None,
             scale: 10,
@@ -46,6 +64,8 @@ impl Default for Options {
             estimator: "s".into(),
             boundaries: vec![3, 10],
             mega: 10_000,
+            repeat: 8,
+            threads: 1,
         }
     }
 }
@@ -54,7 +74,7 @@ const USAGE: &str = "\
 geobrowse — browse a spatial dataset with Euler histograms
 
 USAGE:
-  geobrowse [--data FILE.csv | --demo sp_skew|sz_skew|adl|ca_road]
+  geobrowse [stats] [--data FILE.csv | --demo sp_skew|sz_skew|adl|ca_road]
             [--scale N]            demo dataset size divisor (default 10)
             [--grid NXxNY]         grid cells (default 360x180)
             [--tiles CxR]          tiling columns x rows (default 36x18)
@@ -63,6 +83,10 @@ USAGE:
             [--estimator s|euler|m]  (default s = S-EulerApprox)
             [--boundaries s1,s2,..]  M-EulerApprox group sides (default 3,10)
             [--mega N]             mega-hit threshold for advice (default 10000)
+
+  stats mode only:
+            [--repeat N]           browse passes to record (default 8)
+            [--threads N]          engine worker threads (default 1)
 ";
 
 fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
@@ -75,6 +99,10 @@ fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut i = 0;
+    if args.first().map(String::as_str) == Some("stats") {
+        o.command = Command::Stats;
+        i = 1;
+    }
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         args.get(*i)
@@ -136,6 +164,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --mega: {e}"))?
             }
+            "--repeat" => {
+                o.repeat = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --repeat: {e}"))?
+            }
+            "--threads" => {
+                o.threads = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -147,7 +185,35 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.data.is_some() && o.demo.is_some() {
         return Err("--data and --demo are mutually exclusive".into());
     }
+    if o.repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
     Ok(o)
+}
+
+/// Builds the selected estimator behind a shareable handle, timing the build.
+fn build_estimator(
+    o: &Options,
+    grid: Grid,
+    objects: &[SnappedRect],
+) -> (SharedEstimator, Duration) {
+    match o.estimator.as_str() {
+        "m" => {
+            let boundaries: Vec<f64> = MEulerApprox::boundaries_from_sides(&o.boundaries);
+            let (est, t) = time_it(|| MEulerApprox::build(grid, objects, &boundaries));
+            (Arc::new(est) as SharedEstimator, t)
+        }
+        "euler" => {
+            let (est, t) =
+                time_it(|| EulerApprox::new(EulerHistogram::build(grid, objects).freeze()));
+            (Arc::new(est) as SharedEstimator, t)
+        }
+        _ => {
+            let (est, t) =
+                time_it(|| SEulerApprox::new(EulerHistogram::build(grid, objects).freeze()));
+            (Arc::new(est) as SharedEstimator, t)
+        }
+    }
 }
 
 fn run(o: &Options) -> Result<(), String> {
@@ -173,45 +239,77 @@ fn run(o: &Options) -> Result<(), String> {
     let tiling = Tiling::new(region, o.tiles.0, o.tiles.1).map_err(|e| e.to_string())?;
 
     let objects = dataset.snap(&grid);
-    let (result, build_time, query_time) = match o.estimator.as_str() {
-        "m" => {
-            let boundaries: Vec<f64> = MEulerApprox::boundaries_from_sides(&o.boundaries);
-            let (est, build_time) = time_it(|| MEulerApprox::build(grid, &objects, &boundaries));
-            let browser = EulerBrowser::new(est);
-            let (result, query_time) = time_it(|| browser.browse(&tiling));
-            (result, build_time, query_time)
-        }
-        "euler" => {
-            let (est, build_time) =
-                time_it(|| EulerApprox::new(EulerHistogram::build(grid, &objects).freeze()));
-            let browser = EulerBrowser::new(est);
-            let (result, query_time) = time_it(|| browser.browse(&tiling));
-            (result, build_time, query_time)
-        }
-        _ => {
-            let (est, build_time) =
-                time_it(|| SEulerApprox::new(EulerHistogram::build(grid, &objects).freeze()));
-            let browser = EulerBrowser::new(est);
-            let (result, query_time) = time_it(|| browser.browse(&tiling));
-            (result, build_time, query_time)
-        }
-    };
+    let (est, build_time) = build_estimator(o, grid, &objects);
 
-    print!("{}", render_heatmap(&result, o.relation));
-    let tips = advise(&result, o.relation, o.mega);
+    match o.command {
+        Command::Stats => run_stats(o, est, build_time, &tiling),
+        Command::Browse => {
+            let browser = EulerBrowser::new(est);
+            let (result, query_time) = time_it(|| browser.browse(&tiling));
+
+            print!("{}", render_heatmap(&result, o.relation));
+            let tips = advise(&result, o.relation, o.mega);
+            println!(
+                "tiles: {} | zero {:.0}% | mega {:.0}% | hottest {:?} | suggestion {:?}",
+                tiling.len(),
+                100.0 * tips.zero_fraction,
+                100.0 * tips.mega_fraction,
+                tips.hottest,
+                tips.suggestion
+            );
+            println!(
+                "build {:.1} ms | browse {:.3} ms ({:.1} ns/tile)",
+                build_time.as_secs_f64() * 1e3,
+                query_time.as_secs_f64() * 1e3,
+                query_time.as_secs_f64() * 1e9 / tiling.len() as f64
+            );
+            Ok(())
+        }
+    }
+}
+
+/// `stats` subcommand: replay the tiling through an instrumented engine and
+/// print the telemetry snapshot instead of a heat map.
+fn run_stats(
+    o: &Options,
+    est: SharedEstimator,
+    build_time: Duration,
+    tiling: &Tiling,
+) -> Result<(), String> {
+    let recorder = Recorder::shared();
+    let engine = EstimatorEngine::builder(est)
+        .threads(o.threads.max(1))
+        .recorder(recorder.clone())
+        .build();
+    let batch = QueryBatch::from(tiling);
+    let mut last = None;
+    for _ in 0..o.repeat {
+        last = Some(engine.run_batch(&batch));
+    }
+    let last = last.expect("repeat >= 1 checked in parse");
+
+    // Advice counters from the final pass (counts are identical each pass).
+    let (mut zero, mut mega) = (0u64, 0u64);
+    for c in &last.counts {
+        let c = c.clamped();
+        if c.intersecting() == 0 {
+            zero += 1;
+        }
+        if c.intersecting() >= o.mega {
+            mega += 1;
+        }
+    }
+    recorder.add_zero_hits(zero);
+    recorder.add_mega_hits(mega);
+
+    print!("{}", recorder.snapshot().render());
     println!(
-        "tiles: {} | zero {:.0}% | mega {:.0}% | hottest {:?} | suggestion {:?}",
-        tiling.len(),
-        100.0 * tips.zero_fraction,
-        100.0 * tips.mega_fraction,
-        tips.hottest,
-        tips.suggestion
-    );
-    println!(
-        "build {:.1} ms | browse {:.3} ms ({:.1} ns/tile)",
+        "build {:.1} ms | {} passes x {} tiles on {} thread(s) | last pass {:.1} queries/s",
         build_time.as_secs_f64() * 1e3,
-        query_time.as_secs_f64() * 1e3,
-        query_time.as_secs_f64() * 1e9 / tiling.len() as f64
+        o.repeat,
+        tiling.len(),
+        engine.threads(),
+        last.report.throughput_qps()
     );
     Ok(())
 }
@@ -270,6 +368,7 @@ mod tests {
             "500",
         ]))
         .unwrap();
+        assert_eq!(o.command, Command::Browse);
         assert_eq!(o.demo.as_deref(), Some("adl"));
         assert_eq!(o.grid, (180, 90));
         assert_eq!(o.tiles, (10, 5));
@@ -281,6 +380,25 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_stats_subcommand() {
+        let o = parse_args(&args(&[
+            "stats",
+            "--demo",
+            "adl",
+            "--repeat",
+            "20",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, Command::Stats);
+        assert_eq!(o.repeat, 20);
+        assert_eq!(o.threads, 4);
+        // The subcommand keyword only counts in first position.
+        assert!(parse_args(&args(&["--demo", "adl", "stats"])).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&args(&[])).is_err());
         assert!(parse_args(&args(&["--demo", "adl", "--data", "x.csv"])).is_err());
@@ -288,14 +406,18 @@ mod tests {
         assert!(parse_args(&args(&["--demo", "adl", "--relation", "nope"])).is_err());
         assert!(parse_args(&args(&["--demo"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["stats", "--demo", "adl", "--repeat", "0"])).is_err());
     }
 
     #[test]
     fn defaults_are_sane() {
         let o = parse_args(&args(&["--demo", "sp_skew"])).unwrap();
+        assert_eq!(o.command, Command::Browse);
         assert_eq!(o.grid, (360, 180));
         assert_eq!(o.tiles, (36, 18));
         assert_eq!(o.relation, Relation::Intersect);
         assert_eq!(o.estimator, "s");
+        assert_eq!(o.repeat, 8);
+        assert_eq!(o.threads, 1);
     }
 }

@@ -18,7 +18,7 @@
 //! | [`datagen`] | the paper's four datasets (seeded) and exact ground truth |
 //! | [`engine`] | the batch query engine: shared-estimator fan-out across threads |
 //! | [`browse`] | the GeoBrowsing service: multi-tile queries, heat maps, advice |
-//! | [`metrics`] | average relative error, scatter stats, timing, text tables |
+//! | [`metrics`] | average relative error, scatter stats, timing, text tables, hot-path telemetry |
 //!
 //! The [`prelude`] exposes the types most applications need.
 //!
@@ -31,8 +31,12 @@
 //! service.insert(&Rect::new(10.0, 10.0, 12.0, 11.0).unwrap());
 //! service.insert(&Rect::new(200.0, 90.0, 203.0, 94.0).unwrap());
 //! let tiling = Tiling::new(grid.full(), 36, 18).unwrap();
-//! let result = service.browse(&tiling);
+//! let result = service.browse(&tiling, &BrowseOptions::default());
 //! assert_eq!(result.counts().iter().map(|c| c.contains).sum::<i64>(), 2);
+//! // Every browse feeds the service telemetry.
+//! let stats = service.telemetry();
+//! assert_eq!(stats.queries, 36 * 18);
+//! assert!(stats.query_latency.p50() <= stats.query_latency.p99());
 //! ```
 
 #![warn(missing_docs)]
@@ -52,12 +56,16 @@ pub use euler_rtree as rtree;
 /// The types most applications need, in one import.
 pub mod prelude {
     pub use euler_browse::{
-        advise, render_heatmap, Browser, EulerBrowser, ExactBrowser, GeoBrowsingService, Relation,
+        advise, render_heatmap, BrowseOptions, Browser, EulerBrowser, ExactBrowser,
+        GeoBrowsingService, Relation,
     };
     pub use euler_core::{
         EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, RelationCounts, SEulerApprox,
     };
-    pub use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
+    pub use euler_engine::{EngineBuilder, EstimatorEngine, QueryBatch, SharedEstimator};
     pub use euler_geom::{Level2Relation, Point, Rect};
     pub use euler_grid::{DataSpace, Grid, GridRect, QuerySet, SnappedRect, Snapper, Tiling};
+    pub use euler_metrics::{
+        HistogramSnapshot, LatencyHistogram, Recorder, RelationTally, TelemetrySnapshot,
+    };
 }
