@@ -134,39 +134,6 @@ impl<E: Level2Estimator> EulerBrowser<E> {
     }
 }
 
-impl<E: Level2Estimator + Sync> EulerBrowser<E> {
-    /// Answers a large tiling with scoped worker threads, one chunk of
-    /// tile rows per worker.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an `euler_engine::EstimatorEngine` (which adds telemetry and \
-                worker-local accumulation), or browse through \
-                `GeoBrowsingService::browse` with `BrowseOptions::threads`"
-    )]
-    pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
-        let threads = threads.clamp(1, tiling.rows().max(1));
-        if threads == 1 {
-            return self.browse(tiling);
-        }
-        let cols = tiling.cols();
-        let mut counts = vec![RelationCounts::default(); tiling.len()];
-        let rows_per = tiling.rows().div_ceil(threads);
-        std::thread::scope(|s| {
-            for (chunk_idx, chunk) in counts.chunks_mut(rows_per * cols).enumerate() {
-                let estimator = &self.estimator;
-                s.spawn(move || {
-                    let row0 = chunk_idx * rows_per;
-                    for (i, slot) in chunk.iter_mut().enumerate() {
-                        let (col, row) = (i % cols, row0 + i / cols);
-                        *slot = estimator.estimate(&tiling.tile(col, row)).clamped();
-                    }
-                });
-            }
-        });
-        BrowseResult::new(*tiling, counts)
-    }
-}
-
 impl<E: Level2Estimator> Browser for EulerBrowser<E> {
     fn name(&self) -> &'static str {
         self.estimator.name()

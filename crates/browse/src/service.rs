@@ -225,16 +225,6 @@ impl GeoBrowsingService {
         }
         BrowseResult::new(*tiling, counts)
     }
-
-    /// Answers a browsing query with the batch engine fanned across
-    /// `threads` workers.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `browse(tiling, &BrowseOptions::new().threads(n))`"
-    )]
-    pub fn browse_parallel(&self, tiling: &Tiling, threads: usize) -> BrowseResult {
-        self.browse(tiling, &BrowseOptions::new().threads(threads))
-    }
 }
 
 impl Browser for GeoBrowsingService {

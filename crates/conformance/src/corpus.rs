@@ -1,0 +1,52 @@
+//! The regression corpus: one replayable line per case the harness must
+//! always pass. When a nightly run finds a failure, its shrunk
+//! reproduction's `replay:` line is appended here so the defect stays
+//! fixed forever at the cost of one line.
+
+use crate::harness::{run_case, CaseOutcome};
+use crate::spec::CaseSpec;
+
+/// Replay lines in [`CaseSpec::from_line`] format. Seeded entries cover
+/// every distribution on asymmetric grids; historical failures append
+/// below the seed block.
+pub const CORPUS: &[&str] = &[
+    // Seed block: one line per distribution, deliberately awkward grids.
+    "dist=uniform nx=7 ny=5 objects=33 seed=1",
+    "dist=clustered nx=16 ny=6 objects=48 seed=2",
+    "dist=points nx=5 ny=5 objects=40 seed=3",
+    "dist=segments nx=12 ny=4 objects=36 seed=4",
+    "dist=snapped nx=6 ny=6 objects=44 seed=5",
+    "dist=mixed nx=11 ny=7 objects=50 seed=6",
+    // Degenerate-scale block: minimum grid, single objects, empty set.
+    "dist=snapped nx=2 ny=2 objects=9 seed=7",
+    "dist=points nx=2 ny=3 objects=1 seed=8",
+    "dist=uniform nx=3 ny=2 objects=0 seed=9",
+    // Historical failures land here (replay line from the shrunk report).
+];
+
+/// Parses every corpus line (panicking on malformed entries — the corpus
+/// is source code) and runs each through the full conformance battery.
+pub fn replay_corpus() -> Vec<(CaseSpec, CaseOutcome)> {
+    CORPUS
+        .iter()
+        .map(|line| {
+            let spec = CaseSpec::from_line(line)
+                .unwrap_or_else(|e| panic!("malformed corpus line `{line}`: {e}"));
+            let outcome = run_case(&spec);
+            (spec, outcome)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_lines_parse() {
+        for line in CORPUS {
+            let spec = CaseSpec::from_line(line).expect(line);
+            assert_eq!(&spec.to_line(), line, "corpus lines are canonical");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Test-only fault injection: wrappers that introduce controlled,
+//! realistic defects into an estimator so the harness can prove it
+//! *catches* them. A conformance suite that has never seen a failure is
+//! untested itself; these mutations are the calibration signal.
+
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_engine::SharedEstimator;
+use euler_grid::GridRect;
+
+/// The injected defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Off-by-one in the bucket index along x: every query is evaluated
+    /// one cell-column off — the classic Euler-histogram indexing bug the
+    /// `(2n₁−1)(2n₂−1)` addressing invites.
+    BucketShiftX,
+    /// One intersecting object leaks into `overlaps` that the oracle
+    /// counts as disjoint (an `>=` vs `>` slip in a predicate).
+    OverlapOffByOne,
+    /// `contained` results are silently dropped (the S-Euler `N_cd = 0`
+    /// assumption applied where it must not be).
+    DropContained,
+}
+
+impl Fault {
+    /// Name the wrapped estimator reports, to make failure reports honest
+    /// about the injection.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::BucketShiftX => "Faulty(bucket-shift-x)",
+            Fault::OverlapOffByOne => "Faulty(overlap-off-by-one)",
+            Fault::DropContained => "Faulty(drop-contained)",
+        }
+    }
+}
+
+/// An estimator with a [`Fault`] injected between the query and the real
+/// implementation.
+pub struct FaultyEstimator {
+    inner: SharedEstimator,
+    fault: Fault,
+}
+
+impl FaultyEstimator {
+    /// Wraps `inner` with the given fault.
+    pub fn new(inner: SharedEstimator, fault: Fault) -> FaultyEstimator {
+        FaultyEstimator { inner, fault }
+    }
+}
+
+impl Level2Estimator for FaultyEstimator {
+    fn name(&self) -> &'static str {
+        self.fault.label()
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        match self.fault {
+            Fault::BucketShiftX => {
+                // Shift the queried column range by one, staying in
+                // bounds: widen left when possible, else slide right
+                // (valid on any grid at least two columns wide).
+                let q2 = if q.x0 > 0 {
+                    GridRect::unchecked(q.x0 - 1, q.y0, q.x1 - 1, q.y1)
+                } else {
+                    GridRect::unchecked(q.x0 + 1, q.y0, q.x1 + 1, q.y1)
+                };
+                self.inner.estimate(&q2)
+            }
+            Fault::OverlapOffByOne => {
+                let mut c = self.inner.estimate(q);
+                if c.disjoint > 0 {
+                    c.disjoint -= 1;
+                    c.overlaps += 1;
+                }
+                c
+            }
+            Fault::DropContained => {
+                let mut c = self.inner.estimate(q);
+                c.disjoint += c.contained;
+                c.contained = 0;
+                c
+            }
+        }
+    }
+
+    fn object_count(&self) -> u64 {
+        self.inner.object_count()
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.inner.storage_cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use euler_baselines::NaiveScan;
+    use std::sync::Arc;
+
+    use crate::spec::{CaseSpec, Distribution};
+
+    #[test]
+    fn faults_perturb_estimates() {
+        let spec = CaseSpec {
+            seed: 5,
+            dist: Distribution::Clustered,
+            nx: 10,
+            ny: 8,
+            objects: 40,
+        };
+        let objects = spec.snapped();
+        let clean: SharedEstimator = Arc::new(NaiveScan::new(objects.clone()));
+        for fault in [
+            Fault::BucketShiftX,
+            Fault::OverlapOffByOne,
+            Fault::DropContained,
+        ] {
+            let faulty = FaultyEstimator::new(Arc::clone(&clean), fault);
+            assert_eq!(faulty.name(), fault.label());
+            assert_eq!(faulty.object_count(), 40);
+            // At least one query in the plan must change its answer.
+            let perturbed = spec
+                .queries()
+                .iter()
+                .any(|q| faulty.estimate(q) != clean.estimate(q));
+            assert!(perturbed, "{fault:?} had no observable effect");
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! The differential runner: builds all nine `Level2Estimator`
+//! implementations for a case, executes them through the
+//! [`EstimatorEngine`], and checks every estimate against the naive-scan
+//! oracle under the invariant catalogue. Structural laws that go beyond a
+//! single estimate — dynamic insert/delete replay, persistence
+//! round-trips, and the browse API — are checked per case as well.
+
+use std::sync::Arc;
+
+use euler_baselines::{BtHistogram, CdHistogram, MinSkew, NaiveScan, RTreeOracle};
+use euler_browse::{BrowseOptions, GeoBrowsingService};
+use euler_core::model::count_by_classification;
+use euler_core::{
+    DynamicEulerHistogram, EulerApprox, EulerHistogram, ExactContains2D, Level2Estimator,
+    MEulerApprox, RelationCounts, SEulerApprox,
+};
+use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
+use euler_grid::{Grid, GridRect, SnappedRect, Tiling};
+
+use crate::invariants::{check_estimate, check_s_euler_conditional, ExactnessClass, Violation};
+use crate::spec::CaseSpec;
+
+/// Bucket budget handed to Min-skew in conformance builds.
+const MINSKEW_BUDGET: usize = 16;
+
+/// Area-class boundaries (in cells) handed to M-EulerApprox.
+const MEULER_BOUNDARIES: [f64; 2] = [9.0, 100.0];
+
+/// The nine estimators under conformance, by construction recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// S-EulerApprox over a frozen Euler histogram (§5.2).
+    SEuler,
+    /// EulerApprox with the interior–exterior equation solver (§5.3).
+    Euler,
+    /// M-EulerApprox: per-area-class histograms (§5.4).
+    MEuler,
+    /// The Theorem 3.1 exact-contains structure (four prefix indexes).
+    Exact4Idx,
+    /// Cumulative Density \[JAS00\] — exact Level 1.
+    Cd,
+    /// Beigel–Tanin histogram — exact Level 1.
+    Bt,
+    /// Min-skew \[APR99\] — approximate Level 1.
+    MinSkewKind,
+    /// Naive scan over the snapped objects (the oracle itself, kept in
+    /// the matrix so the oracle is validated against its own laws).
+    Naive,
+    /// R-tree with exact per-object classification.
+    RTree,
+}
+
+impl EstimatorKind {
+    /// Every estimator in the workspace, in a fixed order.
+    pub const ALL: [EstimatorKind; 9] = [
+        EstimatorKind::SEuler,
+        EstimatorKind::Euler,
+        EstimatorKind::MEuler,
+        EstimatorKind::Exact4Idx,
+        EstimatorKind::Cd,
+        EstimatorKind::Bt,
+        EstimatorKind::MinSkewKind,
+        EstimatorKind::Naive,
+        EstimatorKind::RTree,
+    ];
+
+    /// The `Level2Estimator::name()` this kind must report — a mismatch is
+    /// itself a conformance failure.
+    pub fn expected_name(&self) -> &'static str {
+        match self {
+            EstimatorKind::SEuler => "S-EulerApprox",
+            EstimatorKind::Euler => "EulerApprox",
+            EstimatorKind::MEuler => "M-EulerApprox",
+            EstimatorKind::Exact4Idx => "Exact-4idx",
+            EstimatorKind::Cd => "CD",
+            EstimatorKind::Bt => "Beigel-Tanin",
+            EstimatorKind::MinSkewKind => "Min-skew",
+            EstimatorKind::Naive => "NaiveScan",
+            EstimatorKind::RTree => "R-tree (exact)",
+        }
+    }
+
+    /// The guarantee class this estimator is held to.
+    pub fn class(&self) -> ExactnessClass {
+        match self {
+            EstimatorKind::SEuler | EstimatorKind::Euler | EstimatorKind::MEuler => {
+                ExactnessClass::ApproxLevel2
+            }
+            EstimatorKind::Exact4Idx | EstimatorKind::Naive | EstimatorKind::RTree => {
+                ExactnessClass::ExactLevel2
+            }
+            EstimatorKind::Cd | EstimatorKind::Bt => ExactnessClass::ExactLevel1,
+            EstimatorKind::MinSkewKind => ExactnessClass::ApproxLevel1,
+        }
+    }
+
+    /// Builds the estimator for a dataset, type-erased for the engine.
+    pub fn build(&self, grid: &Grid, objects: &[SnappedRect]) -> SharedEstimator {
+        match self {
+            EstimatorKind::SEuler => Arc::new(SEulerApprox::new(
+                EulerHistogram::build(*grid, objects).freeze(),
+            )),
+            EstimatorKind::Euler => Arc::new(EulerApprox::new(
+                EulerHistogram::build(*grid, objects).freeze(),
+            )),
+            EstimatorKind::MEuler => {
+                Arc::new(MEulerApprox::build(*grid, objects, &MEULER_BOUNDARIES))
+            }
+            EstimatorKind::Exact4Idx => Arc::new(ExactContains2D::build(grid, objects)),
+            EstimatorKind::Cd => Arc::new(CdHistogram::build(grid, objects)),
+            EstimatorKind::Bt => Arc::new(BtHistogram::build(*grid, objects)),
+            EstimatorKind::MinSkewKind => Arc::new(MinSkew::build(grid, objects, MINSKEW_BUDGET)),
+            EstimatorKind::Naive => Arc::new(NaiveScan::new(objects.to_vec())),
+            EstimatorKind::RTree => Arc::new(RTreeOracle::build(objects)),
+        }
+    }
+}
+
+/// The outcome of one case: how many estimator×query comparisons ran and
+/// every violated law.
+#[derive(Debug, Default)]
+pub struct CaseOutcome {
+    /// Differential comparisons performed (one per estimator per query).
+    pub comparisons: usize,
+    /// Violations found, in discovery order.
+    pub violations: Vec<Violation>,
+}
+
+impl CaseOutcome {
+    /// Did every law hold?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the full conformance battery for one case: the nine-estimator
+/// differential matrix through the engine (with varying thread counts so
+/// the fan-out path is itself under test), the S-EulerApprox conditional
+/// exactness law, dynamic replay, persistence round-trips, and the browse
+/// API.
+pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
+    let grid = spec.grid();
+    let objects = spec.snapped();
+    let queries = spec.queries();
+    let oracle: Vec<RelationCounts> = queries
+        .iter()
+        .map(|q| count_by_classification(&objects, q))
+        .collect();
+    let mut outcome = CaseOutcome::default();
+
+    differential_matrix(&grid, &objects, &queries, &oracle, &mut outcome);
+    check_dynamic_replay(spec, &grid, &objects, &queries, &mut outcome.violations);
+    check_persist_round_trip(&grid, &objects, &queries, &mut outcome.violations);
+    check_browse_api(spec, &grid, &queries, &oracle, &mut outcome.violations);
+    outcome
+}
+
+/// The core differential loop shared by [`run_case`] and the
+/// fault-injection tests.
+pub fn differential_matrix(
+    grid: &Grid,
+    objects: &[SnappedRect],
+    queries: &[GridRect],
+    oracle: &[RelationCounts],
+    outcome: &mut CaseOutcome,
+) {
+    let n = objects.len() as i64;
+    for (ki, kind) in EstimatorKind::ALL.iter().enumerate() {
+        let est = kind.build(grid, objects);
+        if est.name() != kind.expected_name() {
+            outcome.violations.push(Violation {
+                estimator: est.name().to_string(),
+                law: "estimator reports its registered name",
+                query: grid.full(),
+                got: RelationCounts::default(),
+                oracle: RelationCounts::default(),
+            });
+        }
+        if est.object_count() != objects.len() as u64 {
+            outcome.violations.push(Violation {
+                estimator: est.name().to_string(),
+                law: "object_count matches dataset size",
+                query: grid.full(),
+                got: RelationCounts::new(est.object_count() as i64, 0, 0, 0),
+                oracle: RelationCounts::new(n, 0, 0, 0),
+            });
+        }
+        // Cycle thread counts 1..=3 across estimators so sequential and
+        // fan-out engine paths both face the oracle.
+        let engine = EstimatorEngine::builder(est).threads(ki % 3 + 1).build();
+        let result = engine.run_batch(&QueryBatch::new(queries));
+        for ((q, got), want) in queries.iter().zip(&result.counts).zip(oracle) {
+            outcome.comparisons += 1;
+            check_estimate(
+                kind.expected_name(),
+                kind.class(),
+                q,
+                got,
+                want,
+                n,
+                &mut outcome.violations,
+            );
+            if *kind == EstimatorKind::SEuler {
+                check_s_euler_conditional(q, got, want, objects, &mut outcome.violations);
+            }
+        }
+    }
+}
+
+/// Dynamic insert/delete replay must agree with a frozen rebuild: insert
+/// all objects, remove every third, re-insert them, and compare the
+/// dynamic S-Euler estimates against a freshly built frozen histogram on
+/// every query.
+fn check_dynamic_replay(
+    spec: &CaseSpec,
+    grid: &Grid,
+    objects: &[SnappedRect],
+    queries: &[GridRect],
+    out: &mut Vec<Violation>,
+) {
+    if objects.is_empty() {
+        return;
+    }
+    let mut dynamic = DynamicEulerHistogram::new(*grid);
+    for o in objects {
+        dynamic.insert(o);
+    }
+    // Churn: remove every third object, then put it back. The end state
+    // must be indistinguishable from a cold build.
+    for o in objects.iter().step_by(3) {
+        dynamic.remove(o);
+    }
+    for o in objects.iter().step_by(3) {
+        dynamic.insert(o);
+    }
+    let frozen = SEulerApprox::new(EulerHistogram::build(*grid, objects).freeze());
+    for q in queries {
+        let got = dynamic.s_euler_estimate(q);
+        let want = frozen.estimate(q);
+        if got != want {
+            out.push(Violation {
+                estimator: format!("dynamic-replay[{}]", spec.to_line()),
+                law: "dynamic insert/delete replay = frozen rebuild",
+                query: *q,
+                got,
+                oracle: want,
+            });
+        }
+    }
+}
+
+/// Persisted histograms must round-trip losslessly through both codecs:
+/// the revived histogram's estimates must equal the original's on every
+/// query.
+fn check_persist_round_trip(
+    grid: &Grid,
+    objects: &[SnappedRect],
+    queries: &[GridRect],
+    out: &mut Vec<Violation>,
+) {
+    let hist = EulerHistogram::build(*grid, objects);
+    let original = SEulerApprox::new(hist.freeze());
+    for (codec, bytes) in [
+        ("persist-raw", hist.to_bytes()),
+        ("persist-compressed", hist.to_bytes_compressed()),
+    ] {
+        let revived = match EulerHistogram::from_bytes(bytes) {
+            Ok(h) => h,
+            Err(e) => {
+                out.push(Violation {
+                    estimator: format!("{codec}: {e}"),
+                    law: "persist round-trip decodes",
+                    query: grid.full(),
+                    got: RelationCounts::default(),
+                    oracle: RelationCounts::default(),
+                });
+                continue;
+            }
+        };
+        let revived = SEulerApprox::new(revived.freeze());
+        for q in queries {
+            let got = revived.estimate(q);
+            let want = original.estimate(q);
+            if got != want {
+                out.push(Violation {
+                    estimator: codec.to_string(),
+                    law: "persist round-trip lossless",
+                    query: *q,
+                    got,
+                    oracle: want,
+                });
+            }
+        }
+    }
+}
+
+/// The browse API is the user-facing surface: browsing any tiling must
+/// return, per tile, the clamped S-Euler estimate — and therefore satisfy
+/// the same Euler-family laws against the oracle (clamped).
+fn check_browse_api(
+    spec: &CaseSpec,
+    grid: &Grid,
+    queries: &[GridRect],
+    oracle: &[RelationCounts],
+    out: &mut Vec<Violation>,
+) {
+    let service = GeoBrowsingService::with_objects(*grid, &spec.rects());
+    let snapshot = service.snapshot();
+    let tiling = Tiling::new(grid.full(), spec.nx.min(4), spec.ny.min(3))
+        .expect("tiling within a >=2x2 grid");
+    for threads in [1, 3] {
+        let result = service.browse(&tiling, &BrowseOptions::new().threads(threads));
+        for ((_, tile), got) in tiling.iter().zip(result.counts()) {
+            let want = snapshot.estimate(&tile).clamped();
+            if *got != want {
+                out.push(Violation {
+                    estimator: format!("browse[threads={threads}]"),
+                    law: "browse tile = clamped snapshot estimate",
+                    query: tile,
+                    got: *got,
+                    oracle: want,
+                });
+            }
+        }
+    }
+    // The snapshot estimator itself must satisfy the Euler-family laws on
+    // the case's query plan (the service snapped the same raw rects).
+    let n = service.len() as i64;
+    for (q, want) in queries.iter().zip(oracle) {
+        check_estimate(
+            "browse-snapshot",
+            ExactnessClass::ApproxLevel2,
+            q,
+            &snapshot.estimate(q),
+            want,
+            n,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Distribution;
+
+    #[test]
+    fn all_nine_kinds_build_and_report_their_names() {
+        let spec = CaseSpec {
+            seed: 1,
+            dist: Distribution::Uniform,
+            nx: 6,
+            ny: 4,
+            objects: 12,
+        };
+        let grid = spec.grid();
+        let objects = spec.snapped();
+        let names: Vec<&str> = EstimatorKind::ALL
+            .iter()
+            .map(|k| k.build(&grid, &objects).name())
+            .collect();
+        assert_eq!(
+            names,
+            EstimatorKind::ALL
+                .iter()
+                .map(|k| k.expected_name())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn a_small_case_is_clean() {
+        let spec = CaseSpec {
+            seed: 42,
+            dist: Distribution::Mixed,
+            nx: 8,
+            ny: 6,
+            objects: 25,
+        };
+        let outcome = run_case(&spec);
+        assert!(outcome.comparisons >= 9 * 20);
+        assert!(outcome.is_clean(), "violations: {:#?}", outcome.violations);
+    }
+
+    #[test]
+    fn empty_dataset_is_clean() {
+        let spec = CaseSpec {
+            seed: 3,
+            dist: Distribution::Points,
+            nx: 4,
+            ny: 4,
+            objects: 0,
+        };
+        let outcome = run_case(&spec);
+        assert!(outcome.is_clean(), "{:#?}", outcome.violations);
+    }
+}

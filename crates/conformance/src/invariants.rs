@@ -1,0 +1,260 @@
+//! The invariant catalogue: for every estimator, the structural laws its
+//! estimates must satisfy relative to the naive-scan oracle, stated as
+//! machine-checkable predicates.
+//!
+//! The laws follow the paper's exactness results, not wishful thinking:
+//! exact structures must *equal* the oracle; the Euler family has an exact
+//! intersect count (`n_ii`, Theorem 3.1's bucket algebra) so `N_d` and the
+//! intersecting total are exact even when the Level 2 split is
+//! approximate; Level-1-only baselines collapse everything intersecting
+//! into `overlaps` — CD and Beigel–Tanin exactly, Min-skew approximately.
+
+use euler_core::RelationCounts;
+use euler_grid::GridRect;
+
+/// What an estimator guarantees, per the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExactnessClass {
+    /// Full Level 2 exactness: must equal the oracle in all four counts
+    /// (`Exact-4idx`, `NaiveScan`, `R-tree (exact)`).
+    ExactLevel2,
+    /// Exact Level 1 collapse: `N_d` exact, everything intersecting in
+    /// `overlaps`, `contains = contained = 0` (CD, Beigel–Tanin).
+    ExactLevel1,
+    /// Approximate Level 1 collapse: same shape, but `overlaps` is only an
+    /// estimate bounded by `[0, N]` (Min-skew).
+    ApproxLevel1,
+    /// Approximate Level 2: `total = N`, `N_d` and the intersecting total
+    /// exact (exact `n_ii`), individual Level 2 counts approximate
+    /// (S-/Euler-/M-EulerApprox).
+    ApproxLevel2,
+}
+
+/// One violated law, with everything needed to print an actionable
+/// failure: which estimator, which law, on which query, and both sides of
+/// the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// `Level2Estimator::name()` of the offender (or a structural check
+    /// label such as `"dynamic-replay"`).
+    pub estimator: String,
+    /// Short name of the violated law.
+    pub law: &'static str,
+    /// The query on which it failed.
+    pub query: GridRect,
+    /// What the estimator produced.
+    pub got: RelationCounts,
+    /// What the oracle says.
+    pub oracle: RelationCounts,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violated `{}` on {}: got [{}] oracle [{}]",
+            self.estimator, self.law, self.query, self.got, self.oracle
+        )
+    }
+}
+
+/// Checks one estimate against the oracle under the laws of `class`,
+/// appending any violations to `out`. `n` is the dataset size.
+pub fn check_estimate(
+    name: &str,
+    class: ExactnessClass,
+    q: &GridRect,
+    got: &RelationCounts,
+    oracle: &RelationCounts,
+    n: i64,
+    out: &mut Vec<Violation>,
+) {
+    let mut fail = |law: &'static str| {
+        out.push(Violation {
+            estimator: name.to_string(),
+            law,
+            query: *q,
+            got: *got,
+            oracle: *oracle,
+        });
+    };
+    // Universal law: the four relations partition the dataset.
+    if got.total() != n {
+        fail("counts sum to N");
+    }
+    match class {
+        ExactnessClass::ExactLevel2 => {
+            if got != oracle {
+                fail("exact estimator matches oracle");
+            }
+        }
+        ExactnessClass::ExactLevel1 => {
+            if got.contains != 0 || got.contained != 0 {
+                fail("Level 1 collapse: contains = contained = 0");
+            }
+            if got.overlaps != oracle.intersecting() {
+                fail("Level 1 collapse: overlaps = exact intersect count");
+            }
+            if got.disjoint != oracle.disjoint {
+                fail("disjoint = N - intersecting, exactly");
+            }
+        }
+        ExactnessClass::ApproxLevel1 => {
+            if got.contains != 0 || got.contained != 0 {
+                fail("Level 1 collapse: contains = contained = 0");
+            }
+            if got.overlaps < 0 || got.overlaps > n {
+                fail("estimated intersect count within [0, N]");
+            }
+        }
+        ExactnessClass::ApproxLevel2 => {
+            // The Euler histogram's intersect count is exact, so both N_d
+            // and the intersecting total must match the oracle even though
+            // the contains/contained/overlap split is approximate.
+            if got.disjoint != oracle.disjoint {
+                fail("Euler family: disjoint exact (n_ii exact)");
+            }
+            if got.intersecting() != oracle.intersecting() {
+                fail("Euler family: intersecting total exact");
+            }
+        }
+    }
+}
+
+/// The S-EulerApprox conditional exactness law (§5.2): when no object
+/// contains the query and no object crosses it, Equations 14–17 are exact.
+/// Returns a violation if the precondition holds but the estimate differs
+/// from the oracle.
+pub fn check_s_euler_conditional(
+    q: &GridRect,
+    got: &RelationCounts,
+    oracle: &RelationCounts,
+    objects: &[euler_grid::SnappedRect],
+    out: &mut Vec<Violation>,
+) {
+    let precondition = objects
+        .iter()
+        .all(|o| !o.contains_query(q) && !o.crosses(q));
+    if precondition && got != oracle {
+        out.push(Violation {
+            estimator: "S-EulerApprox".to_string(),
+            law: "exact when no containing/crossing object (§5.2)",
+            query: *q,
+            got: *got,
+            oracle: *oracle,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> GridRect {
+        GridRect::unchecked(1, 1, 3, 3)
+    }
+
+    #[test]
+    fn exact_class_flags_any_difference() {
+        let oracle = RelationCounts::new(5, 2, 1, 2);
+        let mut out = Vec::new();
+        check_estimate(
+            "NaiveScan",
+            ExactnessClass::ExactLevel2,
+            &q(),
+            &oracle,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        let off = RelationCounts::new(5, 3, 1, 1);
+        check_estimate(
+            "NaiveScan",
+            ExactnessClass::ExactLevel2,
+            &q(),
+            &off,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].to_string().contains("matches oracle"));
+    }
+
+    #[test]
+    fn level1_collapse_shape_is_enforced() {
+        let oracle = RelationCounts::new(5, 2, 1, 2);
+        let collapsed = RelationCounts::new(5, 0, 0, 5);
+        let mut out = Vec::new();
+        check_estimate(
+            "CD",
+            ExactnessClass::ExactLevel1,
+            &q(),
+            &collapsed,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // A CD answer leaking a nonzero contains is a violation.
+        let leaky = RelationCounts::new(5, 1, 0, 4);
+        check_estimate(
+            "CD",
+            ExactnessClass::ExactLevel1,
+            &q(),
+            &leaky,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn euler_family_requires_exact_disjoint() {
+        let oracle = RelationCounts::new(5, 2, 1, 2);
+        // Approximate split of the intersecting 5 is fine...
+        let approx = RelationCounts::new(5, 3, 0, 2);
+        let mut out = Vec::new();
+        check_estimate(
+            "S-EulerApprox",
+            ExactnessClass::ApproxLevel2,
+            &q(),
+            &approx,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        // ...but a wrong disjoint count is not.
+        let wrong = RelationCounts::new(6, 2, 0, 2);
+        check_estimate(
+            "S-EulerApprox",
+            ExactnessClass::ApproxLevel2,
+            &q(),
+            &wrong,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2, "{out:?}"); // sum-to-N + disjoint-exact
+    }
+
+    #[test]
+    fn universal_sum_law_applies_to_everyone() {
+        let oracle = RelationCounts::new(5, 2, 1, 2);
+        let short = RelationCounts::new(4, 2, 1, 2);
+        let mut out = Vec::new();
+        check_estimate(
+            "Min-skew",
+            ExactnessClass::ApproxLevel1,
+            &q(),
+            &short,
+            &oracle,
+            10,
+            &mut out,
+        );
+        assert!(out.iter().any(|v| v.law == "counts sum to N"));
+    }
+}

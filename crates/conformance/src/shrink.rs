@@ -1,0 +1,192 @@
+//! Failure minimization: given a failing (dataset, query) pair and a
+//! predicate that re-checks the failure, shrink to a minimal reproduction
+//! — a delta-debugging pass over the objects followed by greedy query
+//! shrinking — and package it with the replayable spec line so the
+//! regression lands as a one-line corpus entry.
+
+use euler_grid::{GridRect, SnappedRect};
+
+use crate::invariants::Violation;
+use crate::spec::CaseSpec;
+
+/// A minimal, replayable reproduction of a conformance failure.
+#[derive(Debug, Clone)]
+pub struct Reproduction {
+    /// The replay line regenerating the full dataset
+    /// ([`CaseSpec::to_line`] format) — paste into the corpus or replay
+    /// with `CaseSpec::from_line`.
+    pub line: String,
+    /// Indices (into the spec's generated dataset) of the minimal object
+    /// subset that still fails.
+    pub object_indices: Vec<usize>,
+    /// The minimal failing query.
+    pub query: GridRect,
+    /// The violation observed on the minimal reproduction.
+    pub violation: Violation,
+}
+
+impl Reproduction {
+    /// A one-paragraph, actionable failure report.
+    pub fn report(&self) -> String {
+        format!(
+            "CONFORMANCE FAILURE\n  replay:  {}\n  objects: {} of the dataset (indices {:?})\n  query:   {}\n  law:     {}\n  detail:  {}",
+            self.line,
+            self.object_indices.len(),
+            self.object_indices,
+            self.query,
+            self.violation.law,
+            self.violation
+        )
+    }
+}
+
+impl std::fmt::Display for Reproduction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.report())
+    }
+}
+
+/// Shrinks a failing case. `fails` re-runs the check on a candidate
+/// object subset and query, returning the violation if it still fails;
+/// the minimization keeps only what is needed to preserve *some* failure.
+///
+/// Objects are minimized first with a delta-debugging sweep (drop chunks,
+/// halving the chunk size down to single objects), then the query is
+/// greedily narrowed edge by edge.
+pub fn shrink<F>(
+    spec: &CaseSpec,
+    objects: &[SnappedRect],
+    query: &GridRect,
+    mut fails: F,
+) -> Option<Reproduction>
+where
+    F: FnMut(&[SnappedRect], &GridRect) -> Option<Violation>,
+{
+    let mut violation = fails(objects, query)?;
+    let mut kept: Vec<usize> = (0..objects.len()).collect();
+    let subset = |idx: &[usize]| -> Vec<SnappedRect> { idx.iter().map(|&i| objects[i]).collect() };
+
+    // Delta-debugging over objects.
+    let mut chunk = kept.len().div_ceil(2).max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < kept.len() {
+            let end = (start + chunk).min(kept.len());
+            let candidate: Vec<usize> = kept[..start].iter().chain(&kept[end..]).copied().collect();
+            if let Some(v) = fails(&subset(&candidate), query) {
+                violation = v;
+                kept = candidate;
+                // Retry the same window position on the reduced list.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+
+    // Greedy query narrowing: pull each edge inward while it still fails.
+    let objs = subset(&kept);
+    let mut q = *query;
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut candidates = Vec::new();
+        if q.x1 - q.x0 > 1 {
+            candidates.push(GridRect::unchecked(q.x0 + 1, q.y0, q.x1, q.y1));
+            candidates.push(GridRect::unchecked(q.x0, q.y0, q.x1 - 1, q.y1));
+        }
+        if q.y1 - q.y0 > 1 {
+            candidates.push(GridRect::unchecked(q.x0, q.y0 + 1, q.x1, q.y1));
+            candidates.push(GridRect::unchecked(q.x0, q.y0, q.x1, q.y1 - 1));
+        }
+        for c in candidates {
+            if let Some(v) = fails(&objs, &c) {
+                violation = v;
+                q = c;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    Some(Reproduction {
+        line: spec.to_line(),
+        object_indices: kept,
+        query: q,
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Distribution;
+    use euler_core::RelationCounts;
+
+    fn spec() -> CaseSpec {
+        CaseSpec {
+            seed: 11,
+            dist: Distribution::Uniform,
+            nx: 10,
+            ny: 8,
+            objects: 40,
+        }
+    }
+
+    fn violation(q: &GridRect) -> Violation {
+        Violation {
+            estimator: "test".into(),
+            law: "synthetic",
+            query: *q,
+            got: RelationCounts::default(),
+            oracle: RelationCounts::default(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit_object() {
+        let s = spec();
+        let objects = s.snapped();
+        // Synthetic failure: the check fails whenever object #17 is in the
+        // dataset and the query intersects it.
+        let culprit = objects[17];
+        let full = s.grid().full();
+        let repro = shrink(&s, &objects, &full, |objs, q| {
+            objs.iter()
+                .any(|o| *o == culprit && o.intersects(q))
+                .then(|| violation(q))
+        })
+        .expect("initial case fails");
+        assert_eq!(repro.object_indices, vec![17]);
+        // The query shrank to a single cell still hitting the culprit.
+        assert_eq!((repro.query.width(), repro.query.height()), (1, 1));
+        assert!(culprit.intersects(&repro.query));
+        assert_eq!(CaseSpec::from_line(&repro.line), Ok(s));
+        assert!(repro.report().contains("replay:"));
+    }
+
+    #[test]
+    fn returns_none_when_the_case_passes() {
+        let s = spec();
+        let objects = s.snapped();
+        let full = s.grid().full();
+        assert!(shrink(&s, &objects, &full, |_, _| None).is_none());
+    }
+
+    #[test]
+    fn shrinks_pair_failures_to_two_objects() {
+        let s = spec();
+        let objects = s.snapped();
+        let (a, b) = (objects[3], objects[29]);
+        let full = s.grid().full();
+        let repro = shrink(&s, &objects, &full, |objs, q| {
+            (objs.contains(&a) && objs.contains(&b) && q.area() >= 2).then(|| violation(q))
+        })
+        .expect("initial case fails");
+        assert_eq!(repro.object_indices, vec![3, 29]);
+        assert_eq!(repro.query.area(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The conformance gate CI runs on every PR (`cargo test -p
+//! euler-conformance`): the seeded differential suite, the regression
+//! corpus, paper-dataset spot checks, and the fault-injection calibration
+//! proving the harness catches and shrinks real defects.
+
+use std::sync::Arc;
+
+use euler_baselines::NaiveScan;
+use euler_conformance::{
+    check_estimate, default_specs, differential_matrix, env_budget, env_seed, replay_corpus,
+    run_case, run_suite, shrink, CaseOutcome, CaseSpec, Distribution, EstimatorKind,
+    ExactnessClass, Fault, FaultyEstimator, Violation,
+};
+use euler_core::model::count_by_classification;
+use euler_core::Level2Estimator;
+use euler_datagen::paper_dataset;
+use euler_grid::{DataSpace, Grid, GridRect, SnappedRect};
+
+/// The main gate: ≥ 1,000 differential comparisons across all nine
+/// estimators (scaled up by `EULER_CONFORMANCE_BUDGET` in the nightly
+/// job), zero violations, failures reported shrunk and replayable.
+#[test]
+fn differential_suite_is_clean() {
+    let specs = default_specs(env_seed(), env_budget());
+    let summary = run_suite(&specs);
+    assert_eq!(summary.cases, specs.len());
+    assert!(
+        summary.comparisons >= 1_000,
+        "suite too small: {} comparisons",
+        summary.comparisons
+    );
+    let reports: Vec<String> = summary.failures.iter().map(|f| f.report()).collect();
+    assert!(
+        summary.failures.is_empty(),
+        "{} failing case(s):\n{}",
+        summary.failures.len(),
+        reports.join("\n\n")
+    );
+}
+
+/// Every corpus line must replay cleanly forever.
+#[test]
+fn corpus_replays_cleanly() {
+    let results = replay_corpus();
+    assert!(!results.is_empty());
+    for (spec, outcome) in results {
+        assert!(
+            outcome.is_clean(),
+            "corpus regression `{}`: {:#?}",
+            spec.to_line(),
+            outcome.violations
+        );
+    }
+}
+
+/// The nine-estimator matrix also holds on (scaled-down) paper datasets
+/// snapped to a coarse paper-world grid.
+#[test]
+fn paper_datasets_conform() {
+    let grid = Grid::new(DataSpace::paper_world(), 18, 9).expect("paper grid");
+    // Query plan: reuse the seeded plan for an 18×9 grid (dataset-independent).
+    let plan_spec = CaseSpec {
+        seed: env_seed(),
+        dist: Distribution::Uniform,
+        nx: 18,
+        ny: 9,
+        objects: 0,
+    };
+    let queries = plan_spec.queries();
+    for name in ["sp_skew", "sz_skew"] {
+        let dataset = paper_dataset(name, 2000).expect(name);
+        let objects = dataset.snap(&grid);
+        assert!(!objects.is_empty(), "{name} empty at scale 2000");
+        let oracle: Vec<_> = queries
+            .iter()
+            .map(|q| count_by_classification(&objects, q))
+            .collect();
+        let mut outcome = CaseOutcome::default();
+        differential_matrix(&grid, &objects, &queries, &oracle, &mut outcome);
+        assert!(outcome.is_clean(), "{name}: {:#?}", outcome.violations);
+    }
+}
+
+/// Re-checks a faulty estimator against the exact-oracle laws on one
+/// (objects, query) candidate; the shrinker's predicate.
+fn faulty_violation(fault: Fault, objects: &[SnappedRect], q: &GridRect) -> Option<Violation> {
+    let faulty = FaultyEstimator::new(Arc::new(NaiveScan::new(objects.to_vec())), fault);
+    let mut out = Vec::new();
+    check_estimate(
+        faulty.name(),
+        ExactnessClass::ExactLevel2,
+        q,
+        &faulty.estimate(q),
+        &count_by_classification(objects, q),
+        objects.len() as i64,
+        &mut out,
+    );
+    out.into_iter().next()
+}
+
+/// The acceptance-criteria calibration: a forced mutation must be caught
+/// and shrunk to a minimal, seed-replayable report.
+#[test]
+fn forced_mutation_is_caught_and_shrunk() {
+    let spec = CaseSpec {
+        seed: 2002,
+        dist: Distribution::Mixed,
+        nx: 12,
+        ny: 9,
+        objects: 40,
+    };
+    let objects = spec.snapped();
+    let queries = spec.queries();
+    for fault in [
+        Fault::BucketShiftX,
+        Fault::OverlapOffByOne,
+        Fault::DropContained,
+    ] {
+        // Detection: at least one query in the plan must expose the fault.
+        let failing = queries
+            .iter()
+            .find(|q| faulty_violation(fault, &objects, q).is_some())
+            .unwrap_or_else(|| panic!("{fault:?} not detected by the invariant catalogue"));
+        // Shrinking: minimize objects and query while the fault shows.
+        let repro = shrink(&spec, &objects, failing, |objs, q| {
+            faulty_violation(fault, objs, q)
+        })
+        .expect("failure reproduces at shrink entry");
+        assert!(
+            repro.object_indices.len() <= 2,
+            "{fault:?} shrank only to {} objects",
+            repro.object_indices.len()
+        );
+        // The report is replayable: the line regenerates the dataset and
+        // the shrunk subset still fails.
+        let replayed = CaseSpec::from_line(&repro.line).expect("replay line parses");
+        assert_eq!(replayed, spec);
+        let subset: Vec<SnappedRect> = repro
+            .object_indices
+            .iter()
+            .map(|&i| replayed.snapped()[i])
+            .collect();
+        assert!(
+            faulty_violation(fault, &subset, &repro.query).is_some(),
+            "{fault:?} reproduction does not replay"
+        );
+        assert!(repro.report().contains("replay:"));
+    }
+}
+
+/// An off-by-one planted in a *real* estimator (not just the oracle
+/// wrapper) is caught end to end by the same laws the suite applies.
+#[test]
+fn mutated_s_euler_is_caught() {
+    let spec = CaseSpec {
+        seed: 99,
+        dist: Distribution::Clustered,
+        nx: 10,
+        ny: 8,
+        objects: 40,
+    };
+    let grid = spec.grid();
+    let objects = spec.snapped();
+    let faulty = FaultyEstimator::new(
+        EstimatorKind::SEuler.build(&grid, &objects),
+        Fault::OverlapOffByOne,
+    );
+    let caught = spec.queries().iter().any(|q| {
+        let mut out = Vec::new();
+        check_estimate(
+            faulty.name(),
+            ExactnessClass::ApproxLevel2,
+            q,
+            &faulty.estimate(q),
+            &count_by_classification(&objects, q),
+            objects.len() as i64,
+            &mut out,
+        );
+        !out.is_empty()
+    });
+    assert!(caught, "Euler-family laws missed the planted off-by-one");
+}
+
+/// The suite's own accounting: all nine estimators face every query of
+/// every case exactly once.
+#[test]
+fn comparison_accounting_covers_all_nine() {
+    let spec = CaseSpec {
+        seed: 1,
+        dist: Distribution::Uniform,
+        nx: 6,
+        ny: 4,
+        objects: 10,
+    };
+    let outcome = run_case(&spec);
+    assert_eq!(
+        outcome.comparisons,
+        spec.queries().len() * EstimatorKind::ALL.len()
+    );
+    assert!(outcome.is_clean(), "{:#?}", outcome.violations);
+}

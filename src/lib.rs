@@ -19,6 +19,7 @@
 //! | [`engine`] | the batch query engine: shared-estimator fan-out across threads |
 //! | [`browse`] | the GeoBrowsing service: multi-tile queries, heat maps, advice |
 //! | [`metrics`] | average relative error, scatter stats, timing, text tables, hot-path telemetry |
+//! | [`conformance`] | the differential conformance harness: seeded cases, invariant catalogue, failure shrinking |
 //!
 //! The [`prelude`] exposes the types most applications need.
 //!
@@ -44,6 +45,7 @@
 
 pub use euler_baselines as baselines;
 pub use euler_browse as browse;
+pub use euler_conformance as conformance;
 pub use euler_core as core;
 pub use euler_cube as cube;
 pub use euler_datagen as datagen;
