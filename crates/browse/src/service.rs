@@ -205,6 +205,12 @@ impl GeoBrowsingService {
     /// multi-tile entry point. `opts` picks the worker count (engine
     /// fan-out; worthwhile from a few thousand tiles) and whether the
     /// call is recorded into the service telemetry.
+    ///
+    /// Because the batch is tiling-shaped and the frozen S-Euler snapshot
+    /// supports the sweep evaluator, the engine answers it with one
+    /// amortized row-major pass (`estimate_tiling`) rather than a
+    /// per-tile loop; the telemetry's `sweep_hits` counter and tiling
+    /// latency series record each such dispatch.
     pub fn browse(&self, tiling: &Tiling, opts: &BrowseOptions) -> BrowseResult {
         let mut builder =
             EstimatorEngine::builder(self.snapshot()).threads(opts.effective_threads());
@@ -312,6 +318,32 @@ mod tests {
 
         // The snapshot renders as text tables.
         assert!(svc.telemetry().render().contains("p99"));
+    }
+
+    #[test]
+    fn browse_dispatches_sweep_and_counts_it() {
+        let svc = GeoBrowsingService::new(grid());
+        for i in 0..12 {
+            let x = 0.2 + (i % 6) as f64;
+            let y = 0.2 + (i % 4) as f64;
+            svc.insert(&Rect::new(x, y, x + 0.5, y + 0.5).unwrap());
+        }
+        let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
+        let result = svc.browse(&tiling, &opts());
+        let stats = svc.telemetry();
+        assert_eq!(stats.sweep_hits, 1, "tiling browse takes the sweep path");
+        assert_eq!(stats.tiling_latency.count(), 1);
+        assert_eq!(stats.queries, 16, "sweep telemetry stays tile-granular");
+
+        // The sweep path returns exactly what the per-tile loop would.
+        let snapshot = svc.snapshot();
+        for ((_, tile), got) in tiling.iter().zip(result.counts()) {
+            assert_eq!(*got, snapshot.estimate(&tile).clamped(), "tile {tile}");
+        }
+
+        // A telemetry-off browse still sweeps, but records nothing.
+        svc.browse(&tiling, &opts().telemetry(false));
+        assert_eq!(svc.telemetry().sweep_hits, 1);
     }
 
     #[test]

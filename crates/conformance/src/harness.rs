@@ -17,7 +17,9 @@ use euler_core::{
 use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
 use euler_grid::{Grid, GridRect, SnappedRect, Tiling};
 
-use crate::invariants::{check_estimate, check_s_euler_conditional, ExactnessClass, Violation};
+use crate::invariants::{
+    check_estimate, check_s_euler_conditional, check_sweep_equivalence, ExactnessClass, Violation,
+};
 use crate::spec::CaseSpec;
 
 /// Bucket budget handed to Min-skew in conformance builds.
@@ -185,6 +187,13 @@ pub fn differential_matrix(
                 oracle: RelationCounts::new(n, 0, 0, 0),
             });
         }
+        // Sweep-equivalence law: estimate_tiling (the amortized sweep
+        // evaluator where supported, the default loop elsewhere) must be
+        // bit-identical to the per-tile loop on every tiling shape.
+        for tiling in sweep_tilings(grid) {
+            check_sweep_equivalence(kind.expected_name(), &est, &tiling, &mut outcome.violations);
+            outcome.comparisons += tiling.len();
+        }
         // Cycle thread counts 1..=3 across estimators so sequential and
         // fan-out engine paths both face the oracle.
         let engine = EstimatorEngine::builder(est).threads(ki % 3 + 1).build();
@@ -205,6 +214,28 @@ pub fn differential_matrix(
             }
         }
     }
+}
+
+/// The tiling shapes the sweep-equivalence law is checked on: a coarse
+/// full-grid browse, a finer full-grid browse, and (when the grid allows)
+/// an offset interior subregion — the shape that catches boundary-clamp
+/// bugs in the sweep kernels. Public so the suite's accounting tests can
+/// predict exactly how many comparisons a case performs.
+pub fn sweep_tilings(grid: &Grid) -> Vec<Tiling> {
+    let mut tilings = vec![
+        Tiling::new(grid.full(), grid.nx().min(4), grid.ny().min(3))
+            .expect("coarse tiling within a >=2x2 grid"),
+        Tiling::new(grid.full(), grid.nx().min(7), grid.ny().min(5))
+            .expect("fine tiling within a >=2x2 grid"),
+    ];
+    if grid.nx() >= 4 && grid.ny() >= 4 {
+        let sub = GridRect::unchecked(1, 1, grid.nx() - 1, grid.ny() - 1);
+        tilings.push(
+            Tiling::new(sub, (grid.nx() - 2).min(3), (grid.ny() - 2).min(2))
+                .expect("subregion tiling within its region"),
+        );
+    }
+    tilings
 }
 
 /// Dynamic insert/delete replay must agree with a frozen rebuild: insert

@@ -9,8 +9,8 @@
 //! approximate; Level-1-only baselines collapse everything intersecting
 //! into `overlaps` — CD and Beigel–Tanin exactly, Min-skew approximately.
 
-use euler_core::RelationCounts;
-use euler_grid::GridRect;
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_grid::{GridRect, Tiling};
 
 /// What an estimator guarantees, per the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +117,43 @@ pub fn check_estimate(
             if got.intersecting() != oracle.intersecting() {
                 fail("Euler family: intersecting total exact");
             }
+        }
+    }
+}
+
+/// The sweep-equivalence structural law: for any tiling,
+/// [`Level2Estimator::estimate_tiling`] — whether the amortized sweep
+/// evaluator or the default loop — must be **bit-identical**, tile for
+/// tile, to calling [`Level2Estimator::estimate`] on each tile. The sweep
+/// path is a pure evaluation-order optimization; any divergence is a bug,
+/// not an approximation.
+pub fn check_sweep_equivalence<E: Level2Estimator + ?Sized>(
+    name: &str,
+    est: &E,
+    tiling: &Tiling,
+    out: &mut Vec<Violation>,
+) {
+    let swept = est.estimate_tiling(tiling);
+    if swept.len() != tiling.len() {
+        out.push(Violation {
+            estimator: name.to_string(),
+            law: "estimate_tiling yields one estimate per tile",
+            query: tiling.region(),
+            got: RelationCounts::new(swept.len() as i64, 0, 0, 0),
+            oracle: RelationCounts::new(tiling.len() as i64, 0, 0, 0),
+        });
+        return;
+    }
+    for ((_, tile), got) in tiling.iter().zip(&swept) {
+        let want = est.estimate(&tile);
+        if *got != want {
+            out.push(Violation {
+                estimator: name.to_string(),
+                law: "sweep estimate_tiling = per-tile loop, bit-identical",
+                query: tile,
+                got: *got,
+                oracle: want,
+            });
         }
     }
 }
@@ -239,6 +276,66 @@ mod tests {
             &mut out,
         );
         assert_eq!(out.len(), 2, "{out:?}"); // sum-to-N + disjoint-exact
+    }
+
+    /// A mock whose `estimate_tiling` can be made to disagree with its
+    /// per-tile `estimate` — the exact bug class the sweep law exists to
+    /// catch.
+    struct MockSweep {
+        skew_first_tile: bool,
+    }
+
+    impl Level2Estimator for MockSweep {
+        fn name(&self) -> &'static str {
+            "MockSweep"
+        }
+
+        fn estimate(&self, _q: &GridRect) -> RelationCounts {
+            RelationCounts::new(3, 1, 0, 1)
+        }
+
+        fn object_count(&self) -> u64 {
+            5
+        }
+
+        fn storage_cells(&self) -> u64 {
+            0
+        }
+
+        fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+            let mut v: Vec<RelationCounts> =
+                t.iter().map(|(_, tile)| self.estimate(&tile)).collect();
+            if self.skew_first_tile {
+                v[0] = RelationCounts::new(2, 2, 0, 1);
+            }
+            v
+        }
+    }
+
+    #[test]
+    fn sweep_equivalence_accepts_faithful_and_flags_skewed_tilings() {
+        let tiling = Tiling::new(GridRect::unchecked(0, 0, 8, 6), 4, 3).unwrap();
+        let mut out = Vec::new();
+        check_sweep_equivalence(
+            "MockSweep",
+            &MockSweep {
+                skew_first_tile: false,
+            },
+            &tiling,
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+        check_sweep_equivalence(
+            "MockSweep",
+            &MockSweep {
+                skew_first_tile: true,
+            },
+            &tiling,
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].law.contains("bit-identical"));
+        assert_eq!(out[0].query, tiling.iter().next().unwrap().1);
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub mod spec;
 
 pub use corpus::{replay_corpus, CORPUS};
 pub use fault::{Fault, FaultyEstimator};
-pub use harness::{differential_matrix, run_case, CaseOutcome, EstimatorKind};
-pub use invariants::{check_estimate, ExactnessClass, Violation};
+pub use harness::{differential_matrix, run_case, sweep_tilings, CaseOutcome, EstimatorKind};
+pub use invariants::{check_estimate, check_sweep_equivalence, ExactnessClass, Violation};
 pub use shrink::{shrink, Reproduction};
 pub use spec::{CaseSpec, Distribution};
 

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use euler_baselines::NaiveScan;
 use euler_conformance::{
     check_estimate, default_specs, differential_matrix, env_budget, env_seed, replay_corpus,
-    run_case, run_suite, shrink, CaseOutcome, CaseSpec, Distribution, EstimatorKind,
+    run_case, run_suite, shrink, sweep_tilings, CaseOutcome, CaseSpec, Distribution, EstimatorKind,
     ExactnessClass, Fault, FaultyEstimator, Violation,
 };
 use euler_core::model::count_by_classification;
@@ -193,9 +193,10 @@ fn comparison_accounting_covers_all_nine() {
         objects: 10,
     };
     let outcome = run_case(&spec);
+    let sweep_tiles: usize = sweep_tilings(&spec.grid()).iter().map(|t| t.len()).sum();
     assert_eq!(
         outcome.comparisons,
-        spec.queries().len() * EstimatorKind::ALL.len()
+        (spec.queries().len() + sweep_tiles) * EstimatorKind::ALL.len()
     );
     assert!(outcome.is_clean(), "{:#?}", outcome.violations);
 }

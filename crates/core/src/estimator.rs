@@ -1,4 +1,4 @@
-use euler_grid::GridRect;
+use euler_grid::{GridRect, Tiling};
 use serde::{Deserialize, Serialize};
 
 /// The four Level 2 result counts of a browsing query (with `N_eq ≡ 0`
@@ -100,6 +100,31 @@ pub trait Level2Estimator {
     /// accuracy/storage trade-off tables. Zero for summaries that keep no
     /// structure beyond the raw objects.
     fn storage_cells(&self) -> u64;
+
+    /// Estimates every tile of a browsing query (a [`Tiling`]), in the
+    /// tiling's row-major iteration order.
+    ///
+    /// The default is the per-tile loop — one [`estimate`] call per tile.
+    /// Sweep-capable estimators override this with a tiling-aware kernel
+    /// (see `sweep::TilingPlan` in this crate) that amortizes prefix-sum
+    /// corner lookups across the whole query set; any override must
+    /// return **bit-identical** counts to the default loop (a law the
+    /// conformance harness enforces for every estimator).
+    ///
+    /// [`estimate`]: Level2Estimator::estimate
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        t.iter().map(|(_, tile)| self.estimate(&tile)).collect()
+    }
+
+    /// Whether [`estimate_tiling`] is backed by a tiling-aware sweep
+    /// kernel (rather than the default per-tile loop). Batch machinery
+    /// uses this to decide when dispatching a whole tiling to the
+    /// estimator beats fanning tiles across workers.
+    ///
+    /// [`estimate_tiling`]: Level2Estimator::estimate_tiling
+    fn supports_sweep(&self) -> bool {
+        false
+    }
 }
 
 impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
@@ -115,6 +140,12 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
     fn storage_cells(&self) -> u64 {
         (**self).storage_cells()
     }
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        (**self).estimate_tiling(t)
+    }
+    fn supports_sweep(&self) -> bool {
+        (**self).supports_sweep()
+    }
 }
 
 impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
@@ -129,6 +160,12 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
     }
     fn storage_cells(&self) -> u64 {
         (**self).storage_cells()
+    }
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        (**self).estimate_tiling(t)
+    }
+    fn supports_sweep(&self) -> bool {
+        (**self).supports_sweep()
     }
 }
 

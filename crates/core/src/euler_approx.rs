@@ -24,9 +24,10 @@
 //! exactly the large-query failure mode that motivates M-EulerApprox
 //! (§5.4).
 
-use euler_grid::GridRect;
+use euler_grid::{GridRect, Tiling};
 use serde::{Deserialize, Serialize};
 
+use crate::sweep::{sweep_euler_approx, TilingPlan};
 use crate::{EulerSource, FrozenEulerHistogram, Level2Estimator, RelationCounts};
 
 /// Orientation of the Region A/B split of Figure 11.
@@ -166,6 +167,17 @@ impl<H: EulerSource> Level2Estimator for EulerApprox<H> {
     fn storage_cells(&self) -> u64 {
         let (ew, eh) = self.hist.grid().euler_dims();
         (ew * eh) as u64
+    }
+
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        match self.hist.as_frozen() {
+            Some(frozen) => sweep_euler_approx(frozen, &TilingPlan::new(t), self.split),
+            None => t.iter().map(|(_, tile)| self.estimate(&tile)).collect(),
+        }
+    }
+
+    fn supports_sweep(&self) -> bool {
+        self.hist.as_frozen().is_some()
     }
 }
 

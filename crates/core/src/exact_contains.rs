@@ -21,8 +21,9 @@
 //! [`crate::storage`] computes the bounds without allocating.
 
 use euler_cube::{Dense2D, DenseNd, PrefixSum2D, PrefixSumNd};
-use euler_grid::{Grid, GridRect, SnappedRect};
+use euler_grid::{Grid, GridRect, SnappedRect, Tiling};
 
+use crate::sweep::TilingPlan;
 use crate::RelationCounts;
 
 /// Exact Level 2 counts for 1-D range data (the §3 construction of
@@ -231,6 +232,35 @@ impl ExactContains2D {
     }
 }
 
+/// Signed `(offset, sign)` pairs for one axis pair of a 4-D corner sum:
+/// the cartesian product of each axis's `(hi, lo − 1)` prefix choices,
+/// resolved to flattened offsets via
+/// [`PrefixSumNd::axis_offset_clipped`]. A negative index (the zero
+/// guard plane) drops its combinations; an index clamped onto its twin
+/// cancels pairwise — together reproducing [`ExactContains2D::counts`]'s
+/// boundary guards without per-tile branching.
+fn corner_pairs(
+    cum: &PrefixSumNd,
+    axes: (usize, usize),
+    first: [i64; 2],
+    second: [i64; 2],
+) -> Vec<(usize, i64)> {
+    let mut out = Vec::with_capacity(4);
+    for (ka, &ia) in first.iter().enumerate() {
+        let Some(oa) = cum.axis_offset_clipped(axes.0, ia) else {
+            continue;
+        };
+        for (kb, &ib) in second.iter().enumerate() {
+            let Some(ob) = cum.axis_offset_clipped(axes.1, ib) else {
+                continue;
+            };
+            let sign = if (ka + kb) % 2 == 0 { 1 } else { -1 };
+            out.push((oa + ob, sign));
+        }
+    }
+    out
+}
+
 impl crate::Level2Estimator for ExactContains2D {
     fn name(&self) -> &'static str {
         "Exact-4idx"
@@ -247,6 +277,75 @@ impl crate::Level2Estimator for ExactContains2D {
     fn storage_cells(&self) -> u64 {
         // The dense 4-index cube can exceed u64 on absurd grids; saturate.
         u64::try_from(self.allocated_buckets()).unwrap_or(u64::MAX)
+    }
+
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        // The 4-D sweep: each predicate's 16-corner inclusion–exclusion
+        // splits into an x-axis pair (i, j) and a y-axis pair (k, l).
+        // Tiles in a column share the x-pair offsets, tiles in a row the
+        // y-pair offsets, so the row-major pass precomputes both tables
+        // once and evaluates every tile as a fused sum of at most 4×4
+        // cube reads with the clamp/stride arithmetic hoisted out.
+        struct Tables {
+            contains: Vec<(usize, i64)>,
+            contained: Vec<(usize, i64)>,
+            intersect: Vec<(usize, i64)>,
+        }
+        let plan = TilingPlan::new(t);
+        let cum = &self.cum;
+        let (nx, ny) = (self.nx as i64, self.ny as i64);
+        let x_tables: Vec<Tables> = plan
+            .x_bounds()
+            .windows(2)
+            .map(|w| {
+                let (x0, x1) = (w[0] as i64, w[1] as i64);
+                Tables {
+                    contains: corner_pairs(cum, (0, 1), [x1, x0 - 1], [x1, x0 - 1]),
+                    contained: corner_pairs(cum, (0, 1), [x0 - 1, -1], [nx, x1]),
+                    intersect: corner_pairs(cum, (0, 1), [x1 - 1, -1], [nx, x0]),
+                }
+            })
+            .collect();
+        let y_tables: Vec<Tables> = plan
+            .y_bounds()
+            .windows(2)
+            .map(|w| {
+                let (y0, y1) = (w[0] as i64, w[1] as i64);
+                Tables {
+                    contains: corner_pairs(cum, (2, 3), [y1, y0 - 1], [y1, y0 - 1]),
+                    contained: corner_pairs(cum, (2, 3), [y0 - 1, -1], [ny, y1]),
+                    intersect: corner_pairs(cum, (2, 3), [y1 - 1, -1], [ny, y0]),
+                }
+            })
+            .collect();
+        let dot = |xs: &[(usize, i64)], ys: &[(usize, i64)]| -> i64 {
+            let mut s = 0i64;
+            for &(ox, sx) in xs {
+                for &(oy, sy) in ys {
+                    s += sx * sy * cum.value_at_offset(ox + oy);
+                }
+            }
+            s
+        };
+        let mut out = Vec::with_capacity(plan.len());
+        for yt in &y_tables {
+            for xt in &x_tables {
+                let intersect = dot(&xt.intersect, &yt.intersect);
+                let contains = dot(&xt.contains, &yt.contains);
+                let contained = dot(&xt.contained, &yt.contained);
+                out.push(RelationCounts {
+                    disjoint: self.size - intersect,
+                    contains,
+                    contained,
+                    overlaps: intersect - contains - contained,
+                });
+            }
+        }
+        out
+    }
+
+    fn supports_sweep(&self) -> bool {
+        true
     }
 }
 

@@ -180,10 +180,29 @@ impl FrozenEulerHistogram {
         self.object_count
     }
 
-    /// Signed sum over a clipped Euler-index rectangle.
+    /// Signed sum over a clipped Euler-index rectangle (`ex0 ≤ ex1`,
+    /// `ey0 ≤ ey1`; bounds may hang off the bucket array on any side).
+    ///
+    /// Evaluated as the four-corner combination of
+    /// [`PrefixSum2D::prefix_clipped`] — the one shared, inlined clamp —
+    /// instead of re-deriving per-call window clamps: boundary-touching
+    /// regions (e.g. a closed region whose upper index is the
+    /// out-of-range `2n − 1`) clamp high losslessly because the prefix
+    /// function is constant past the last bucket row/column.
     #[inline]
     pub fn signed_sum(&self, ex0: i64, ey0: i64, ex1: i64, ey1: i64) -> i64 {
-        self.cum.range_sum_clipped(ex0, ey0, ex1, ey1)
+        debug_assert!(ex0 <= ex1 && ey0 <= ey1);
+        self.cum.prefix_clipped(ex1, ey1)
+            - self.cum.prefix_clipped(ex0 - 1, ey1)
+            - self.cum.prefix_clipped(ex1, ey0 - 1)
+            + self.cum.prefix_clipped(ex0 - 1, ey0 - 1)
+    }
+
+    /// The underlying prefix-sum cube, for the sweep kernels in
+    /// [`crate::sweep`] that materialize whole rows of clipped prefixes.
+    #[inline]
+    pub(crate) fn cum(&self) -> &PrefixSum2D {
+        &self.cum
     }
 
     /// Sum of all buckets; equals `|S|` (every object's full footprint has
@@ -262,6 +281,9 @@ impl EulerSource for FrozenEulerHistogram {
     }
     fn outside_sum(&self, q: &GridRect) -> i64 {
         FrozenEulerHistogram::outside_sum(self, q)
+    }
+    fn as_frozen(&self) -> Option<&FrozenEulerHistogram> {
+        Some(self)
     }
 }
 
@@ -468,6 +490,53 @@ mod tests {
         assert_eq!(h.closed_sum(0, 4, 6, 6), 2);
         // Whole space contains everything.
         assert_eq!(h.closed_sum(0, 0, 6, 6), 4);
+    }
+
+    #[test]
+    fn signed_sum_matches_bucket_reference_on_2n_minus_1_boundary() {
+        // Regression for the shared clamp helper: closed regions of
+        // queries reaching the data-space edge ask for Euler index
+        // 2n − 1, one past the last bucket (2n − 2). The clamped corner
+        // lookups must agree with a naive clipped bucket scan on every
+        // such window, and outside_sum must stay loophole-consistent.
+        let g = grid(5, 5);
+        let (ew, eh) = (9usize, 9usize);
+        let objs = vec![
+            snap(&g, 0.0, 0.0, 5.0, 5.0), // full-space object
+            snap(&g, 0.2, 0.2, 4.9, 4.9),
+            snap(&g, 3.1, 3.1, 5.0, 5.0), // touches the far corner
+            snap(&g, 0.0, 2.1, 5.0, 2.9), // full-width bar
+        ];
+        let unfrozen = EulerHistogram::build(g, &objs);
+        let h = unfrozen.freeze();
+        let naive = |ex0: i64, ey0: i64, ex1: i64, ey1: i64| -> i64 {
+            let mut s = 0;
+            for ey in ey0.max(0)..=ey1.min(eh as i64 - 1) {
+                for ex in ex0.max(0)..=ex1.min(ew as i64 - 1) {
+                    s += unfrozen.bucket(ex as usize, ey as usize);
+                }
+            }
+            s
+        };
+        // Closed regions of boundary-touching queries: upper index 2n−1.
+        for (x0, y0, x1, y1) in [(0, 0, 5, 5), (2, 2, 5, 5), (4, 0, 5, 5), (0, 4, 5, 5)] {
+            let (ex0, ey0) = (2 * x0 - 1, 2 * y0 - 1);
+            let (ex1, ey1) = (2 * x1 - 1, 2 * y1 - 1);
+            assert_eq!(ex1.max(ey1), 9, "window must reach index 2n-1");
+            assert_eq!(
+                h.signed_sum(ex0, ey0, ex1, ey1),
+                naive(ex0, ey0, ex1, ey1),
+                "closed window of [{x0},{x1}]x[{y0},{y1}]"
+            );
+            let query = q(x0 as usize, y0 as usize, x1 as usize, y1 as usize);
+            assert_eq!(
+                h.outside_sum(&query),
+                h.total() - naive(ex0, ey0, ex1, ey1),
+                "outside sum of {query}"
+            );
+        }
+        // Windows hanging off both sides at once clamp to the full array.
+        assert_eq!(h.signed_sum(-3, -3, 20, 20), h.total());
     }
 
     #[test]

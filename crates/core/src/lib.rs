@@ -65,6 +65,7 @@ pub mod persist;
 mod s_euler;
 mod source;
 pub mod storage;
+pub mod sweep;
 
 pub use dynamic::DynamicEulerHistogram;
 pub use estimator::{Level2Estimator, RelationCounts};
@@ -75,3 +76,4 @@ pub use m_euler::{MEulerApprox, TuneReport};
 pub use ndim_hist::{BoxQuery, EulerHistogramNd, FrozenEulerHistogramNd, SEulerApproxNd};
 pub use s_euler::SEulerApprox;
 pub use source::{s_euler_counts, EulerSource};
+pub use sweep::TilingPlan;

@@ -24,9 +24,10 @@
 //! as 0 for dispatch, which routes small queries to the (strictly more
 //! general) EulerApprox branch instead of wrongly forcing `N_cs^0 = 0`.
 
-use euler_grid::{Grid, GridRect, SnappedRect};
+use euler_grid::{Grid, GridRect, SnappedRect, Tiling};
 
 use crate::euler_approx::n_ei_proxy_x2;
+use crate::sweep::{sweep_tile_sums, TilingPlan};
 use crate::{EulerHistogram, FrozenEulerHistogram, Level2Estimator, RegionSplit, RelationCounts};
 
 /// One area group: its histogram and dispatch bounds.
@@ -179,6 +180,69 @@ impl Level2Estimator for MEulerApprox {
 
     fn storage_cells(&self) -> u64 {
         self.storage_buckets() as u64
+    }
+
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        let plan = TilingPlan::new(t);
+        let n = plan.len();
+        let size = self.total_objects as i64;
+        // Tile areas drive the per-group dispatch; with remainder
+        // absorption they can differ between the last row/column and the
+        // interior, so keep them per tile.
+        let areas: Vec<f64> = t.iter().map(|(_, tile)| tile.area() as f64).collect();
+        let mut n_ii_total = vec![0i64; n];
+        let mut n_o = vec![0i64; n];
+        let mut n_cs = vec![0i64; n];
+        for g in &self.groups {
+            let s_i = g.hist.object_count() as i64;
+            if s_i == 0 {
+                continue;
+            }
+            // One sweep pass per group; the Region A/B proxy is only
+            // materialized if some tile lands in the Case 2.2 window.
+            let case_2_2 =
+                |aq: f64| -> bool { aq > g.area_lo && !g.area_hi.is_some_and(|hi| aq >= hi) };
+            let proxy = if areas.iter().any(|&aq| case_2_2(aq)) {
+                Some(self.split)
+            } else {
+                None
+            };
+            let total = g.hist.total();
+            let sums = sweep_tile_sums(&g.hist, &plan, proxy);
+            for (i, ts) in sums.iter().enumerate() {
+                let n_ei_prime = total - ts.closed;
+                let n_d = s_i - ts.n_ii;
+                n_ii_total[i] += ts.n_ii;
+                n_o[i] += n_ei_prime - n_d;
+                let aq = areas[i];
+                if aq <= g.area_lo {
+                    // Case 1: nothing in this group fits inside the tile.
+                } else if g.area_hi.is_some_and(|hi| aq >= hi) {
+                    // Case 2.1: S-EulerApprox's contains estimate is sound.
+                    n_cs[i] += s_i - n_ei_prime;
+                } else {
+                    // Case 2.2: containment possible — EulerApprox.
+                    let n_cd = (ts.proxy_x2 - 2 * n_ei_prime).div_euclid(2);
+                    n_cs[i] += s_i - n_cd - n_d - (n_ei_prime - n_d);
+                }
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let disjoint = size - n_ii_total[i];
+                let contained = size - disjoint - n_o[i] - n_cs[i];
+                RelationCounts {
+                    disjoint,
+                    contains: n_cs[i],
+                    contained,
+                    overlaps: n_o[i],
+                }
+            })
+            .collect()
+    }
+
+    fn supports_sweep(&self) -> bool {
+        true
     }
 }
 

@@ -7,8 +7,9 @@
 //! Each crossover inflates `n_ei` by one (Figure 9(b)); each containing
 //! object is misattributed from `N_cd` to overlap/contains error.
 
-use euler_grid::GridRect;
+use euler_grid::{GridRect, Tiling};
 
+use crate::sweep::{sweep_s_euler, TilingPlan};
 use crate::{s_euler_counts, EulerSource, FrozenEulerHistogram, Level2Estimator, RelationCounts};
 
 /// The S-EulerApprox estimator: Equations 14–17 on any Euler-histogram
@@ -47,6 +48,17 @@ impl<H: EulerSource> Level2Estimator for SEulerApprox<H> {
     fn storage_cells(&self) -> u64 {
         let (ew, eh) = self.hist.grid().euler_dims();
         (ew * eh) as u64
+    }
+
+    fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
+        match self.hist.as_frozen() {
+            Some(frozen) => sweep_s_euler(frozen, &TilingPlan::new(t)),
+            None => t.iter().map(|(_, tile)| self.estimate(&tile)).collect(),
+        }
+    }
+
+    fn supports_sweep(&self) -> bool {
+        self.hist.as_frozen().is_some()
     }
 }
 

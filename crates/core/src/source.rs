@@ -7,7 +7,7 @@
 
 use euler_grid::{Grid, GridRect};
 
-use crate::RelationCounts;
+use crate::{FrozenEulerHistogram, RelationCounts};
 
 /// A queryable Euler histogram backend.
 pub trait EulerSource {
@@ -39,6 +39,16 @@ pub trait EulerSource {
     /// `n'_ei` — the outside sum (Equation 15/19, loophole included).
     fn outside_sum(&self, q: &GridRect) -> i64 {
         self.total() - self.closed_sum(q.x0, q.y0, q.x1, q.y1)
+    }
+
+    /// The static prefix-sum backend, when this source is one.
+    ///
+    /// The sweep kernels in [`crate::sweep`] need direct access to the
+    /// cumulative bucket array to materialize corner strips; backends
+    /// without one (e.g. the dynamic Fenwick-tree histogram) return
+    /// `None` and estimators fall back to the per-tile loop.
+    fn as_frozen(&self) -> Option<&FrozenEulerHistogram> {
+        None
     }
 }
 

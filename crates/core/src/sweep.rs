@@ -1,0 +1,544 @@
+//! Tiling-aware sweep evaluation: amortizing prefix-sum corner lookups
+//! across a whole browsing query set.
+//!
+//! A browsing query (§1, §6.1.2) is a [`Tiling`] — a `cols × rows`
+//! partition of an aligned region. Answering it tile by tile costs four
+//! scattered [`euler_cube::PrefixSum2D`] corner reads per signed sum, and
+//! each estimator needs two to six signed sums per tile; worse, every
+//! read re-derives the same clamped Euler indices, because adjacent tiles
+//! share boundary grid lines.
+//!
+//! The sweep path exploits that sharing. A [`TilingPlan`] precomputes the
+//! tiling's **corner lattice**: for each tile-boundary grid line `x` the
+//! two Euler columns that every estimator quantity reads (`2x − 2` for
+//! open/inside corners, `2x − 1` for closed corners), and likewise per
+//! horizontal boundary. The kernels then make one row-major pass,
+//! materializing per boundary row a **strip** of clipped prefix values —
+//! one pair per vertical boundary — and evaluating every tile in the row
+//! as O(1) lookups into four strips:
+//!
+//! ```text
+//!   row r+1  ─ SA_hi (2·y−2) ── SB_hi (2·y−1) ─   ← filled this row,
+//!      ┌────┬────┬────┐                             reused as the next
+//!      │ t₀ │ t₁ │ t₂ │   tile row r                row's lo strips
+//!      └────┴────┴────┘
+//!   row r    ─ SA_lo ──────── SB_lo ──────────   ← swapped from above
+//! ```
+//!
+//! Each strip is filled once and serves both the tile row above and below
+//! it (the `lo`/`hi` swap), so a `C × R` tiling costs `O(R·C)` strip
+//! entries instead of `4·(signed sums)·R·C` independent clamped corner
+//! reads. Clipping does the boundary case analysis for free: a boundary
+//! at grid line 0 yields Euler columns `−2`/`−1` whose prefix reads are
+//! zero, and a boundary at `n` clamps onto the last prefix column so
+//! edge-difference terms vanish — exactly reproducing the `q.x0 > 0`-style
+//! guards of the per-tile estimators, bit for bit.
+//!
+//! The kernels serve [`crate::SEulerApprox`], [`crate::EulerApprox`] and
+//! [`crate::MEulerApprox`] via their `estimate_tiling` overrides;
+//! [`crate::ExactContains2D`] has its own 4-D analogue built on
+//! [`euler_cube::PrefixSumNd::axis_offset_clipped`]. All overrides are
+//! bit-identical to the default per-tile loop — a law the conformance
+//! suite enforces.
+
+use euler_cube::PrefixSum2D;
+use euler_grid::Tiling;
+
+use crate::{FrozenEulerHistogram, RegionSplit, RelationCounts};
+
+/// The precomputed corner lattice of a [`Tiling`]: tile-boundary grid
+/// lines on both axes and, per vertical boundary, the pair of Euler
+/// bucket columns every estimator quantity reads. Build one per tiling
+/// and evaluate any number of histograms against it.
+#[derive(Debug, Clone)]
+pub struct TilingPlan {
+    tiling: Tiling,
+    /// `cols + 1` vertical tile-boundary grid lines; `xs[c]` is the left
+    /// edge of tile column `c`, `xs[cols]` the region's right edge.
+    xs: Vec<usize>,
+    /// `rows + 1` horizontal tile-boundary grid lines.
+    ys: Vec<usize>,
+    /// Euler column `2·xs[k] − 2` per boundary (inside/open corners).
+    ca: Vec<i64>,
+    /// Euler column `2·xs[k] − 1` per boundary (closed corners).
+    cb: Vec<i64>,
+}
+
+impl TilingPlan {
+    /// Precomputes the corner lattice for a tiling.
+    pub fn new(t: &Tiling) -> TilingPlan {
+        let region = t.region();
+        let (cols, rows) = (t.cols(), t.rows());
+        let w = region.width() / cols;
+        let h = region.height() / rows;
+        let mut xs = Vec::with_capacity(cols + 1);
+        for c in 0..cols {
+            xs.push(region.x0 + c * w);
+        }
+        xs.push(region.x1);
+        let mut ys = Vec::with_capacity(rows + 1);
+        for r in 0..rows {
+            ys.push(region.y0 + r * h);
+        }
+        ys.push(region.y1);
+        let ca = xs.iter().map(|&x| 2 * x as i64 - 2).collect();
+        let cb = xs.iter().map(|&x| 2 * x as i64 - 1).collect();
+        TilingPlan {
+            tiling: *t,
+            xs,
+            ys,
+            ca,
+            cb,
+        }
+    }
+
+    /// The tiling this plan was built for.
+    #[inline]
+    pub fn tiling(&self) -> &Tiling {
+        &self.tiling
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.tiling.cols()
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.tiling.rows()
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tiling.len()
+    }
+
+    /// Always false — tilings are validated nonempty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `cols + 1` vertical tile-boundary grid lines (`xs[c]` /
+    /// `xs[c + 1]` are tile column `c`'s edges).
+    #[inline]
+    pub fn x_bounds(&self) -> &[usize] {
+        &self.xs
+    }
+
+    /// The `rows + 1` horizontal tile-boundary grid lines.
+    #[inline]
+    pub fn y_bounds(&self) -> &[usize] {
+        &self.ys
+    }
+
+    /// Length of one corner strip: a clipped-prefix pair per vertical
+    /// boundary plus the final full-width entry.
+    #[inline]
+    pub(crate) fn strip_len(&self) -> usize {
+        2 * self.xs.len() + 1
+    }
+
+    /// Euler row `2·ys[k] − 2` (inside/open corners) of boundary `k`.
+    #[inline]
+    pub(crate) fn row_a(&self, k: usize) -> i64 {
+        2 * self.ys[k] as i64 - 2
+    }
+
+    /// Euler row `2·ys[k] − 1` (closed corners) of boundary `k`.
+    #[inline]
+    pub(crate) fn row_b(&self, k: usize) -> i64 {
+        2 * self.ys[k] as i64 - 1
+    }
+
+    /// Materializes the corner strip at Euler row `er`: for each vertical
+    /// boundary `k`, `out[2k] = P(ca[k], er)` and `out[2k+1] = P(cb[k],
+    /// er)` (clipped prefixes), and finally the full-width prefix
+    /// `P(ew − 1, er)`. One strip serves every tile whose evaluation
+    /// touches that row — the whole tile row above it and below it.
+    pub(crate) fn fill_strip(&self, cum: &PrefixSum2D, er: i64, out: &mut [i64]) {
+        debug_assert_eq!(out.len(), self.strip_len());
+        for (k, (&a, &b)) in self.ca.iter().zip(&self.cb).enumerate() {
+            out[2 * k] = cum.prefix_clipped(a, er);
+            out[2 * k + 1] = cum.prefix_clipped(b, er);
+        }
+        out[2 * self.xs.len()] = cum.prefix_clipped(cum.width() as i64 - 1, er);
+    }
+}
+
+/// The per-tile signed sums every Euler estimator consumes: the inside
+/// sum (`n_ii`), the closed sum (`total − n'_ei`), and — when requested —
+/// the doubled Region A/B proxy of Figure 11.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TileSums {
+    pub n_ii: i64,
+    pub closed: i64,
+    pub proxy_x2: i64,
+}
+
+/// The sweep kernel: one row-major pass over the frozen histogram's
+/// prefix cube emitting [`TileSums`] for every tile of the plan, in the
+/// tiling's row-major order. `proxy` selects which Region A/B orientation
+/// (if any) to evaluate alongside; `None` skips the proxy work entirely
+/// (the S-EulerApprox browse path).
+pub(crate) fn sweep_tile_sums(
+    hist: &FrozenEulerHistogram,
+    plan: &TilingPlan,
+    proxy: Option<RegionSplit>,
+) -> Vec<TileSums> {
+    let cum = hist.cum();
+    let (cols, rows) = (plan.cols(), plan.rows());
+    let (nx, ny) = (hist.grid().nx(), hist.grid().ny());
+    let (need_y, need_x) = match proxy {
+        None => (false, false),
+        Some(RegionSplit::YBandSides) => (true, false),
+        Some(RegionSplit::XBandSides) => (false, true),
+        Some(RegionSplit::Average) => (true, true),
+    };
+
+    // Region B slabs are shared by every tile in a row (resp. column):
+    // O(rows + cols) closed sums total, versus one per tile in the
+    // per-tile loop.
+    let ys = plan.y_bounds();
+    let xs = plan.x_bounds();
+    let (mut slab_above, mut slab_below) = (Vec::new(), Vec::new());
+    if need_y {
+        slab_above = ys
+            .iter()
+            .map(|&y| {
+                if y < ny {
+                    hist.closed_sum(0, y, nx, ny)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        slab_below = ys
+            .iter()
+            .map(|&y| {
+                if y > 0 {
+                    hist.closed_sum(0, 0, nx, y)
+                } else {
+                    0
+                }
+            })
+            .collect();
+    }
+    let (mut slab_left, mut slab_right) = (Vec::new(), Vec::new());
+    if need_x {
+        slab_left = xs
+            .iter()
+            .map(|&x| {
+                if x > 0 {
+                    hist.closed_sum(0, 0, x, ny)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        slab_right = xs
+            .iter()
+            .map(|&x| {
+                if x < nx {
+                    hist.closed_sum(x, 0, nx, ny)
+                } else {
+                    0
+                }
+            })
+            .collect();
+    }
+
+    let sl = plan.strip_len();
+    let last = sl - 1;
+    let mut sa_lo = vec![0i64; sl];
+    let mut sb_lo = vec![0i64; sl];
+    let mut sa_hi = vec![0i64; sl];
+    let mut sb_hi = vec![0i64; sl];
+    // The top strip (highest Euler row) backs the x-band proxy's "A top"
+    // term for every tile; it never changes across rows.
+    let mut top = Vec::new();
+    if need_x {
+        top = vec![0i64; sl];
+        plan.fill_strip(cum, cum.height() as i64 - 1, &mut top);
+    }
+    plan.fill_strip(cum, plan.row_a(0), &mut sa_lo);
+    plan.fill_strip(cum, plan.row_b(0), &mut sb_lo);
+
+    let mut out = Vec::with_capacity(plan.len());
+    for r in 0..rows {
+        plan.fill_strip(cum, plan.row_a(r + 1), &mut sa_hi);
+        plan.fill_strip(cum, plan.row_b(r + 1), &mut sb_hi);
+        for c in 0..cols {
+            let (ia, ib, ja, jb) = (2 * c, 2 * c + 1, 2 * c + 2, 2 * c + 3);
+            // inside_sum over the tile: four corners across two strips.
+            let n_ii = sa_hi[ja] - sa_hi[ib] - sb_lo[ja] + sb_lo[ib];
+            // closed_sum over the tile: the complementary corner pairs.
+            let closed = sb_hi[jb] - sb_hi[ia] - sa_lo[jb] + sa_lo[ia];
+            let proxy_y = if need_y {
+                // A left/right side slabs in the tile's y-band; a boundary
+                // at grid line 0 (resp. nx) zeroes its term via clipping.
+                let a_left = sa_hi[ia] - sb_lo[ia];
+                let a_right = (sa_hi[last] - sa_hi[jb]) - (sb_lo[last] - sb_lo[jb]);
+                a_left + a_right + slab_above[r + 1] + slab_below[r]
+            } else {
+                0
+            };
+            let proxy_x = if need_x {
+                let a_bottom = sa_lo[ja] - sa_lo[ib];
+                let a_top = (top[ja] - top[ib]) - (sb_hi[ja] - sb_hi[ib]);
+                a_bottom + a_top + slab_left[c] + slab_right[c + 1]
+            } else {
+                0
+            };
+            let proxy_x2 = match proxy {
+                None => 0,
+                Some(RegionSplit::YBandSides) => 2 * proxy_y,
+                Some(RegionSplit::XBandSides) => 2 * proxy_x,
+                Some(RegionSplit::Average) => proxy_y + proxy_x,
+            };
+            out.push(TileSums {
+                n_ii,
+                closed,
+                proxy_x2,
+            });
+        }
+        // The hi strips of this row are the lo strips of the next: reuse
+        // instead of refilling.
+        std::mem::swap(&mut sa_lo, &mut sa_hi);
+        std::mem::swap(&mut sb_lo, &mut sb_hi);
+    }
+    out
+}
+
+/// S-EulerApprox (Equations 14–17) over every tile of a plan.
+pub(crate) fn sweep_s_euler(hist: &FrozenEulerHistogram, plan: &TilingPlan) -> Vec<RelationCounts> {
+    let size = hist.object_count() as i64;
+    let total = hist.total();
+    sweep_tile_sums(hist, plan, None)
+        .into_iter()
+        .map(|ts| {
+            let n_ei = total - ts.closed;
+            let disjoint = size - ts.n_ii;
+            RelationCounts {
+                disjoint,
+                contains: size - n_ei,
+                contained: 0,
+                overlaps: n_ei - disjoint,
+            }
+        })
+        .collect()
+}
+
+/// EulerApprox (Equations 18–22) over every tile of a plan.
+pub(crate) fn sweep_euler_approx(
+    hist: &FrozenEulerHistogram,
+    plan: &TilingPlan,
+    split: RegionSplit,
+) -> Vec<RelationCounts> {
+    let size = hist.object_count() as i64;
+    let total = hist.total();
+    sweep_tile_sums(hist, plan, Some(split))
+        .into_iter()
+        .map(|ts| {
+            let n_ei_prime = total - ts.closed;
+            let disjoint = size - ts.n_ii;
+            let overlaps = n_ei_prime - disjoint;
+            let contained = (ts.proxy_x2 - 2 * n_ei_prime).div_euclid(2);
+            let contains = size - contained - disjoint - overlaps;
+            RelationCounts {
+                disjoint,
+                contains,
+                contained,
+                overlaps,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler_approx::n_ei_proxy_x2;
+    use crate::{
+        EulerApprox, EulerHistogram, ExactContains2D, Level2Estimator, MEulerApprox, SEulerApprox,
+    };
+    use euler_geom::Rect;
+    use euler_grid::{DataSpace, Grid, GridRect, SnappedRect, Snapper};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid(nx: usize, ny: usize) -> Grid {
+        Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, nx as f64, ny as f64).unwrap()),
+            nx,
+            ny,
+        )
+        .unwrap()
+    }
+
+    fn random_objects(g: &Grid, n: usize, seed: u64) -> Vec<SnappedRect> {
+        let s = Snapper::new(*g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (w, h) = (g.nx() as f64, g.ny() as f64);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..w - 0.1);
+                let y = rng.gen_range(0.0..h - 0.1);
+                let ow = rng.gen_range(0.05..w);
+                let oh = rng.gen_range(0.05..h);
+                s.snap(&Rect::new(x, y, (x + ow).min(w), (y + oh).min(h)).unwrap())
+            })
+            .collect()
+    }
+
+    /// Tilings that exercise every boundary case: full space, single
+    /// tile, per-cell tiles, uneven remainders, and interior sub-regions.
+    fn tilings(g: &Grid) -> Vec<Tiling> {
+        vec![
+            Tiling::new(g.full(), 1, 1).unwrap(),
+            Tiling::new(g.full(), 4, 4).unwrap(),
+            Tiling::new(g.full(), g.nx(), g.ny()).unwrap(),
+            Tiling::new(g.full(), 3, 5).unwrap(),
+            Tiling::new(GridRect::unchecked(2, 3, 13, 11), 4, 3).unwrap(),
+            Tiling::new(GridRect::unchecked(1, 1, 16, 12), 5, 11).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn plan_boundaries_match_tile_corners() {
+        let g = grid(16, 12);
+        for t in tilings(&g) {
+            let plan = TilingPlan::new(&t);
+            assert_eq!(plan.len(), t.len());
+            for ((c, r), tile) in t.iter() {
+                assert_eq!(plan.x_bounds()[c], tile.x0, "{t:?} col {c}");
+                assert_eq!(plan.x_bounds()[c + 1], tile.x1, "{t:?} col {c}");
+                assert_eq!(plan.y_bounds()[r], tile.y0, "{t:?} row {r}");
+                assert_eq!(plan.y_bounds()[r + 1], tile.y1, "{t:?} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_sums_match_direct_prefix_queries() {
+        let g = grid(16, 12);
+        let hist = EulerHistogram::build(g, &random_objects(&g, 120, 7)).freeze();
+        for t in tilings(&g) {
+            let plan = TilingPlan::new(&t);
+            for proxy in [
+                None,
+                Some(RegionSplit::YBandSides),
+                Some(RegionSplit::XBandSides),
+                Some(RegionSplit::Average),
+            ] {
+                let sums = sweep_tile_sums(&hist, &plan, proxy);
+                for (((_, _), tile), ts) in t.iter().zip(&sums) {
+                    assert_eq!(
+                        ts.n_ii,
+                        hist.inside_sum(tile.x0, tile.y0, tile.x1, tile.y1),
+                        "n_ii at {tile} of {t:?}"
+                    );
+                    assert_eq!(
+                        ts.closed,
+                        hist.closed_sum(tile.x0, tile.y0, tile.x1, tile.y1),
+                        "closed at {tile} of {t:?}"
+                    );
+                    if let Some(split) = proxy {
+                        assert_eq!(
+                            ts.proxy_x2,
+                            n_ei_proxy_x2(&hist, &tile, split),
+                            "proxy at {tile} of {t:?} under {split:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The structural law of this PR: every sweep-capable estimator's
+    /// `estimate_tiling` is bit-identical to the default per-tile loop.
+    fn assert_sweep_equals_loop<E: Level2Estimator>(est: &E, t: &Tiling) {
+        let swept = est.estimate_tiling(t);
+        let looped: Vec<_> = t.iter().map(|(_, tile)| est.estimate(&tile)).collect();
+        assert_eq!(swept, looped, "{} on {t:?}", est.name());
+    }
+
+    #[test]
+    fn estimators_sweep_equals_per_tile_loop() {
+        let g = grid(16, 12);
+        let objs = random_objects(&g, 150, 11);
+        let hist = EulerHistogram::build(g, &objs).freeze();
+        for t in tilings(&g) {
+            assert_sweep_equals_loop(&SEulerApprox::new(hist.clone()), &t);
+            for split in [
+                RegionSplit::YBandSides,
+                RegionSplit::XBandSides,
+                RegionSplit::Average,
+            ] {
+                assert_sweep_equals_loop(&EulerApprox::with_split(hist.clone(), split), &t);
+                assert_sweep_equals_loop(
+                    &MEulerApprox::build_with_split(g, &objs, &[9.0, 100.0], split),
+                    &t,
+                );
+            }
+            assert_sweep_equals_loop(&ExactContains2D::build(&g, &objs), &t);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_sweeps_to_zero_counts() {
+        let g = grid(10, 8);
+        let hist = EulerHistogram::build(g, &[]).freeze();
+        let t = Tiling::new(g.full(), 5, 4).unwrap();
+        for c in SEulerApprox::new(hist).estimate_tiling(&t) {
+            assert_eq!(c, RelationCounts::default());
+        }
+    }
+
+    proptest! {
+        /// Sweep/loop agreement holds for arbitrary datasets and tiling
+        /// shapes, including sub-region tilings with uneven remainders.
+        #[test]
+        fn sweep_equals_loop_on_random_tilings(
+            seed in 0u64..12,
+            n_objs in 0usize..80,
+            rx0 in 0usize..8, ry0 in 0usize..6,
+            rw in 2usize..16, rh in 2usize..12,
+            cols in 1usize..7, rows in 1usize..7,
+        ) {
+            let g = grid(16, 12);
+            let objs = random_objects(&g, n_objs, seed);
+            let region = GridRect::unchecked(
+                rx0, ry0, (rx0 + rw).min(16), (ry0 + rh).min(12));
+            let t = Tiling::new(
+                region,
+                cols.min(region.width()),
+                rows.min(region.height()),
+            ).unwrap();
+            let hist = EulerHistogram::build(g, &objs).freeze();
+
+            let s = SEulerApprox::new(hist.clone());
+            prop_assert_eq!(
+                s.estimate_tiling(&t),
+                t.iter().map(|(_, q)| s.estimate(&q)).collect::<Vec<_>>());
+
+            let e = EulerApprox::with_split(hist, RegionSplit::Average);
+            prop_assert_eq!(
+                e.estimate_tiling(&t),
+                t.iter().map(|(_, q)| e.estimate(&q)).collect::<Vec<_>>());
+
+            let m = MEulerApprox::build(g, &objs, &[9.0, 100.0]);
+            prop_assert_eq!(
+                m.estimate_tiling(&t),
+                t.iter().map(|(_, q)| m.estimate(&q)).collect::<Vec<_>>());
+
+            let x = ExactContains2D::build(&g, &objs);
+            prop_assert_eq!(
+                x.estimate_tiling(&t),
+                t.iter().map(|(_, q)| x.estimate(&q)).collect::<Vec<_>>());
+        }
+    }
+}

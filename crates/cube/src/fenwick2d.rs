@@ -235,6 +235,47 @@ mod tests {
             }
         }
 
+        /// Clipped sums agree with the naive dense reference on windows
+        /// hanging off every side of the array, under arbitrary rectangle
+        /// updates — the same edge cases the sweep kernels lean on for
+        /// boundary-touching Euler regions.
+        #[test]
+        fn clipped_matches_naive_on_out_of_bounds_windows(
+            ops in prop::collection::vec(
+                (0usize..9, 0usize..7, 0usize..9, 0usize..7, -4i64..5), 1..20),
+            x0 in -5i64..14, y0 in -5i64..12,
+            x1 in -5i64..14, y1 in -5i64..12)
+        {
+            let (w, h) = (9usize, 7usize);
+            let mut f = RangeFenwick2D::new(w, h);
+            let mut naive = Dense2D::zeros(w, h);
+            for (a, b, c, d, v) in ops {
+                let (rx0, rx1) = (a.min(c), a.max(c));
+                let (ry0, ry1) = (b.min(d), b.max(d));
+                f.add_rect(rx0, ry0, rx1, ry1, v);
+                for y in ry0..=ry1 {
+                    for x in rx0..=rx1 {
+                        naive.add(x, y, v);
+                    }
+                }
+            }
+            let (lo_x, hi_x) = (x0.min(x1), x0.max(x1));
+            let (lo_y, hi_y) = (y0.min(y1), y0.max(y1));
+            let want = {
+                let cx0 = lo_x.max(0);
+                let cy0 = lo_y.max(0);
+                let cx1 = hi_x.min(w as i64 - 1);
+                let cy1 = hi_y.min(h as i64 - 1);
+                if cx0 > cx1 || cy0 > cy1 {
+                    0
+                } else {
+                    naive.range_sum_naive(cx0 as usize, cy0 as usize,
+                                          cx1 as usize, cy1 as usize)
+                }
+            };
+            prop_assert_eq!(f.range_sum_clipped(lo_x, lo_y, hi_x, hi_y), want);
+        }
+
         /// Clipping semantics match PrefixSum2D's.
         #[test]
         fn clipped_matches(x0 in -3i64..12, y0 in -3i64..10,

@@ -231,6 +231,51 @@ impl PrefixSumNd {
         sum
     }
 
+    /// Cumulative sum at *clipped* signed coordinates: the inclusive
+    /// prefix `P(idx)` with each coordinate clamped into the array, and 0
+    /// when any is negative (the zero guard plane).
+    ///
+    /// The d-dimensional sibling of
+    /// [`crate::PrefixSum2D::prefix_clipped`]: the `2^d` signed-corner
+    /// combination of `prefix_clipped` values reproduces
+    /// [`Self::range_sum_clipped`] for any ordered window, which lets
+    /// batched evaluators cache corner planes instead of re-deriving the
+    /// clamp per query.
+    #[inline]
+    pub fn prefix_clipped(&self, idx: &[i64]) -> i64 {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut off = 0usize;
+        for ((&i, &d), &s) in idx.iter().zip(&self.dims).zip(&self.padded_strides) {
+            if i < 0 {
+                return 0;
+            }
+            off += ((i as usize).min(d - 1) + 1) * s;
+        }
+        self.p[off]
+    }
+
+    /// Decomposed per-axis offset for [`Self::prefix_clipped`]: the
+    /// flattened-array contribution of the clamped index `i` on `axis`,
+    /// or `None` when `i < 0` (any negative coordinate zeroes the whole
+    /// prefix read). Sweep kernels precompute these per tile row/column
+    /// and combine them with [`Self::value_at_offset`], hoisting the
+    /// clamp and stride arithmetic out of the per-query hot loop.
+    #[inline]
+    pub fn axis_offset_clipped(&self, axis: usize, i: i64) -> Option<usize> {
+        if i < 0 {
+            return None;
+        }
+        Some(((i as usize).min(self.dims[axis] - 1) + 1) * self.padded_strides[axis])
+    }
+
+    /// Padded-array read at a sum of per-axis offsets, one per axis, each
+    /// produced by [`Self::axis_offset_clipped`]. Equals
+    /// [`Self::prefix_clipped`] at the corresponding multi-index.
+    #[inline]
+    pub fn value_at_offset(&self, off: usize) -> i64 {
+        self.p[off]
+    }
+
     /// Clipped signed range sum (see [`crate::PrefixSum2D::range_sum_clipped`]).
     pub fn range_sum_clipped(&self, lo: &[i64], hi: &[i64]) -> i64 {
         let d = self.dims.len();
@@ -349,6 +394,59 @@ mod tests {
             p.range_sum_clipped(&[-1, 1], &[2, 5]),
             a.range_sum_naive(&[0, 1], &[2, 3])
         );
+    }
+
+    #[test]
+    fn prefix_clipped_corners_equal_clipped_range_sum() {
+        let a = random_nd(&[4, 3, 4], 19);
+        let p = PrefixSumNd::build(&a);
+        for (lo, hi) in [
+            ([-2i64, -1, 0], [5i64, 2, 3]),
+            ([0, 0, 0], [3, 2, 3]),
+            ([1, -3, 2], [2, 1, 9]),
+            ([3, 2, 3], [3, 2, 3]),
+            ([-1, -1, -1], [10, 10, 10]),
+        ] {
+            let mut corners = 0i64;
+            for mask in 0..8u32 {
+                let mut idx = [0i64; 3];
+                let mut sign = 1i64;
+                for i in 0..3 {
+                    if mask & (1 << i) != 0 {
+                        idx[i] = lo[i] - 1;
+                        sign = -sign;
+                    } else {
+                        idx[i] = hi[i];
+                    }
+                }
+                corners += sign * p.prefix_clipped(&idx);
+            }
+            assert_eq!(
+                corners,
+                p.range_sum_clipped(&lo, &hi),
+                "window {lo:?}..{hi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn axis_offsets_reassemble_prefix_clipped() {
+        let a = random_nd(&[4, 3, 4], 23);
+        let p = PrefixSumNd::build(&a);
+        for idx in [
+            [0i64, 0, 0],
+            [3, 2, 3],
+            [5, 1, 2],
+            [-1, 2, 2],
+            [2, -3, 1],
+            [9, 9, 9],
+        ] {
+            let off = (0..3)
+                .map(|d| p.axis_offset_clipped(d, idx[d]))
+                .try_fold(0usize, |acc, o| o.map(|o| acc + o));
+            let via_offsets = off.map_or(0, |o| p.value_at_offset(o));
+            assert_eq!(via_offsets, p.prefix_clipped(&idx), "index {idx:?}");
+        }
     }
 
     #[test]

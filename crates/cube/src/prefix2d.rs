@@ -71,6 +71,27 @@ impl PrefixSum2D {
         br + tl - bl - tr
     }
 
+    /// Cumulative sum at *clipped* signed coordinates: `P(x, y)` with each
+    /// coordinate clamped into the array, and 0 when either is negative.
+    ///
+    /// This is the shared clamping kernel of every boundary-touching
+    /// lookup: clamping high is lossless because the prefix function is
+    /// constant past the last row/column, and a negative coordinate
+    /// selects the zero guard plane. For any ordered window
+    /// (`x0 ≤ x1`, `y0 ≤ y1`) the four-corner combination of
+    /// `prefix_clipped` equals [`Self::range_sum_clipped`] — which lets
+    /// sweep evaluators hoist the clamp out of their per-tile loop by
+    /// materializing whole rows of clipped prefix values once.
+    #[inline]
+    pub fn prefix_clipped(&self, x: i64, y: i64) -> i64 {
+        if x < 0 || y < 0 {
+            return 0;
+        }
+        let cx = (x as usize).min(self.width - 1);
+        let cy = (y as usize).min(self.height - 1);
+        self.p[(cx + 1) + (cy + 1) * (self.width + 1)]
+    }
+
     /// Sum over a *clipped* signed index rectangle: bounds may lie outside
     /// the array (negative or too large); the empty intersection sums to 0.
     ///
@@ -153,6 +174,19 @@ mod tests {
         );
     }
 
+    /// The reference semantics of a clipped window sum: intersect the
+    /// signed window with the array and sum naively (0 when empty).
+    fn naive_clipped(a: &Dense2D, x0: i64, y0: i64, x1: i64, y1: i64) -> i64 {
+        let cx0 = x0.max(0);
+        let cy0 = y0.max(0);
+        let cx1 = x1.min(a.width() as i64 - 1);
+        let cy1 = y1.min(a.height() as i64 - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return 0;
+        }
+        a.range_sum_naive(cx0 as usize, cy0 as usize, cx1 as usize, cy1 as usize)
+    }
+
     proptest! {
         #[test]
         fn random_ranges_match_naive(seed in 0u64..50,
@@ -163,6 +197,47 @@ mod tests {
             let x1 = (x0 + dx).min(11);
             let y1 = (y0 + dy).min(9);
             prop_assert_eq!(p.range_sum(x0, y0, x1, y1), a.range_sum_naive(x0, y0, x1, y1));
+        }
+
+        /// Clipped sums agree with the naive dense reference on windows
+        /// that hang off every side of the array (negative and
+        /// past-the-end bounds) — the edge cases the Euler-index algebra
+        /// and the sweep kernels rely on.
+        #[test]
+        fn clipped_matches_naive_on_out_of_bounds_windows(
+            seed in 0u64..50,
+            x0 in -6i64..18, y0 in -6i64..16,
+            x1 in -6i64..18, y1 in -6i64..16)
+        {
+            let a = random_array(12, 10, seed);
+            let p = PrefixSum2D::build(&a);
+            let (lo_x, hi_x) = (x0.min(x1), x0.max(x1));
+            let (lo_y, hi_y) = (y0.min(y1), y0.max(y1));
+            prop_assert_eq!(
+                p.range_sum_clipped(lo_x, lo_y, hi_x, hi_y),
+                naive_clipped(&a, lo_x, lo_y, hi_x, hi_y)
+            );
+        }
+
+        /// The four-corner combination of `prefix_clipped` reproduces
+        /// `range_sum_clipped` for every ordered signed window — the
+        /// identity that lets sweep evaluators materialize rows of
+        /// clipped prefixes instead of clamping per tile.
+        #[test]
+        fn prefix_clipped_corners_equal_clipped_range_sum(
+            seed in 0u64..50,
+            x0 in -6i64..18, y0 in -6i64..16,
+            x1 in -6i64..18, y1 in -6i64..16)
+        {
+            let a = random_array(12, 10, seed);
+            let p = PrefixSum2D::build(&a);
+            let (lo_x, hi_x) = (x0.min(x1), x0.max(x1));
+            let (lo_y, hi_y) = (y0.min(y1), y0.max(y1));
+            let corners = p.prefix_clipped(hi_x, hi_y)
+                - p.prefix_clipped(lo_x - 1, hi_y)
+                - p.prefix_clipped(hi_x, lo_y - 1)
+                + p.prefix_clipped(lo_x - 1, lo_y - 1);
+            prop_assert_eq!(corners, p.range_sum_clipped(lo_x, lo_y, hi_x, hi_y));
         }
     }
 }

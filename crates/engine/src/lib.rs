@@ -85,9 +85,16 @@ pub type SharedEstimator = Arc<dyn Level2Estimator + Send + Sync>;
 
 /// A batch of aligned queries: borrowed from a slice, or materialized
 /// from a [`Tiling`] / [`QuerySet`] in row-major tile order.
+///
+/// A batch built from a tiling remembers its shape: when the engine's
+/// estimator supports the sweep evaluator
+/// ([`Level2Estimator::supports_sweep`]), [`EstimatorEngine::run_batch`]
+/// answers such a batch with one amortized row-major pass
+/// ([`Level2Estimator::estimate_tiling`]) instead of a per-tile loop.
 #[derive(Debug, Clone)]
 pub struct QueryBatch<'a> {
     queries: Cow<'a, [GridRect]>,
+    tiling: Option<Tiling>,
 }
 
 impl<'a> QueryBatch<'a> {
@@ -95,6 +102,7 @@ impl<'a> QueryBatch<'a> {
     pub fn new(queries: &'a [GridRect]) -> QueryBatch<'a> {
         QueryBatch {
             queries: Cow::Borrowed(queries),
+            tiling: None,
         }
     }
 
@@ -112,6 +120,12 @@ impl<'a> QueryBatch<'a> {
     pub fn as_slice(&self) -> &[GridRect] {
         &self.queries
     }
+
+    /// The tiling this batch was materialized from, if any — the shape
+    /// the sweep evaluator dispatches on.
+    pub fn tiling(&self) -> Option<&Tiling> {
+        self.tiling.as_ref()
+    }
 }
 
 impl<'a> From<&'a [GridRect]> for QueryBatch<'a> {
@@ -124,6 +138,7 @@ impl From<Vec<GridRect>> for QueryBatch<'static> {
     fn from(queries: Vec<GridRect>) -> QueryBatch<'static> {
         QueryBatch {
             queries: Cow::Owned(queries),
+            tiling: None,
         }
     }
 }
@@ -132,6 +147,7 @@ impl From<&Tiling> for QueryBatch<'static> {
     fn from(tiling: &Tiling) -> QueryBatch<'static> {
         QueryBatch {
             queries: Cow::Owned(tiling.iter().map(|(_, t)| t).collect()),
+            tiling: Some(*tiling),
         }
     }
 }
@@ -140,6 +156,7 @@ impl From<&QuerySet> for QueryBatch<'static> {
     fn from(qs: &QuerySet) -> QueryBatch<'static> {
         QueryBatch {
             queries: Cow::Owned(qs.iter().collect()),
+            tiling: Some(*qs.tiling()),
         }
     }
 }
@@ -349,49 +366,74 @@ impl EstimatorEngine {
     /// Runs every query of the batch, returning per-query counts in batch
     /// order plus the measured [`BatchReport`].
     ///
-    /// The batch is split into `threads` contiguous chunks; each worker
-    /// owns a disjoint `chunks_mut` slice of the result vector, a
-    /// worker-local running total, and (when a recorder is attached) a
-    /// worker-local [`TelemetryShard`], so workers never contend — the
-    /// shards fold into the recorder at join, after the batch clock
-    /// stops. Without a recorder the hot loop carries zero
+    /// A batch materialized from a [`Tiling`] (or [`QuerySet`]) whose
+    /// estimator supports the sweep evaluator is answered by one
+    /// amortized row-major [`Level2Estimator::estimate_tiling`] pass on a
+    /// single thread — per-tile results are identical to the chunked
+    /// path, the recorder still sees one query per tile (at the tiling's
+    /// amortized per-tile latency), and [`Recorder::record_sweep`] logs
+    /// the dispatch.
+    ///
+    /// Otherwise the batch is split into `threads` contiguous chunks;
+    /// each worker owns a disjoint `chunks_mut` slice of the result
+    /// vector, a worker-local running total, and (when a recorder is
+    /// attached) a worker-local [`TelemetryShard`], so workers never
+    /// contend — the shards fold into the recorder at join, after the
+    /// batch clock stops. All result and shard storage is allocated
+    /// before the batch clock starts, so the timed hot loop is
+    /// allocation-free. Without a recorder the hot loop carries zero
     /// instrumentation. With one thread (or a single-query batch) no
     /// threads are spawned at all — the sequential path is the baseline
     /// the benches compare against.
     pub fn run_batch(&self, batch: &QueryBatch<'_>) -> BatchResult {
         let queries = batch.as_slice();
         let n = queries.len();
+        let est = &self.estimator;
+
+        if n > 0 && est.supports_sweep() {
+            if let Some(tiling) = batch.tiling() {
+                return self.run_sweep(tiling);
+            }
+        }
+
         let threads = self.threads.min(n).max(1);
         let mut counts = vec![RelationCounts::default(); n];
-        let est = &self.estimator;
         let record = self.recorder.is_some();
-        let mut shards: Vec<TelemetryShard> = Vec::new();
+        // Pre-size worker scratch outside the timed region: the hot loop
+        // below performs no allocation.
+        let mut shards: Vec<TelemetryShard> = if record {
+            let mut v = Vec::with_capacity(threads);
+            v.resize_with(threads, TelemetryShard::new);
+            v
+        } else {
+            Vec::new()
+        };
 
         let (total, elapsed) = time_it(|| {
             if threads == 1 {
-                let mut shard = record.then(TelemetryShard::new);
-                let total = estimate_chunk(est, queries, &mut counts, shard.as_mut());
-                shards.extend(shard);
-                total
+                estimate_chunk(est, queries, &mut counts, shards.first_mut())
             } else {
                 let chunk = n.div_ceil(threads);
                 std::thread::scope(|s| {
-                    let workers: Vec<_> = queries
-                        .chunks(chunk)
-                        .zip(counts.chunks_mut(chunk))
-                        .map(|(qs, out)| {
-                            s.spawn(move || {
-                                let mut shard = record.then(TelemetryShard::new);
-                                let total = estimate_chunk(est, qs, out, shard.as_mut());
-                                (total, shard)
+                    let workers: Vec<_> = if record {
+                        queries
+                            .chunks(chunk)
+                            .zip(counts.chunks_mut(chunk))
+                            .zip(shards.iter_mut())
+                            .map(|((qs, out), shard)| {
+                                s.spawn(move || estimate_chunk(est, qs, out, Some(shard)))
                             })
-                        })
-                        .collect();
+                            .collect()
+                    } else {
+                        queries
+                            .chunks(chunk)
+                            .zip(counts.chunks_mut(chunk))
+                            .map(|(qs, out)| s.spawn(move || estimate_chunk(est, qs, out, None)))
+                            .collect()
+                    };
                     let mut total = RelationCounts::default();
                     for w in workers {
-                        let (t, shard) = w.join().expect("engine worker panicked");
-                        total = total.add(&t);
-                        shards.extend(shard);
+                        total = total.add(&w.join().expect("engine worker panicked"));
                     }
                     total
                 })
@@ -411,6 +453,59 @@ impl EstimatorEngine {
                 estimator: est.name(),
                 queries: n,
                 threads,
+                elapsed,
+                total,
+            },
+        }
+    }
+
+    /// The sweep fast path: answers a tiling-shaped batch with one
+    /// row-major [`Level2Estimator::estimate_tiling`] pass.
+    ///
+    /// Telemetry stays tile-granular — one recorded query per tile, each
+    /// at the tiling's amortized per-tile latency — so `queries`,
+    /// per-relation totals, and latency counts agree with the per-tile
+    /// path; the whole-tiling wall clock additionally lands in the
+    /// recorder's sweep series via [`Recorder::record_sweep`].
+    fn run_sweep(&self, tiling: &Tiling) -> BatchResult {
+        let est = &self.estimator;
+        let n = tiling.len();
+        let mut shard = self.recorder.as_ref().map(|_| TelemetryShard::new());
+
+        let (counts, elapsed) = time_it(|| est.estimate_tiling(tiling));
+        debug_assert_eq!(counts.len(), n);
+
+        let mut total = RelationCounts::default();
+        for c in &counts {
+            total = total.add(c);
+        }
+
+        if let Some(rec) = &self.recorder {
+            let shard = shard.as_mut().expect("shard allocated with recorder");
+            let per_tile = elapsed / n.max(1) as u32;
+            for c in &counts {
+                let cl = c.clamped();
+                shard.record_query(
+                    per_tile,
+                    RelationTally::new(
+                        cl.disjoint as u64,
+                        cl.contains as u64,
+                        cl.contained as u64,
+                        cl.overlaps as u64,
+                    ),
+                );
+            }
+            rec.absorb(shard);
+            rec.record_batch(elapsed);
+            rec.record_sweep(elapsed);
+        }
+
+        BatchResult {
+            counts,
+            report: BatchReport {
+                estimator: est.name(),
+                queries: n,
+                threads: 1,
                 elapsed,
                 total,
             },
@@ -456,7 +551,14 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (grid, est) = setup(400);
-        let batch = QueryBatch::from(&Tiling::new(grid.full(), 8, 5).unwrap());
+        // A materialized slice batch keeps the chunked path under test
+        // (a Tiling-shaped batch would dispatch the sweep evaluator).
+        let queries: Vec<GridRect> = Tiling::new(grid.full(), 8, 5)
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t)
+            .collect();
+        let batch = QueryBatch::new(&queries);
         let seq = EstimatorEngine::new(est.clone()).with_threads(1);
         let seq_result = seq.run_batch(&batch);
         for threads in [2, 3, 4, 8] {
@@ -466,6 +568,60 @@ mod tests {
             assert_eq!(r.report.total, seq_result.report.total);
             assert_eq!(r.report.threads, threads);
         }
+    }
+
+    /// A Tiling-shaped batch on a sweep-capable estimator dispatches the
+    /// sweep evaluator: same counts as the chunked path, one logical
+    /// thread, and the recorder's sweep series sees the dispatch.
+    #[test]
+    fn tiling_batch_dispatches_sweep() {
+        let (grid, est) = setup(400);
+        assert!(est.supports_sweep());
+        let tiling = Tiling::new(grid.full(), 8, 5).unwrap();
+        let queries: Vec<GridRect> = tiling.iter().map(|(_, t)| t).collect();
+
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(est.clone())
+            .threads(4)
+            .recorder(recorder.clone())
+            .build();
+        let swept = engine.run_batch(&QueryBatch::from(&tiling));
+        let chunked = engine.run_batch(&QueryBatch::new(&queries));
+
+        assert_eq!(swept.counts, chunked.counts, "sweep must be bit-identical");
+        assert_eq!(swept.report.total, chunked.report.total);
+        assert_eq!(swept.report.threads, 1, "sweep is one row-major pass");
+        assert_eq!(swept.report.queries, 40);
+
+        let stats = recorder.snapshot();
+        assert_eq!(stats.sweep_hits, 1, "only the tiling batch sweeps");
+        assert_eq!(stats.tiling_latency.count(), 1);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries, 80, "sweep telemetry stays tile-granular");
+        assert_eq!(stats.query_latency.count(), 80);
+    }
+
+    /// Slice- and Vec-backed batches never dispatch the sweep path, even
+    /// when the estimator could sweep.
+    #[test]
+    fn slice_batches_do_not_sweep() {
+        let (grid, est) = setup(100);
+        let tiling = Tiling::new(grid.full(), 4, 4).unwrap();
+        let queries: Vec<GridRect> = tiling.iter().map(|(_, t)| t).collect();
+        assert!(QueryBatch::from(&tiling).tiling().is_some());
+        assert!(QueryBatch::new(&queries).tiling().is_none());
+        assert!(QueryBatch::from(queries.clone()).tiling().is_none());
+
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(est)
+            .threads(2)
+            .recorder(recorder.clone())
+            .build();
+        engine.run_batch(&QueryBatch::new(&queries));
+        engine.run_batch(&QueryBatch::from(queries.clone()));
+        let stats = recorder.snapshot();
+        assert_eq!(stats.sweep_hits, 0);
+        assert_eq!(stats.batches, 2);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //!   the engine's per-worker result accumulation);
 //! * [`Recorder`] — the registry the hot path reports through: queries
 //!   served, batches, objects estimated, per-relation totals,
-//!   zero-hit/mega-hit tiles, and query/batch latency histograms;
+//!   zero-hit/mega-hit tiles, sweep-path dispatches, and
+//!   query/batch/tiling latency histograms;
 //! * [`TelemetrySnapshot`] / [`HistogramSnapshot`] — point-in-time
 //!   readouts with `p50/p95/p99/max` quantiles, subtractable
 //!   ([`TelemetrySnapshot::delta_since`]) for per-window reporting and
@@ -456,12 +457,14 @@ pub struct Recorder {
     objects_estimated: Counter,
     zero_hits: Counter,
     mega_hits: Counter,
+    sweep_hits: Counter,
     disjoint: Counter,
     contains: Counter,
     contained: Counter,
     overlaps: Counter,
     query_latency: LatencyHistogram,
     batch_latency: LatencyHistogram,
+    tiling_latency: LatencyHistogram,
 }
 
 impl Recorder {
@@ -504,6 +507,14 @@ impl Recorder {
         self.mega_hits.add(n);
     }
 
+    /// Records one tiling-shaped batch answered by the sweep evaluator:
+    /// bumps the sweep-dispatch counter and records the whole-tiling
+    /// wall-clock latency.
+    pub fn record_sweep(&self, latency: Duration) {
+        self.sweep_hits.incr();
+        self.tiling_latency.record(latency);
+    }
+
     /// Folds a worker shard in: one atomic add per counter and touched
     /// bucket, regardless of how many queries the shard saw.
     pub fn absorb(&self, shard: &TelemetryShard) {
@@ -537,6 +548,7 @@ impl Recorder {
             objects_estimated: self.objects_estimated.get(),
             zero_hits: self.zero_hits.get(),
             mega_hits: self.mega_hits.get(),
+            sweep_hits: self.sweep_hits.get(),
             relations: RelationTally::new(
                 self.disjoint.get(),
                 self.contains.get(),
@@ -545,6 +557,7 @@ impl Recorder {
             ),
             query_latency: self.query_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
+            tiling_latency: self.tiling_latency.snapshot(),
         }
     }
 }
@@ -564,12 +577,16 @@ pub struct TelemetrySnapshot {
     pub zero_hits: u64,
     /// Tiles whose estimate exceeded the mega-hit threshold.
     pub mega_hits: u64,
+    /// Tiling-shaped batches answered by the sweep evaluator.
+    pub sweep_hits: u64,
     /// Per-relation estimate totals.
     pub relations: RelationTally,
     /// Per-query latency distribution.
     pub query_latency: HistogramSnapshot,
     /// Per-batch wall-clock latency distribution.
     pub batch_latency: HistogramSnapshot,
+    /// Whole-tiling wall-clock latency distribution of sweep dispatches.
+    pub tiling_latency: HistogramSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -596,9 +613,11 @@ impl TelemetrySnapshot {
                 .saturating_sub(earlier.objects_estimated),
             zero_hits: self.zero_hits.saturating_sub(earlier.zero_hits),
             mega_hits: self.mega_hits.saturating_sub(earlier.mega_hits),
+            sweep_hits: self.sweep_hits.saturating_sub(earlier.sweep_hits),
             relations,
             query_latency: self.query_latency.delta_since(&earlier.query_latency),
             batch_latency: self.batch_latency.delta_since(&earlier.batch_latency),
+            tiling_latency: self.tiling_latency.delta_since(&earlier.tiling_latency),
         }
     }
 
@@ -612,6 +631,7 @@ impl TelemetrySnapshot {
             ("objects estimated", self.objects_estimated),
             ("zero-hit tiles", self.zero_hits),
             ("mega-hit tiles", self.mega_hits),
+            ("sweep dispatches", self.sweep_hits),
             ("disjoint total", self.relations.disjoint),
             ("contains total", self.relations.contains),
             ("contained total", self.relations.contained),
@@ -624,6 +644,7 @@ impl TelemetrySnapshot {
         for (name, h) in [
             ("query", &self.query_latency),
             ("batch", &self.batch_latency),
+            ("tiling", &self.tiling_latency),
         ] {
             latency.row(&[
                 name.to_string(),
@@ -781,12 +802,31 @@ mod tests {
     }
 
     #[test]
+    fn sweep_dispatches_count_and_diff() {
+        let rec = Recorder::new();
+        rec.record_sweep(Duration::from_micros(5));
+        let before = rec.snapshot();
+        assert_eq!(before.sweep_hits, 1);
+        assert_eq!(before.tiling_latency.count(), 1);
+        rec.record_sweep(Duration::from_micros(7));
+        rec.record_sweep(Duration::from_micros(9));
+        let delta = rec.snapshot().delta_since(&before);
+        assert_eq!(delta.sweep_hits, 2);
+        assert_eq!(delta.tiling_latency.count(), 2);
+        // Sweep dispatches are not batches or queries.
+        assert_eq!(delta.batches, 0);
+        assert_eq!(delta.queries, 0);
+    }
+
+    #[test]
     fn render_mentions_every_series() {
         let rec = Recorder::new();
         rec.record_query(Duration::from_micros(2), RelationTally::new(1, 1, 1, 1));
         rec.record_batch(Duration::from_millis(3));
         let out = rec.snapshot().render();
-        for needle in ["queries", "batches", "p99", "query", "batch", "mega-hit"] {
+        for needle in [
+            "queries", "batches", "p99", "query", "batch", "mega-hit", "sweep", "tiling",
+        ] {
             assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
         }
     }

@@ -63,6 +63,7 @@ pub mod prelude {
     };
     pub use euler_core::{
         EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, RelationCounts, SEulerApprox,
+        TilingPlan,
     };
     pub use euler_engine::{EngineBuilder, EstimatorEngine, QueryBatch, SharedEstimator};
     pub use euler_geom::{Level2Relation, Point, Rect};
