@@ -8,20 +8,26 @@
 //! dominates. The acceptance shape is that ≥4 threads beats the
 //! sequential (1-thread) loop on the Q₁₀ tiling.
 //!
-//! Every configuration runs twice: bare, and with a telemetry
-//! [`Recorder`] attached (the `-recorded` benchmark ids). The recorded
-//! variant is the overhead budget check for the always-on telemetry
-//! layer — it must stay within a few percent of bare.
+//! Every configuration runs three ways: bare; with a telemetry
+//! [`Recorder`] attached (the `-recorded` benchmark ids); and with a
+//! far-future deadline plus a cancellation token armed (`-deadline`).
+//! The recorded variant is the overhead budget check for the always-on
+//! telemetry layer, the deadline variant for the cooperative
+//! cancellation checks on the fault-free hot path — each must stay
+//! within a few percent of bare (≤ 2 % for `-deadline`; the numbers live
+//! in EXPERIMENTS.md).
 //!
 //! Set `EULER_BENCH_QUICK=1` for a seconds-long smoke run (small dataset,
 //! one query set, two thread counts) — used by CI, since the vendored
 //! criterion stub has no CLI test mode.
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use euler_baselines::NaiveScan;
 use euler_bench::engine;
 use euler_datagen::{adl_like, AdlConfig};
-use euler_engine::QueryBatch;
+use euler_engine::{BatchOptions, CancelToken, QueryBatch};
 use euler_grid::{Grid, QuerySet};
 use euler_metrics::Recorder;
 
@@ -60,6 +66,19 @@ fn bench_batch_throughput(c: &mut Criterion) {
                 BenchmarkId::new(format!("{}-recorded", qs.label()), threads),
                 &batch,
                 |b, batch| b.iter(|| recorded.run_batch(batch)),
+            );
+            // Controls armed but never tripping: the cost of the
+            // per-query cancellation countdown and deadline clock reads
+            // on an otherwise clean run (tiling dispatch falls back to
+            // the cancellable per-tile loop, so this also prices the
+            // deadline-pressure degradation rung).
+            let opts = BatchOptions::new()
+                .deadline(Duration::from_secs(3600))
+                .cancel_token(CancelToken::new());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-deadline", qs.label()), threads),
+                &batch,
+                |b, batch| b.iter(|| bare.run_batch_with(batch, &opts)),
             );
         }
     }

@@ -88,12 +88,23 @@ fn main() -> ExitCode {
         eprintln!("usage: bench_diff <baseline.json> <candidate.json>");
         return ExitCode::FAILURE;
     };
-    let read =
-        |path: &str| std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    let baseline = parse_entries(&read(&base_path));
-    let candidate = parse_entries(&read(&cand_path));
-    assert!(!baseline.is_empty(), "no entries parsed from {base_path}");
-    assert!(!candidate.is_empty(), "no entries parsed from {cand_path}");
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(body) => {
+            let entries = parse_entries(&body);
+            if entries.is_empty() {
+                eprintln!("bench_diff: no entries parsed from {path}");
+                return None;
+            }
+            Some(entries)
+        }
+        Err(e) => {
+            eprintln!("bench_diff: read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(candidate)) = (read(&base_path), read(&cand_path)) else {
+        return ExitCode::FAILURE;
+    };
 
     let shared = baseline
         .iter()

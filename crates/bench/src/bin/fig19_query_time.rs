@@ -18,15 +18,27 @@
 //! 16,200 Q₂ queries on 2000-era hardware); S ≈ Euler ≈ M in cost; the
 //! exact index is orders of magnitude slower on large result sets.
 
+use std::process::ExitCode;
+
 use euler_baselines::{CdHistogram, RTreeOracle};
-use euler_bench::{emit_report, engine, time_query_set, PaperEnv};
+use euler_bench::{engine, time_query_set, try_emit_report, PaperEnv};
 use euler_core::{EulerApprox, MEulerApprox, SEulerApprox};
 use euler_engine::QueryBatch;
 use euler_grid::GridRect;
 use euler_metrics::{fmt_duration, Recorder, TextTable};
 
-fn main() {
-    let mut env = PaperEnv::from_env();
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig19_query_time: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut env = PaperEnv::try_from_env()?;
     let sets = env.query_sets();
     let grid = env.grid;
     let objects = env.snapped("adl").to_vec();
@@ -128,7 +140,7 @@ fn main() {
     let q2 = sets
         .iter()
         .find(|qs| qs.tile_size() == 2)
-        .expect("Q2 present");
+        .ok_or("query set Q2 missing from the paper plan")?;
     let mut tb = TextTable::new(&["m", "total ms", "ns/query"]);
     for m in [2usize, 3, 4, 5] {
         let eng = engine(build_m(m)).with_threads(1);
@@ -152,7 +164,7 @@ fn main() {
     let q10 = sets
         .iter()
         .find(|qs| qs.tile_size() == 10)
-        .expect("Q10 present");
+        .ok_or("query set Q10 missing from the paper plan")?;
     let scan = engine(euler_baselines::NaiveScan::new(objects.clone()));
     let s_euler = engine(SEulerApprox::new(hist));
     let mut tc = TextTable::new(&["threads", "exact-scan ms", "scan q/s", "S-Euler ms"]);
@@ -181,5 +193,5 @@ fn main() {
          budget; the exact R-tree index is orders of magnitude slower; and\n\
          M-EulerApprox time is roughly independent of m.\n",
     );
-    emit_report("fig19_query_time", &body);
+    try_emit_report("fig19_query_time", &body)
 }

@@ -38,19 +38,34 @@ pub struct PaperEnv {
 }
 
 impl PaperEnv {
-    /// Builds the environment, reading `EULER_SCALE` (default 1).
-    pub fn from_env() -> PaperEnv {
-        let scale = std::env::var("EULER_SCALE")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(1)
-            .max(1);
-        PaperEnv {
+    /// Builds the environment, reading `EULER_SCALE` (default 1). A
+    /// malformed value is an error naming the variable — the figure
+    /// binaries surface it as a one-line failure instead of silently
+    /// benchmarking at the wrong scale.
+    pub fn try_from_env() -> Result<PaperEnv, String> {
+        let scale = match std::env::var("EULER_SCALE") {
+            Err(_) => 1,
+            Ok(raw) => raw
+                .parse::<u32>()
+                .map_err(|e| format!("EULER_SCALE={raw:?}: {e}"))?
+                .max(1),
+        };
+        Ok(PaperEnv {
             grid: Grid::paper_default(),
             scale,
             datasets: HashMap::new(),
             snapped: HashMap::new(),
-        }
+        })
+    }
+
+    /// [`Self::try_from_env`] with a malformed `EULER_SCALE` falling back
+    /// to 1 (with a warning): the forgiving entry point for binaries that
+    /// predate the strict one.
+    pub fn from_env() -> PaperEnv {
+        PaperEnv::try_from_env().unwrap_or_else(|e| {
+            eprintln!("warning: {e}; running at scale 1");
+            PaperEnv::with_scale(1)
+        })
     }
 
     /// A fixed-scale environment (tests).
@@ -148,15 +163,29 @@ pub fn time_query_set(engine: &EstimatorEngine, qs: &QuerySet) -> BatchReport {
     engine.run_batch(&QueryBatch::from(qs)).report
 }
 
-/// Writes an experiment report to stdout and `results/<id>.txt`.
-pub fn emit_report(id: &str, body: &str) {
+/// Writes an experiment report to stdout and `results/<id>.txt`,
+/// returning a one-line error when the file can't be written (stdout
+/// output has already happened either way).
+pub fn try_emit_report(id: &str, body: &str) -> Result<(), String> {
     println!("{body}");
     let dir = results_dir();
-    std::fs::create_dir_all(&dir).expect("create results dir");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let path = dir.join(format!("{id}.txt"));
-    let mut f = std::fs::File::create(&path).expect("create results file");
-    f.write_all(body.as_bytes()).expect("write results");
+    let mut f =
+        std::fs::File::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+    f.write_all(body.as_bytes())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
     eprintln!("[written to {}]", path.display());
+    Ok(())
+}
+
+/// [`try_emit_report`], with a write failure reported to stderr instead
+/// of propagated — the measurements on stdout are the primary output and
+/// have already been printed.
+pub fn emit_report(id: &str, body: &str) {
+    if let Err(e) = try_emit_report(id, body) {
+        eprintln!("warning: results file not written: {e}");
+    }
 }
 
 /// Locates `results/` next to the workspace root (`CARGO_MANIFEST_DIR` is
@@ -236,6 +265,29 @@ mod tests {
         let report = time_query_set(&eng, &sets[0]);
         assert_eq!(report.queries, sets[0].len());
         assert_eq!(report.estimator, "NaiveScan");
+    }
+
+    #[test]
+    fn try_from_env_rejects_malformed_scale() {
+        // No other test reads EULER_SCALE; restore whatever was set.
+        let original = std::env::var("EULER_SCALE").ok();
+
+        std::env::set_var("EULER_SCALE", "2000");
+        assert_eq!(PaperEnv::try_from_env().expect("valid scale").scale, 2000);
+        std::env::set_var("EULER_SCALE", "0");
+        assert_eq!(PaperEnv::try_from_env().expect("clamped scale").scale, 1);
+        std::env::set_var("EULER_SCALE", "not-a-number");
+        let err = match PaperEnv::try_from_env() {
+            Err(e) => e,
+            Ok(env) => panic!("malformed scale accepted at scale {}", env.scale),
+        };
+        assert!(err.contains("EULER_SCALE"), "{err}");
+        std::env::remove_var("EULER_SCALE");
+        assert_eq!(PaperEnv::try_from_env().expect("default").scale, 1);
+
+        if let Some(v) = original {
+            std::env::set_var("EULER_SCALE", v);
+        }
     }
 
     #[test]

@@ -32,18 +32,64 @@ impl Relation {
     }
 }
 
-/// The result of a browsing query: per-tile Level 2 counts over a tiling.
+/// The result of a browsing query: per-tile Level 2 counts over a tiling,
+/// plus per-tile *availability* — under deadlines or contained faults the
+/// engine may deliver only part of a tiling, and the unanswered tiles are
+/// listed here instead of failing the whole browse.
 #[derive(Debug, Clone)]
 pub struct BrowseResult {
     tiling: Tiling,
     counts: Vec<RelationCounts>,
+    /// Row-major indices of tiles with no answer (sorted, usually empty).
+    unavailable: Vec<usize>,
 }
 
 impl BrowseResult {
-    /// Assembles a result (row-major counts, [`Tiling::iter`] order).
+    /// Assembles a fully-available result (row-major counts,
+    /// [`Tiling::iter`] order).
     pub fn new(tiling: Tiling, counts: Vec<RelationCounts>) -> BrowseResult {
+        BrowseResult::with_unavailable(tiling, counts, Vec::new())
+    }
+
+    /// Assembles a partial result: `unavailable` lists the row-major
+    /// indices of tiles that went unanswered (their counts slots hold
+    /// zeros).
+    pub fn with_unavailable(
+        tiling: Tiling,
+        counts: Vec<RelationCounts>,
+        mut unavailable: Vec<usize>,
+    ) -> BrowseResult {
         assert_eq!(counts.len(), tiling.len(), "one count per tile");
-        BrowseResult { tiling, counts }
+        unavailable.sort_unstable();
+        unavailable.dedup();
+        assert!(
+            unavailable.last().is_none_or(|&i| i < counts.len()),
+            "unavailable index out of range"
+        );
+        BrowseResult {
+            tiling,
+            counts,
+            unavailable,
+        }
+    }
+
+    /// Whether every tile was answered.
+    pub fn is_complete(&self) -> bool {
+        self.unavailable.is_empty()
+    }
+
+    /// Row-major indices of unanswered tiles (sorted; empty on a full
+    /// result). Their counts slots hold zeros — use
+    /// [`Self::is_available`] to tell "zero hits" from "no answer".
+    pub fn unavailable(&self) -> &[usize] {
+        &self.unavailable
+    }
+
+    /// Whether tile `(col, row)` was answered.
+    pub fn is_available(&self, col: usize, row: usize) -> bool {
+        self.unavailable
+            .binary_search(&(row * self.tiling.cols() + col))
+            .is_err()
     }
 
     /// The tiling browsed.
@@ -88,7 +134,8 @@ impl BrowseResult {
 
     /// Per-tile difference `self − other` (e.g. two facets, or the same
     /// facet across two time windows). Panics unless both results share
-    /// the same tiling. Differences can be negative.
+    /// the same tiling. Differences can be negative. A tile unavailable
+    /// on either side is unavailable in the difference.
     pub fn diff(&self, other: &BrowseResult) -> BrowseResult {
         assert_eq!(self.tiling, other.tiling, "tilings must match");
         let counts = self
@@ -102,7 +149,9 @@ impl BrowseResult {
                 overlaps: a.overlaps - b.overlaps,
             })
             .collect();
-        BrowseResult::new(self.tiling, counts)
+        let mut unavailable = self.unavailable.clone();
+        unavailable.extend_from_slice(&other.unavailable);
+        BrowseResult::with_unavailable(self.tiling, counts, unavailable)
     }
 }
 
@@ -259,6 +308,37 @@ mod tests {
         assert_eq!(d.get(0, 0).contains, 4);
         assert_eq!(d.get(1, 1).contains, -1);
         assert_eq!(d.top_k(Relation::Contains, 1)[0].2, 8);
+    }
+
+    #[test]
+    fn availability_is_per_tile() {
+        let region = GridRect::unchecked(0, 0, 6, 4);
+        let tiling = Tiling::new(region, 3, 2).unwrap();
+        let full = BrowseResult::new(tiling, vec![RelationCounts::default(); 6]);
+        assert!(full.is_complete());
+        assert!(full.is_available(2, 1));
+
+        let partial = BrowseResult::with_unavailable(
+            tiling,
+            vec![RelationCounts::default(); 6],
+            vec![4, 1, 4], // unsorted + duplicate on purpose
+        );
+        assert!(!partial.is_complete());
+        assert_eq!(partial.unavailable(), &[1, 4]);
+        assert!(partial.is_available(0, 0));
+        assert!(!partial.is_available(1, 0), "index 1 = (col 1, row 0)");
+        assert!(!partial.is_available(1, 1), "index 4 = (col 1, row 1)");
+
+        // Diff: unavailability is the union of both sides.
+        let d = full.diff(&partial);
+        assert_eq!(d.unavailable(), &[1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unavailable index out of range")]
+    fn availability_indices_checked() {
+        let tiling = Tiling::new(GridRect::unchecked(0, 0, 6, 4), 3, 2).unwrap();
+        BrowseResult::with_unavailable(tiling, vec![RelationCounts::default(); 6], vec![6]);
     }
 
     #[test]

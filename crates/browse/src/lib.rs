@@ -52,4 +52,5 @@ pub use render::render_heatmap;
 pub use service::{BrowseOptions, GeoBrowsingService};
 
 pub use euler_core::RelationCounts;
+pub use euler_engine::{BatchOptions, BatchOutcome, CancelToken};
 pub use euler_metrics::{Recorder, TelemetrySnapshot};

@@ -1,7 +1,7 @@
 use std::sync::Arc;
 
 use euler_core::{EulerHistogram, SEulerApprox};
-use euler_engine::{EstimatorEngine, QueryBatch};
+use euler_engine::{BatchOptions, EstimatorEngine, QueryBatch};
 use euler_geom::Rect;
 use euler_grid::{Grid, SnappedRect, Snapper, Tiling};
 use euler_metrics::{Recorder, TelemetrySnapshot};
@@ -212,24 +212,55 @@ impl GeoBrowsingService {
     /// per-tile loop; the telemetry's `sweep_hits` counter and tiling
     /// latency series record each such dispatch.
     pub fn browse(&self, tiling: &Tiling, opts: &BrowseOptions) -> BrowseResult {
+        self.browse_with(tiling, opts, &BatchOptions::default())
+    }
+
+    /// [`Self::browse`] under engine [`BatchOptions`] — a deadline and/or
+    /// a cancellation token. Instead of erroring the whole tiling when
+    /// the budget runs out (or a worker faults), the result surfaces
+    /// per-tile availability: answered tiles carry their counts,
+    /// unanswered ones are listed in [`BrowseResult::unavailable`] (and
+    /// excluded from the zero-hit/mega-hit advice counters — "no answer"
+    /// is not "zero hits").
+    pub fn browse_with(
+        &self,
+        tiling: &Tiling,
+        opts: &BrowseOptions,
+        batch: &BatchOptions,
+    ) -> BrowseResult {
         let mut builder =
             EstimatorEngine::builder(self.snapshot()).threads(opts.effective_threads());
         if opts.telemetry {
             builder = builder.recorder(self.recorder.clone());
         }
-        let result = builder.build().run_batch(&QueryBatch::from(tiling));
+        let result = builder
+            .build()
+            .run_batch_with(&QueryBatch::from(tiling), batch);
+        let unavailable: Vec<usize> = result
+            .outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_failed())
+            .map(|(i, _)| i)
+            .collect();
         let counts: Vec<_> = result.counts.into_iter().map(|c| c.clamped()).collect();
         if opts.telemetry {
             let hits = |c: &euler_core::RelationCounts| c.intersecting();
-            let zero = counts.iter().filter(|c| hits(c) == 0).count();
-            let mega = counts
-                .iter()
+            let delivered = || {
+                counts
+                    .iter()
+                    .zip(&result.outcomes)
+                    .filter(|(_, o)| o.is_delivered())
+                    .map(|(c, _)| c)
+            };
+            let zero = delivered().filter(|c| hits(c) == 0).count();
+            let mega = delivered()
                 .filter(|c| hits(c) >= opts.mega_threshold)
                 .count();
             self.recorder.add_zero_hits(zero as u64);
             self.recorder.add_mega_hits(mega as u64);
         }
-        BrowseResult::new(*tiling, counts)
+        BrowseResult::with_unavailable(*tiling, counts, unavailable)
     }
 }
 
@@ -344,6 +375,44 @@ mod tests {
         // A telemetry-off browse still sweeps, but records nothing.
         svc.browse(&tiling, &opts().telemetry(false));
         assert_eq!(svc.telemetry().sweep_hits, 1);
+    }
+
+    /// Degraded serving: under a deadline the browse returns per-tile
+    /// availability instead of erroring the whole tiling, and the advice
+    /// counters do not mistake "no answer" for "zero hits".
+    #[test]
+    fn browse_with_deadline_surfaces_partial_availability() {
+        let svc = GeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+        let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
+
+        // A generous budget delivers everything, identical to browse().
+        let full = svc.browse(&tiling, &opts().telemetry(false));
+        let generous = svc.browse_with(
+            &tiling,
+            &opts().telemetry(false),
+            &BatchOptions::new().deadline(std::time::Duration::from_secs(3600)),
+        );
+        assert!(generous.is_complete());
+        assert_eq!(generous.counts(), full.counts());
+
+        // A zero budget delivers nothing — but still returns.
+        let zero_before = svc.telemetry().zero_hits;
+        let starved = svc.browse_with(
+            &tiling,
+            &opts(),
+            &BatchOptions::new().deadline(std::time::Duration::ZERO),
+        );
+        assert!(!starved.is_complete());
+        assert_eq!(starved.unavailable().len(), 16);
+        assert!(!starved.is_available(0, 0));
+        assert!(starved.counts().iter().all(|c| c.total() == 0));
+        let stats = svc.telemetry();
+        assert_eq!(
+            stats.zero_hits, zero_before,
+            "unanswered tiles are not zero-hit advice"
+        );
+        assert_eq!(stats.deadline_exceeded, 1);
     }
 
     #[test]

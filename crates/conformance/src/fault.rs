@@ -3,9 +3,12 @@
 //! *catches* them. A conformance suite that has never seen a failure is
 //! untested itself; these mutations are the calibration signal.
 
+use std::panic::panic_any;
+
 use euler_core::{Level2Estimator, RelationCounts};
+use euler_engine::faults::{FaultSite, InjectedPanic};
 use euler_engine::SharedEstimator;
-use euler_grid::GridRect;
+use euler_grid::{GridRect, Tiling};
 
 /// The injected defect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +95,94 @@ impl Level2Estimator for FaultyEstimator {
     }
 }
 
+/// An estimator that panics — with an [`InjectedPanic`] payload, like the
+/// engine's own fail-points — on one poisoned query. The conformance
+/// stand-in for a defective worker: the resilience law says the engine
+/// must contain the blast to the poisoned chunk and answer everything
+/// else bit-identically to a fault-free run.
+pub struct PanickingEstimator {
+    inner: SharedEstimator,
+    poison: GridRect,
+}
+
+impl PanickingEstimator {
+    /// Wraps `inner`, panicking whenever `poison` is queried.
+    pub fn new(inner: SharedEstimator, poison: GridRect) -> PanickingEstimator {
+        PanickingEstimator { inner, poison }
+    }
+}
+
+impl Level2Estimator for PanickingEstimator {
+    fn name(&self) -> &'static str {
+        "Panicking"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        if *q == self.poison {
+            panic_any(InjectedPanic {
+                site: FaultSite::Chunk,
+                index: 0,
+            });
+        }
+        self.inner.estimate(q)
+    }
+
+    fn object_count(&self) -> u64 {
+        self.inner.object_count()
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.inner.storage_cells()
+    }
+}
+
+/// A sweep-capable wrapper whose sweep kernel always panics, forcing the
+/// engine down the sweep → per-tile-loop degradation rung. Its per-query
+/// [`estimate`] delegates untouched, so the fallback answer is exactly
+/// the inner estimator's per-tile loop — which is what the resilience
+/// law demands of a `Degraded` result.
+///
+/// [`estimate`]: Level2Estimator::estimate
+pub struct SweepPanickingEstimator {
+    inner: SharedEstimator,
+}
+
+impl SweepPanickingEstimator {
+    /// Wraps `inner` with a poisoned sweep kernel.
+    pub fn new(inner: SharedEstimator) -> SweepPanickingEstimator {
+        SweepPanickingEstimator { inner }
+    }
+}
+
+impl Level2Estimator for SweepPanickingEstimator {
+    fn name(&self) -> &'static str {
+        "SweepPanicking"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        self.inner.estimate(q)
+    }
+
+    fn object_count(&self) -> u64 {
+        self.inner.object_count()
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.inner.storage_cells()
+    }
+
+    fn estimate_tiling(&self, _t: &Tiling) -> Vec<RelationCounts> {
+        panic_any(InjectedPanic {
+            site: FaultSite::Sweep,
+            index: 0,
+        });
+    }
+
+    fn supports_sweep(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +217,44 @@ mod tests {
                 .any(|q| faulty.estimate(q) != clean.estimate(q));
             assert!(perturbed, "{fault:?} had no observable effect");
         }
+    }
+
+    #[test]
+    fn panicking_wrappers_panic_with_injected_payloads() {
+        euler_engine::faults::silence_injected_panics();
+        let spec = CaseSpec {
+            seed: 7,
+            dist: Distribution::Uniform,
+            nx: 6,
+            ny: 4,
+            objects: 10,
+        };
+        let inner: SharedEstimator = Arc::new(NaiveScan::new(spec.snapped()));
+        let queries = spec.queries();
+        let poison = queries[0];
+
+        let p = PanickingEstimator::new(Arc::clone(&inner), poison);
+        assert_eq!(p.object_count(), 10);
+        // Non-poisoned queries pass through untouched.
+        assert_eq!(p.estimate(&queries[1]), inner.estimate(&queries[1]));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.estimate(&poison);
+        }))
+        .expect_err("poisoned query must panic");
+        assert!(payload.downcast_ref::<InjectedPanic>().is_some());
+
+        let s = SweepPanickingEstimator::new(Arc::clone(&inner));
+        assert!(s.supports_sweep());
+        assert_eq!(s.estimate(&queries[2]), inner.estimate(&queries[2]));
+        let grid = spec.grid();
+        let tiling = euler_grid::Tiling::new(grid.full(), 3, 2).expect("tiling");
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.estimate_tiling(&tiling);
+        }))
+        .expect_err("sweep kernel must panic");
+        let injected = payload
+            .downcast_ref::<InjectedPanic>()
+            .expect("payload is InjectedPanic");
+        assert_eq!(injected.site, FaultSite::Sweep);
     }
 }

@@ -17,6 +17,7 @@ use euler_core::{
 use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
 use euler_grid::{Grid, GridRect, SnappedRect, Tiling};
 
+use crate::fault::{PanickingEstimator, SweepPanickingEstimator};
 use crate::invariants::{
     check_estimate, check_s_euler_conditional, check_sweep_equivalence, ExactnessClass, Violation,
 };
@@ -138,8 +139,9 @@ impl CaseOutcome {
 /// Runs the full conformance battery for one case: the nine-estimator
 /// differential matrix through the engine (with varying thread counts so
 /// the fan-out path is itself under test), the S-EulerApprox conditional
-/// exactness law, dynamic replay, persistence round-trips, and the browse
-/// API.
+/// exactness law, the engine resilience laws under injected panics
+/// ([`check_fault_resilience`]), dynamic replay, persistence round-trips,
+/// and the browse API.
 pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
     let grid = spec.grid();
     let objects = spec.snapped();
@@ -196,7 +198,9 @@ pub fn differential_matrix(
         }
         // Cycle thread counts 1..=3 across estimators so sequential and
         // fan-out engine paths both face the oracle.
-        let engine = EstimatorEngine::builder(est).threads(ki % 3 + 1).build();
+        let engine = EstimatorEngine::builder(Arc::clone(&est))
+            .threads(ki % 3 + 1)
+            .build();
         let result = engine.run_batch(&QueryBatch::new(queries));
         for ((q, got), want) in queries.iter().zip(&result.counts).zip(oracle) {
             outcome.comparisons += 1;
@@ -212,6 +216,101 @@ pub fn differential_matrix(
             if *kind == EstimatorKind::SEuler {
                 check_s_euler_conditional(q, got, want, objects, &mut outcome.violations);
             }
+        }
+        // Resilience laws: the clean batch above is the fault-free
+        // baseline (this check adds no differential comparisons — the
+        // accounting tests rely on that).
+        let tiling = &sweep_tilings(grid)[0];
+        check_fault_resilience(
+            kind.expected_name(),
+            &est,
+            queries,
+            &result.counts,
+            tiling,
+            &mut outcome.violations,
+        );
+    }
+}
+
+/// The resilience laws the engine's degradation ladder must satisfy for
+/// every estimator, checked with the injected-defect wrappers:
+///
+/// 1. **Panic isolation.** With one query poisoned to panic the worker,
+///    every query the engine still reports [`Complete`] must be
+///    bit-identical to the fault-free `baseline`, and the poisoned query
+///    must *not* be reported `Complete`.
+/// 2. **Lossless degradation.** With the sweep kernel poisoned, a tiling
+///    batch must come back [`Degraded`] — not failed — and equal the
+///    per-tile loop bit-for-bit (the sweep-equivalence law is exactly
+///    what licenses this fallback).
+///
+/// [`Complete`]: euler_engine::BatchOutcome::Complete
+/// [`Degraded`]: euler_engine::BatchOutcome::Degraded
+pub fn check_fault_resilience(
+    name: &str,
+    est: &SharedEstimator,
+    queries: &[GridRect],
+    baseline: &[RelationCounts],
+    tiling: &Tiling,
+    out: &mut Vec<Violation>,
+) {
+    if queries.is_empty() {
+        return;
+    }
+    euler_engine::faults::silence_injected_panics();
+
+    // Law 1: poison one mid-plan query; the blast radius is its chunk.
+    let poison = queries[queries.len() / 2];
+    let faulty: SharedEstimator = Arc::new(PanickingEstimator::new(Arc::clone(est), poison));
+    let engine = EstimatorEngine::builder(faulty).threads(2).build();
+    let result = engine.run_batch(&QueryBatch::new(queries));
+    for (i, q) in queries.iter().enumerate() {
+        if result.outcomes[i].is_complete() {
+            if *q == poison {
+                out.push(Violation {
+                    estimator: format!("{name} (panic-isolation)"),
+                    law: "poisoned query is not reported Complete",
+                    query: *q,
+                    got: result.counts[i],
+                    oracle: baseline[i],
+                });
+            } else if result.counts[i] != baseline[i] {
+                out.push(Violation {
+                    estimator: format!("{name} (panic-isolation)"),
+                    law: "Complete outcome = fault-free run, bit-identical",
+                    query: *q,
+                    got: result.counts[i],
+                    oracle: baseline[i],
+                });
+            }
+        }
+    }
+
+    // Law 2: poison the sweep kernel; the tiling batch must degrade to
+    // the per-tile loop, bit-for-bit.
+    let sweep_faulty: SharedEstimator = Arc::new(SweepPanickingEstimator::new(Arc::clone(est)));
+    let engine = EstimatorEngine::builder(sweep_faulty).threads(1).build();
+    let result = engine.run_batch(&QueryBatch::from(tiling));
+    for (((_, tile), got), o) in tiling.iter().zip(&result.counts).zip(&result.outcomes) {
+        if !o.is_degraded() {
+            out.push(Violation {
+                estimator: format!("{name} (sweep-degradation)"),
+                law: "poisoned sweep degrades to the loop, not to failure",
+                query: tile,
+                got: *got,
+                oracle: est.estimate(&tile),
+            });
+            continue;
+        }
+        let want = est.estimate(&tile);
+        if *got != want {
+            out.push(Violation {
+                estimator: format!("{name} (sweep-degradation)"),
+                law: "Degraded sweep fallback = per-tile loop, bit-identical",
+                query: tile,
+                got: *got,
+                oracle: want,
+            });
         }
     }
 }

@@ -41,7 +41,10 @@
 //! - `EULER_CONFORMANCE_SEED` — base seed (default fixed; the nightly job
 //!   derives it from the run date);
 //! - `EULER_CONFORMANCE_REPORT` — if set, failing reproductions are also
-//!   written to this path for artifact upload.
+//!   written to this path for artifact upload;
+//! - `EULER_FAULT_SEED` — (with the `failpoints` feature) base seed for
+//!   the deterministic fail-point plans the fault-injection tests arm
+//!   (see `euler_engine::faults`).
 
 pub mod corpus;
 pub mod fault;
@@ -51,8 +54,11 @@ pub mod shrink;
 pub mod spec;
 
 pub use corpus::{replay_corpus, CORPUS};
-pub use fault::{Fault, FaultyEstimator};
-pub use harness::{differential_matrix, run_case, sweep_tilings, CaseOutcome, EstimatorKind};
+pub use fault::{Fault, FaultyEstimator, PanickingEstimator, SweepPanickingEstimator};
+pub use harness::{
+    check_fault_resilience, differential_matrix, run_case, sweep_tilings, CaseOutcome,
+    EstimatorKind,
+};
 pub use invariants::{check_estimate, check_sweep_equivalence, ExactnessClass, Violation};
 pub use shrink::{shrink, Reproduction};
 pub use spec::{CaseSpec, Distribution};

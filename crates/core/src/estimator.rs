@@ -111,6 +111,13 @@ pub trait Level2Estimator {
     /// return **bit-identical** counts to the default loop (a law the
     /// conformance harness enforces for every estimator).
     ///
+    /// **Error surface.** An override has no `Result` channel: its only
+    /// failure mode is a panic, and callers that must not die treat the
+    /// per-tile loop as the recovery path. `euler-engine` runs overrides
+    /// under `catch_unwind` and falls back to this default on panic —
+    /// the bit-identity law above is exactly what makes that fallback
+    /// lossless (a degraded path, not a different answer).
+    ///
     /// [`estimate`]: Level2Estimator::estimate
     fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
         t.iter().map(|(_, tile)| self.estimate(&tile)).collect()
@@ -119,7 +126,10 @@ pub trait Level2Estimator {
     /// Whether [`estimate_tiling`] is backed by a tiling-aware sweep
     /// kernel (rather than the default per-tile loop). Batch machinery
     /// uses this to decide when dispatching a whole tiling to the
-    /// estimator beats fanning tiles across workers.
+    /// estimator beats fanning tiles across workers — and, because the
+    /// kernel is a single uninterruptible pass, to skip it for the
+    /// cancellable per-tile loop when a deadline or cancellation token
+    /// is in play.
     ///
     /// [`estimate_tiling`]: Level2Estimator::estimate_tiling
     fn supports_sweep(&self) -> bool {

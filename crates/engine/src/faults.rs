@@ -1,0 +1,312 @@
+//! Deterministic fail-point facility for exercising the engine's
+//! resilience paths.
+//!
+//! A resilience layer that is never exercised is a liability, so the
+//! engine carries named fail-point *sites* in its hot paths — one at the
+//! head of every worker chunk, one in front of the sweep evaluator —
+//! that a test can arm with a seeded [`FaultPlan`] to inject panics and
+//! stalls at exact, replayable positions. The facility mirrors the
+//! conformance harness's seeding discipline: a plan derives from one
+//! `u64` seed ([`FaultPlan::from_seed`], or the `EULER_FAULT_SEED`
+//! environment variable via [`FaultPlan::from_env`]), so any failure a
+//! fault run produces is reproduced by re-running with the same seed.
+//!
+//! **Zero-cost when disabled.** The whole active-plan machinery is gated
+//! behind the `failpoints` cargo feature; without it, the `fire` hook the
+//! hot paths call is an empty `#[inline(always)]` function and the
+//! compiled engine is byte-for-byte the production engine. With the
+//! feature on but no plan installed, `fire` is one relaxed atomic load.
+//!
+//! Injected panics carry the [`InjectedPanic`] payload so tests (and the
+//! engine's own `catch_unwind`) can tell a planted fault from a real
+//! defect, and so [`silence_injected_panics`] can keep expected-panic
+//! tests from spraying backtraces over the test output.
+
+use std::fmt;
+
+/// The panic payload every injected fault carries: identifies the fault
+/// as planted (not a real defect) and records where it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedPanic {
+    /// The site that fired.
+    pub site: FaultSite,
+    /// The per-site sequence index that fired (e.g. the chunk number).
+    pub index: usize,
+}
+
+impl fmt::Display for InjectedPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {:?}[{}]", self.site, self.index)
+    }
+}
+
+/// A named fail-point site in the engine's hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// The head of one worker chunk in the chunked batch path; the index
+    /// is the chunk number within the batch.
+    Chunk,
+    /// The sweep evaluator dispatch in `run_sweep`; the index counts
+    /// sweep dispatches since the plan was installed.
+    Sweep,
+}
+
+/// What an armed fail-point does when its site and index match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an [`InjectedPanic`] payload.
+    Panic,
+    /// Sleep for the given number of milliseconds — long enough, relative
+    /// to a test's deadline, to force a deadline overrun.
+    StallMs(u64),
+}
+
+/// One armed fail-point: fire `kind` the moment `site` is passed with
+/// sequence index `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailPoint {
+    /// Where to fire.
+    pub site: FaultSite,
+    /// Which occurrence of the site to fire at (0-based).
+    pub index: usize,
+    /// What to do.
+    pub kind: FaultKind,
+}
+
+/// A deterministic set of armed fail-points, derived from one seed so
+/// every fault run is replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The armed fail-points.
+    pub points: Vec<FailPoint>,
+}
+
+/// The environment variable [`FaultPlan::from_env`] reads its seed from
+/// (decimal or `0x`-prefixed hex), mirroring `EULER_CONFORMANCE_SEED`.
+pub const FAULT_SEED_ENV: &str = "EULER_FAULT_SEED";
+
+impl FaultPlan {
+    /// An empty plan (no faults armed).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms one more fail-point.
+    pub fn with(mut self, site: FaultSite, index: usize, kind: FaultKind) -> FaultPlan {
+        self.points.push(FailPoint { site, index, kind });
+        self
+    }
+
+    /// Derives a small plan from a seed with a splitmix64 step — the same
+    /// generator discipline the conformance harness uses, so a seed fully
+    /// determines where the faults land. The plan always arms exactly one
+    /// chunk panic and one sweep panic, at seed-chosen indices in `0..8`.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        FaultPlan::new()
+            .with(FaultSite::Chunk, (next() % 8) as usize, FaultKind::Panic)
+            .with(FaultSite::Sweep, (next() % 8) as usize, FaultKind::Panic)
+    }
+
+    /// The plan seeded by `EULER_FAULT_SEED`, or `None` when the variable
+    /// is unset. A malformed value is an error, not a silent default —
+    /// the caller decides how to surface it.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(FAULT_SEED_ENV) {
+            Err(_) => Ok(None),
+            Ok(raw) => {
+                let parsed = raw
+                    .strip_prefix("0x")
+                    .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+                match parsed {
+                    Ok(seed) => Ok(Some(FaultPlan::from_seed(seed))),
+                    Err(e) => Err(format!("{FAULT_SEED_ENV}={raw:?}: {e}")),
+                }
+            }
+        }
+    }
+}
+
+/// Installs a panic hook that suppresses the default backtrace spray for
+/// panics carrying an [`InjectedPanic`] payload, delegating every other
+/// panic to the previous hook. Idempotent; call it once at the top of
+/// tests that arm fail-points or run panicking estimators on purpose.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use super::{FaultKind, FaultPlan, FaultSite, InjectedPanic};
+    use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Whether any plan is installed — the one relaxed load `fire` pays
+    /// on the hot path when the feature is compiled in.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    /// The installed plan plus the per-site dispatch counters.
+    #[derive(Default)]
+    struct Active {
+        plan: FaultPlan,
+        chunk_seen: usize,
+        sweep_seen: usize,
+    }
+
+    fn slot() -> &'static Mutex<Active> {
+        static SLOT: OnceLock<Mutex<Active>> = OnceLock::new();
+        SLOT.get_or_init(Mutex::default)
+    }
+
+    /// Serializes tests that install plans: the global plan must not be
+    /// shared between concurrently running fault tests.
+    fn test_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default)
+    }
+
+    /// Keeps a [`FaultPlan`] installed for its lifetime; uninstalls (and
+    /// releases the cross-test serialization lock) on drop.
+    pub struct FaultGuard {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            ARMED.store(false, Relaxed);
+            *slot().lock().unwrap_or_else(|e| e.into_inner()) = Active::default();
+        }
+    }
+
+    /// Installs `plan` as the process-wide active plan until the returned
+    /// guard drops. Blocks while another guard is alive, so concurrent
+    /// `#[test]`s arming fail-points serialize instead of interfering.
+    pub fn install(plan: FaultPlan) -> FaultGuard {
+        let serial = test_lock().lock().unwrap_or_else(|e| e.into_inner());
+        *slot().lock().unwrap_or_else(|e| e.into_inner()) = Active {
+            plan,
+            ..Active::default()
+        };
+        ARMED.store(true, Relaxed);
+        FaultGuard { _serial: serial }
+    }
+
+    /// The hook the engine's hot paths call: fires any armed fail-point
+    /// matching `site` at its current sequence index. `index` overrides
+    /// the sequence counter when the caller knows its own position (chunk
+    /// numbers); pass `None` to use the per-site dispatch counter.
+    pub(crate) fn fire(site: FaultSite, index: Option<usize>) {
+        if !ARMED.load(Relaxed) {
+            return;
+        }
+        let kind = {
+            let mut active = slot().lock().unwrap_or_else(|e| e.into_inner());
+            let seq = match (site, index) {
+                (_, Some(i)) => i,
+                (FaultSite::Chunk, None) => {
+                    let i = active.chunk_seen;
+                    active.chunk_seen += 1;
+                    i
+                }
+                (FaultSite::Sweep, None) => {
+                    let i = active.sweep_seen;
+                    active.sweep_seen += 1;
+                    i
+                }
+            };
+            active
+                .plan
+                .points
+                .iter()
+                .find(|p| p.site == site && p.index == seq)
+                .map(|p| (p.kind, seq))
+        };
+        if let Some((kind, seq)) = kind {
+            match kind {
+                FaultKind::StallMs(ms) => {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                FaultKind::Panic => {
+                    std::panic::panic_any(InjectedPanic { site, index: seq });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use active::{install, FaultGuard};
+
+/// The fail-point hook compiled into the engine's hot paths. With the
+/// `failpoints` feature off this is an empty inline function the
+/// optimizer erases; with it on, it fires any armed fail-point matching
+/// `site` (see [`install`]).
+#[cfg(feature = "failpoints")]
+pub(crate) fn fire(site: FaultSite, index: Option<usize>) {
+    active::fire(site, index);
+}
+
+/// No-op stand-in when the `failpoints` feature is off.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub(crate) fn fire(_site: FaultSite, _index: Option<usize>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        assert_eq!(FaultPlan::from_seed(42), FaultPlan::from_seed(42));
+        // Two points, one per site, indices inside the documented range.
+        let plan = FaultPlan::from_seed(7);
+        assert_eq!(plan.points.len(), 2);
+        assert!(plan
+            .points
+            .iter()
+            .any(|p| p.site == FaultSite::Chunk && p.index < 8));
+        assert!(plan
+            .points
+            .iter()
+            .any(|p| p.site == FaultSite::Sweep && p.index < 8));
+        // Different seeds (eventually) move the fault: the plan is not a
+        // constant.
+        assert!((0..64).any(|s| FaultPlan::from_seed(s) != plan));
+    }
+
+    #[test]
+    fn builder_arms_points() {
+        let plan = FaultPlan::new()
+            .with(FaultSite::Chunk, 3, FaultKind::Panic)
+            .with(FaultSite::Sweep, 0, FaultKind::StallMs(50));
+        assert_eq!(plan.points.len(), 2);
+        assert_eq!(plan.points[0].index, 3);
+        assert_eq!(plan.points[1].kind, FaultKind::StallMs(50));
+    }
+
+    #[test]
+    fn injected_panic_displays_its_site() {
+        let p = InjectedPanic {
+            site: FaultSite::Sweep,
+            index: 2,
+        };
+        assert!(p.to_string().contains("Sweep"));
+        assert!(p.to_string().contains('2'));
+    }
+}

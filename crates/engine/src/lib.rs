@@ -72,16 +72,180 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod faults;
+
 use std::borrow::Cow;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use euler_core::{Level2Estimator, RelationCounts};
 use euler_grid::{GridRect, QuerySet, Tiling};
-use euler_metrics::{time_it, Recorder, RelationTally, TelemetryShard};
+use euler_metrics::{time_it, OutcomeLabel, Recorder, RelationTally, TelemetryShard};
+
+use faults::FaultSite;
 
 /// The estimator handle the engine shares across workers.
 pub type SharedEstimator = Arc<dyn Level2Estimator + Send + Sync>;
+
+/// A shareable cooperative-cancellation flag: clone it, hand one clone to
+/// [`BatchOptions::cancel_token`], and flip it from any thread with
+/// [`CancelToken::cancel`] — workers poll it every
+/// [`BatchOptions::check_every`] queries and stop with partial results.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.0.store(true, Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Per-batch execution controls: an optional wall-clock deadline, an
+/// optional [`CancelToken`], and the polling granularity. The default
+/// options carry no controls, and the engine's fault-free hot loop then
+/// pays nothing for them; see [`EstimatorEngine::run_batch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    deadline: Option<Duration>,
+    check_every: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+impl BatchOptions {
+    /// How many queries a worker runs between control polls when
+    /// [`Self::check_every`] is not set.
+    pub const DEFAULT_CHECK_EVERY: usize = 64;
+
+    /// Options with no controls (the [`EstimatorEngine::run_batch`]
+    /// behaviour).
+    pub fn new() -> BatchOptions {
+        BatchOptions::default()
+    }
+
+    /// Sets a wall-clock budget for the batch, measured from the moment
+    /// the batch starts executing. Workers that notice the budget is
+    /// spent stop within [`Self::check_every`] queries, and the
+    /// unanswered tail is reported [`BatchOutcome::Failed`] with
+    /// [`FailReason::DeadlineExceeded`].
+    pub fn deadline(mut self, budget: Duration) -> BatchOptions {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets how many queries a worker runs between deadline/cancellation
+    /// polls (clamped to at least 1). Smaller values tighten the
+    /// partial-result granularity; larger values shrink the (already
+    /// small) polling overhead.
+    pub fn check_every(mut self, queries: usize) -> BatchOptions {
+        self.check_every = Some(queries.max(1));
+        self
+    }
+
+    /// Attaches a cancellation token; flip it with [`CancelToken::cancel`]
+    /// and workers stop within [`Self::check_every`] queries.
+    pub fn cancel_token(mut self, token: CancelToken) -> BatchOptions {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether any control (deadline or cancel token) is configured.
+    pub fn has_controls(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    fn effective_check_every(&self) -> usize {
+        self.check_every.unwrap_or(Self::DEFAULT_CHECK_EVERY).max(1)
+    }
+}
+
+/// Why delivered results took a fallback path instead of the intended one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The sweep evaluator panicked; the per-tile loop answered instead
+    /// (bit-identical results, by the sweep-equivalence law).
+    SweepPanic,
+    /// Controls (deadline or cancel token) were set, so the
+    /// uninterruptible sweep pass was skipped in favour of the
+    /// cancellable per-tile loop.
+    DeadlinePressure,
+}
+
+/// Why a query produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// The worker chunk holding the query panicked.
+    Panicked,
+    /// The batch deadline expired before the query ran.
+    DeadlineExceeded,
+    /// The batch's [`CancelToken`] was flipped before the query ran.
+    Cancelled,
+}
+
+/// The per-query resilience outcome of a batch: the degradation ladder's
+/// report of *how* each slot of [`BatchResult::counts`] was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Answered on the intended path; bit-identical to a fault-free run.
+    Complete,
+    /// Answered on a fallback path (still bit-identical for sweep
+    /// fallbacks — the per-tile loop computes the same counts).
+    Degraded(DegradeReason),
+    /// Not answered; the counts slot holds `RelationCounts::default()`.
+    Failed(FailReason),
+}
+
+impl BatchOutcome {
+    /// Whether the query was answered on the intended path.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BatchOutcome::Complete)
+    }
+
+    /// Whether the query was answered on a fallback path.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, BatchOutcome::Degraded(_))
+    }
+
+    /// Whether the query went unanswered.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, BatchOutcome::Failed(_))
+    }
+
+    /// Whether a result was delivered (complete or degraded).
+    pub fn is_delivered(&self) -> bool {
+        !self.is_failed()
+    }
+}
+
+/// A structured record of one contained fault: which chunk of the batch
+/// it hit, the query range that chunk covered, and why. Sweep-evaluator
+/// panics are logged here too (as chunk 0 spanning the whole batch) even
+/// when the per-tile fallback recovers every query — the outcomes then
+/// say [`BatchOutcome::Degraded`], and the error is the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// Index of the worker chunk the fault hit.
+    pub chunk: usize,
+    /// The batch-order query range the chunk covered.
+    pub queries: Range<usize>,
+    /// Why the chunk (or its tail) produced no results.
+    pub reason: FailReason,
+    /// Human-readable detail (panic payload, deadline accounting).
+    pub message: String,
+}
 
 /// A batch of aligned queries: borrowed from a slice, or materialized
 /// from a [`Tiling`] / [`QuerySet`] in row-major tile order.
@@ -210,13 +374,73 @@ impl BatchReport {
     }
 }
 
-/// Per-query results plus the batch-level measurement.
+/// Per-query results plus the batch-level measurement and the
+/// degradation ladder's per-query outcome report.
 #[derive(Debug, Clone)]
 pub struct BatchResult {
     /// One estimate per query, in batch order.
+    /// [`BatchOutcome::Failed`] slots hold `RelationCounts::default()`.
     pub counts: Vec<RelationCounts>,
-    /// Latency / throughput / totals for the batch.
+    /// One resilience outcome per query, in batch order.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Structured records of every contained fault (empty on a clean run).
+    pub errors: Vec<ChunkError>,
+    /// Latency / throughput / totals for the batch. `total` sums only
+    /// delivered results.
     pub report: BatchReport,
+}
+
+impl BatchResult {
+    /// Whether every query completed on the intended path.
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(BatchOutcome::is_complete)
+    }
+
+    /// Number of queries answered on the intended path.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_complete()).count()
+    }
+
+    /// Number of queries answered on a fallback path.
+    pub fn degraded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_degraded()).count()
+    }
+
+    /// Number of unanswered queries.
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_failed()).count()
+    }
+
+    /// The batch's overall outcome class: `Failed` if any query went
+    /// unanswered, else `Degraded` if any took a fallback path, else
+    /// `Complete` (also the label of an empty batch).
+    pub fn overall(&self) -> OutcomeLabel {
+        overall_label(&self.outcomes)
+    }
+}
+
+/// Collapses per-query outcomes into the batch's outcome class.
+fn overall_label(outcomes: &[BatchOutcome]) -> OutcomeLabel {
+    if outcomes.iter().any(BatchOutcome::is_failed) {
+        OutcomeLabel::Failed
+    } else if outcomes.iter().any(BatchOutcome::is_degraded) {
+        OutcomeLabel::Degraded
+    } else {
+        OutcomeLabel::Complete
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(p) = payload.downcast_ref::<faults::InjectedPanic>() {
+        p.to_string()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Runs one contiguous chunk of queries, writing per-query results into
@@ -258,6 +482,162 @@ fn estimate_chunk(
         }
     }
     total
+}
+
+/// How a chunk's execution ended (internal; maps onto [`BatchOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChunkEnd {
+    Done,
+    Panicked,
+    DeadlineExceeded,
+    Cancelled,
+}
+
+impl ChunkEnd {
+    fn fail_reason(self) -> Option<FailReason> {
+        match self {
+            ChunkEnd::Done => None,
+            ChunkEnd::Panicked => Some(FailReason::Panicked),
+            ChunkEnd::DeadlineExceeded => Some(FailReason::DeadlineExceeded),
+            ChunkEnd::Cancelled => Some(FailReason::Cancelled),
+        }
+    }
+}
+
+/// What one worker hands back at join.
+struct ChunkOutput {
+    total: RelationCounts,
+    completed: usize,
+    end: ChunkEnd,
+    message: Option<String>,
+}
+
+/// The resolved per-batch controls a worker polls: an absolute deadline,
+/// a cancel flag, and the polling stride.
+#[derive(Clone, Copy)]
+struct Controls<'a> {
+    deadline: Option<Instant>,
+    cancel: Option<&'a AtomicBool>,
+    check_every: usize,
+}
+
+impl Controls<'_> {
+    /// Whether a control has tripped (cancellation wins over deadline —
+    /// it is the cheaper check and the more explicit signal).
+    fn interrupted(&self) -> Option<ChunkEnd> {
+        if self.cancel.is_some_and(|c| c.load(Relaxed)) {
+            return Some(ChunkEnd::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(ChunkEnd::DeadlineExceeded);
+        }
+        None
+    }
+}
+
+/// Like [`estimate_chunk`], but polling `controls` every `check_every`
+/// queries; stops early (keeping the results produced so far) when a
+/// control trips.
+fn controlled_chunk(
+    est: &SharedEstimator,
+    queries: &[GridRect],
+    out: &mut [RelationCounts],
+    mut shard: Option<&mut TelemetryShard>,
+    controls: &Controls<'_>,
+    total: &mut RelationCounts,
+    completed: &mut usize,
+) -> ChunkEnd {
+    let mut until_check = controls.check_every;
+    for (q, slot) in queries.iter().zip(out.iter_mut()) {
+        until_check -= 1;
+        if until_check == 0 {
+            until_check = controls.check_every;
+            if let Some(end) = controls.interrupted() {
+                return end;
+            }
+        }
+        match shard.as_deref_mut() {
+            None => {
+                *slot = est.estimate(q);
+                *total = total.add(slot);
+            }
+            Some(shard) => {
+                let start = Instant::now();
+                *slot = est.estimate(q);
+                let latency = start.elapsed();
+                *total = total.add(slot);
+                let c = slot.clamped();
+                shard.record_query(
+                    latency,
+                    RelationTally::new(
+                        c.disjoint as u64,
+                        c.contains as u64,
+                        c.contained as u64,
+                        c.overlaps as u64,
+                    ),
+                );
+            }
+        }
+        *completed += 1;
+    }
+    ChunkEnd::Done
+}
+
+/// Runs one chunk under panic isolation: the fail-point site and the
+/// whole estimate loop sit inside `catch_unwind`, so a poisoned query
+/// takes down its chunk, not the process. On panic the chunk's partial
+/// results are discarded (its `out` slots reset to the default) but the
+/// telemetry shard — owned by the caller, outside the unwind boundary —
+/// keeps what it recorded: queries *executed* are telemetry, queries
+/// *delivered* are outcomes.
+fn run_chunk(
+    est: &SharedEstimator,
+    queries: &[GridRect],
+    out: &mut [RelationCounts],
+    mut shard: Option<&mut TelemetryShard>,
+    controls: Option<&Controls<'_>>,
+    chunk_index: usize,
+) -> ChunkOutput {
+    let mut total = RelationCounts::default();
+    let mut completed = 0usize;
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        faults::fire(FaultSite::Chunk, Some(chunk_index));
+        match controls {
+            None => {
+                total = estimate_chunk(est, queries, out, shard.as_deref_mut());
+                completed = queries.len();
+                ChunkEnd::Done
+            }
+            Some(c) => controlled_chunk(
+                est,
+                queries,
+                out,
+                shard.as_deref_mut(),
+                c,
+                &mut total,
+                &mut completed,
+            ),
+        }
+    }));
+    match caught {
+        Ok(end) => ChunkOutput {
+            total,
+            completed,
+            end,
+            message: None,
+        },
+        Err(payload) => {
+            for slot in out.iter_mut() {
+                *slot = RelationCounts::default();
+            }
+            ChunkOutput {
+                total: RelationCounts::default(),
+                completed: 0,
+                end: ChunkEnd::Panicked,
+                message: Some(panic_message(payload.as_ref())),
+            }
+        }
+    }
 }
 
 /// Configures an [`EstimatorEngine`]:
@@ -363,42 +743,153 @@ impl EstimatorEngine {
         self.recorder.as_ref()
     }
 
-    /// Runs every query of the batch, returning per-query counts in batch
-    /// order plus the measured [`BatchReport`].
-    ///
-    /// A batch materialized from a [`Tiling`] (or [`QuerySet`]) whose
-    /// estimator supports the sweep evaluator is answered by one
-    /// amortized row-major [`Level2Estimator::estimate_tiling`] pass on a
-    /// single thread — per-tile results are identical to the chunked
-    /// path, the recorder still sees one query per tile (at the tiling's
-    /// amortized per-tile latency), and [`Recorder::record_sweep`] logs
-    /// the dispatch.
-    ///
-    /// Otherwise the batch is split into `threads` contiguous chunks;
-    /// each worker owns a disjoint `chunks_mut` slice of the result
-    /// vector, a worker-local running total, and (when a recorder is
-    /// attached) a worker-local [`TelemetryShard`], so workers never
-    /// contend — the shards fold into the recorder at join, after the
-    /// batch clock stops. All result and shard storage is allocated
-    /// before the batch clock starts, so the timed hot loop is
-    /// allocation-free. Without a recorder the hot loop carries zero
-    /// instrumentation. With one thread (or a single-query batch) no
-    /// threads are spawned at all — the sequential path is the baseline
-    /// the benches compare against.
+    /// Runs every query of the batch with no deadline, cancellation, or
+    /// armed fail-points in play — equivalent to
+    /// [`Self::run_batch_with`] with default [`BatchOptions`], which
+    /// documents the dispatch and resilience behaviour.
     pub fn run_batch(&self, batch: &QueryBatch<'_>) -> BatchResult {
+        self.run_batch_with(batch, &BatchOptions::default())
+    }
+
+    /// Runs every query of the batch under the given controls, returning
+    /// per-query counts in batch order, per-query [`BatchOutcome`]s, any
+    /// contained [`ChunkError`]s, and the measured [`BatchReport`].
+    ///
+    /// **Dispatch.** A batch materialized from a [`Tiling`] (or
+    /// [`QuerySet`]) whose estimator supports the sweep evaluator is
+    /// answered by one amortized row-major
+    /// [`Level2Estimator::estimate_tiling`] pass on a single thread —
+    /// per-tile results are identical to the chunked path, the recorder
+    /// still sees one query per tile, and [`Recorder::record_sweep`] logs
+    /// the dispatch. Otherwise the batch is split into `threads`
+    /// contiguous chunks; each worker owns a disjoint `chunks_mut` slice
+    /// of the result vector, a worker-local running total, and (when a
+    /// recorder is attached) a worker-local [`TelemetryShard`], so
+    /// workers never contend — the shards fold into the recorder at
+    /// join, after the batch clock stops. All result and shard storage
+    /// is allocated before the batch clock starts, so the timed hot loop
+    /// is allocation-free, and with one thread no threads are spawned at
+    /// all.
+    ///
+    /// **Degradation ladder.** Each worker chunk runs under
+    /// `catch_unwind`: a panicking estimator fails its chunk
+    /// ([`BatchOutcome::Failed`] with [`FailReason::Panicked`], a
+    /// [`ChunkError`] in [`BatchResult::errors`]) while every other
+    /// chunk's results are kept bit-identical to a fault-free run. A
+    /// panicking *sweep* falls back to the per-tile loop
+    /// ([`BatchOutcome::Degraded`] with [`DegradeReason::SweepPanic`] —
+    /// same counts, by the sweep-equivalence law). When `opts` carries a
+    /// deadline or cancel token, the uninterruptible sweep pass is
+    /// skipped in favour of the cancellable per-tile loop
+    /// ([`DegradeReason::DeadlinePressure`]), and workers poll the
+    /// controls every [`BatchOptions::check_every`] queries, stopping
+    /// with partial results — answered prefixes keep their outcomes, the
+    /// unanswered tail is `Failed`. Without controls the fault-free hot
+    /// loop is the same tight loop as always (one `catch_unwind` frame
+    /// per chunk; measured ≤ 2 % in EXPERIMENTS.md).
+    pub fn run_batch_with(&self, batch: &QueryBatch<'_>, opts: &BatchOptions) -> BatchResult {
         let queries = batch.as_slice();
         let n = queries.len();
         let est = &self.estimator;
 
         if n > 0 && est.supports_sweep() {
             if let Some(tiling) = batch.tiling() {
-                return self.run_sweep(tiling);
+                if opts.has_controls() {
+                    // The sweep pass cannot be interrupted mid-flight;
+                    // under deadline pressure take the cancellable
+                    // per-tile rung of the ladder (same counts).
+                    if let Some(rec) = &self.recorder {
+                        rec.record_degraded_sweep();
+                    }
+                    return self.run_chunked(
+                        queries,
+                        opts,
+                        Some(DegradeReason::DeadlinePressure),
+                        Vec::new(),
+                    );
+                }
+                match self.try_sweep(tiling) {
+                    Ok(result) => return result,
+                    Err(error) => {
+                        if let Some(rec) = &self.recorder {
+                            rec.record_panic_caught();
+                            rec.record_degraded_sweep();
+                        }
+                        return self.run_chunked(
+                            queries,
+                            opts,
+                            Some(DegradeReason::SweepPanic),
+                            vec![error],
+                        );
+                    }
+                }
             }
         }
+        self.run_chunked(queries, opts, None, Vec::new())
+    }
 
+    /// The chunked path: fans the queries across workers under panic
+    /// isolation and the batch controls. `degrade` labels delivered
+    /// results when this path is a ladder fallback; `errors` carries any
+    /// fault log inherited from a failed sweep attempt.
+    fn run_chunked(
+        &self,
+        queries: &[GridRect],
+        opts: &BatchOptions,
+        degrade: Option<DegradeReason>,
+        mut errors: Vec<ChunkError>,
+    ) -> BatchResult {
+        let n = queries.len();
+        let est = &self.estimator;
         let threads = self.threads.min(n).max(1);
-        let mut counts = vec![RelationCounts::default(); n];
         let record = self.recorder.is_some();
+        let delivered = match degrade {
+            None => BatchOutcome::Complete,
+            Some(reason) => BatchOutcome::Degraded(reason),
+        };
+
+        let started = Instant::now();
+        let controls_val = if opts.has_controls() {
+            Some(Controls {
+                deadline: opts.deadline.map(|budget| started + budget),
+                cancel: opts.cancel.as_ref().map(|t| t.0.as_ref()),
+                check_every: opts.effective_check_every(),
+            })
+        } else {
+            None
+        };
+
+        // Controls already tripped (zero deadline, pre-cancelled token):
+        // fail every query up front instead of starting workers.
+        if let Some(end) = controls_val.as_ref().and_then(|c| c.interrupted()) {
+            let reason = end.fail_reason().unwrap_or(FailReason::DeadlineExceeded);
+            errors.push(ChunkError {
+                chunk: 0,
+                queries: 0..n,
+                reason,
+                message: "controls tripped before the batch started".to_string(),
+            });
+            let outcomes = vec![BatchOutcome::Failed(reason); n];
+            if let Some(rec) = &self.recorder {
+                rec.record_batch(Duration::ZERO);
+                rec.record_deadline_exceeded();
+                rec.record_batch_outcome(overall_label(&outcomes), Duration::ZERO);
+            }
+            return BatchResult {
+                counts: vec![RelationCounts::default(); n],
+                outcomes,
+                errors,
+                report: BatchReport {
+                    estimator: est.name(),
+                    queries: n,
+                    threads,
+                    elapsed: Duration::ZERO,
+                    total: RelationCounts::default(),
+                },
+            };
+        }
+
+        let mut counts = vec![RelationCounts::default(); n];
         // Pre-size worker scratch outside the timed region: the hot loop
         // below performs no allocation.
         let mut shards: Vec<TelemetryShard> = if record {
@@ -409,46 +900,128 @@ impl EstimatorEngine {
             Vec::new()
         };
 
-        let (total, elapsed) = time_it(|| {
+        let chunk = n.div_ceil(threads).max(1);
+        let (chunk_outputs, elapsed) = time_it(|| {
+            let controls = controls_val.as_ref();
             if threads == 1 {
-                estimate_chunk(est, queries, &mut counts, shards.first_mut())
+                vec![run_chunk(
+                    est,
+                    queries,
+                    &mut counts,
+                    shards.first_mut(),
+                    controls,
+                    0,
+                )]
             } else {
-                let chunk = n.div_ceil(threads);
                 std::thread::scope(|s| {
                     let workers: Vec<_> = if record {
                         queries
                             .chunks(chunk)
                             .zip(counts.chunks_mut(chunk))
                             .zip(shards.iter_mut())
-                            .map(|((qs, out), shard)| {
-                                s.spawn(move || estimate_chunk(est, qs, out, Some(shard)))
+                            .enumerate()
+                            .map(|(i, ((qs, out), shard))| {
+                                s.spawn(move || run_chunk(est, qs, out, Some(shard), controls, i))
                             })
                             .collect()
                     } else {
                         queries
                             .chunks(chunk)
                             .zip(counts.chunks_mut(chunk))
-                            .map(|(qs, out)| s.spawn(move || estimate_chunk(est, qs, out, None)))
+                            .enumerate()
+                            .map(|(i, (qs, out))| {
+                                s.spawn(move || run_chunk(est, qs, out, None, controls, i))
+                            })
                             .collect()
                     };
-                    let mut total = RelationCounts::default();
-                    for w in workers {
-                        total = total.add(&w.join().expect("engine worker panicked"));
-                    }
-                    total
+                    workers
+                        .into_iter()
+                        .map(|w| match w.join() {
+                            Ok(output) => output,
+                            // The chunk body is already unwind-caught, so
+                            // this arm is belt-and-braces — but a join
+                            // error must never kill the process.
+                            Err(payload) => ChunkOutput {
+                                total: RelationCounts::default(),
+                                completed: 0,
+                                end: ChunkEnd::Panicked,
+                                message: Some(panic_message(payload.as_ref())),
+                            },
+                        })
+                        .collect()
                 })
             }
         });
+
+        let mut outcomes = vec![delivered; n];
+        let mut total = RelationCounts::default();
+        let mut panics = 0u64;
+        let mut interrupted = false;
+        for (i, output) in chunk_outputs.iter().enumerate() {
+            let start = i * chunk;
+            let end = (start + chunk).min(n);
+            match output.end {
+                ChunkEnd::Done => total = total.add(&output.total),
+                ChunkEnd::Panicked => {
+                    panics += 1;
+                    for o in &mut outcomes[start..end] {
+                        *o = BatchOutcome::Failed(FailReason::Panicked);
+                    }
+                    // run_chunk resets its slots on a caught panic; this
+                    // also covers the join-error arm above.
+                    for slot in &mut counts[start..end] {
+                        *slot = RelationCounts::default();
+                    }
+                    errors.push(ChunkError {
+                        chunk: i,
+                        queries: start..end,
+                        reason: FailReason::Panicked,
+                        message: output
+                            .message
+                            .clone()
+                            .unwrap_or_else(|| "worker panicked".to_string()),
+                    });
+                }
+                ChunkEnd::DeadlineExceeded | ChunkEnd::Cancelled => {
+                    interrupted = true;
+                    total = total.add(&output.total);
+                    let reason = output.end.fail_reason().unwrap_or(FailReason::Cancelled);
+                    let cut = start + output.completed;
+                    for o in &mut outcomes[cut..end] {
+                        *o = BatchOutcome::Failed(reason);
+                    }
+                    errors.push(ChunkError {
+                        chunk: i,
+                        queries: cut..end,
+                        reason,
+                        message: format!(
+                            "stopped after {} of {} queries",
+                            output.completed,
+                            end - start
+                        ),
+                    });
+                }
+            }
+        }
 
         if let Some(rec) = &self.recorder {
             for shard in &shards {
                 rec.absorb(shard);
             }
             rec.record_batch(elapsed);
+            for _ in 0..panics {
+                rec.record_panic_caught();
+            }
+            if interrupted {
+                rec.record_deadline_exceeded();
+            }
+            rec.record_batch_outcome(overall_label(&outcomes), elapsed);
         }
 
         BatchResult {
             counts,
+            outcomes,
+            errors,
             report: BatchReport {
                 estimator: est.name(),
                 queries: n,
@@ -460,19 +1033,40 @@ impl EstimatorEngine {
     }
 
     /// The sweep fast path: answers a tiling-shaped batch with one
-    /// row-major [`Level2Estimator::estimate_tiling`] pass.
+    /// row-major [`Level2Estimator::estimate_tiling`] pass under
+    /// `catch_unwind`; a panicking sweep returns the [`ChunkError`] for
+    /// the caller's ladder instead of unwinding further.
     ///
     /// Telemetry stays tile-granular — one recorded query per tile, each
     /// at the tiling's amortized per-tile latency — so `queries`,
     /// per-relation totals, and latency counts agree with the per-tile
     /// path; the whole-tiling wall clock additionally lands in the
     /// recorder's sweep series via [`Recorder::record_sweep`].
-    fn run_sweep(&self, tiling: &Tiling) -> BatchResult {
+    fn try_sweep(&self, tiling: &Tiling) -> Result<BatchResult, ChunkError> {
         let est = &self.estimator;
         let n = tiling.len();
         let mut shard = self.recorder.as_ref().map(|_| TelemetryShard::new());
 
-        let (counts, elapsed) = time_it(|| est.estimate_tiling(tiling));
+        let (swept, elapsed) = time_it(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                faults::fire(FaultSite::Sweep, None);
+                est.estimate_tiling(tiling)
+            }))
+        });
+        let counts = match swept {
+            Ok(counts) => counts,
+            Err(payload) => {
+                return Err(ChunkError {
+                    chunk: 0,
+                    queries: 0..n,
+                    reason: FailReason::Panicked,
+                    message: format!(
+                        "sweep evaluator panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                })
+            }
+        };
         debug_assert_eq!(counts.len(), n);
 
         let mut total = RelationCounts::default();
@@ -498,10 +1092,13 @@ impl EstimatorEngine {
             rec.absorb(shard);
             rec.record_batch(elapsed);
             rec.record_sweep(elapsed);
+            rec.record_batch_outcome(OutcomeLabel::Complete, elapsed);
         }
 
-        BatchResult {
+        Ok(BatchResult {
             counts,
+            outcomes: vec![BatchOutcome::Complete; n],
+            errors: Vec::new(),
             report: BatchReport {
                 estimator: est.name(),
                 queries: n,
@@ -509,7 +1106,7 @@ impl EstimatorEngine {
                 elapsed,
                 total,
             },
-        }
+        })
     }
 }
 
@@ -779,5 +1376,433 @@ mod tests {
         assert!(s.contains("S-EulerApprox"), "{s}");
         assert!(s.contains("4 queries"), "{s}");
         assert!(r.report.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn clean_runs_report_complete_outcomes() {
+        let (grid, est) = setup(100);
+        let engine = EstimatorEngine::new(est).with_threads(4);
+        let r = engine.run_batch(&QueryBatch::from(&Tiling::new(grid.full(), 5, 4).unwrap()));
+        assert!(r.is_complete());
+        assert_eq!(r.outcomes, vec![BatchOutcome::Complete; 20]);
+        assert!(r.errors.is_empty());
+        assert_eq!(r.completed(), 20);
+        assert_eq!((r.degraded(), r.failed()), (0, 0));
+        assert_eq!(r.overall(), OutcomeLabel::Complete);
+    }
+
+    /// Wraps an estimator so one specific query panics — a poisoned
+    /// query, with an [`faults::InjectedPanic`] payload so the expected
+    /// panic stays out of the test output.
+    struct PanicOn {
+        inner: SharedEstimator,
+        poison: GridRect,
+    }
+
+    impl Level2Estimator for PanicOn {
+        fn name(&self) -> &'static str {
+            "PanicOn"
+        }
+        fn estimate(&self, q: &GridRect) -> RelationCounts {
+            if *q == self.poison {
+                std::panic::panic_any(faults::InjectedPanic {
+                    site: FaultSite::Chunk,
+                    index: usize::MAX,
+                });
+            }
+            self.inner.estimate(q)
+        }
+        fn object_count(&self) -> u64 {
+            self.inner.object_count()
+        }
+        fn storage_cells(&self) -> u64 {
+            self.inner.storage_cells()
+        }
+    }
+
+    /// Sweep-capable wrapper whose sweep kernel always panics; per-query
+    /// estimates delegate unchanged.
+    struct SweepPanics {
+        inner: SharedEstimator,
+    }
+
+    impl Level2Estimator for SweepPanics {
+        fn name(&self) -> &'static str {
+            "SweepPanics"
+        }
+        fn estimate(&self, q: &GridRect) -> RelationCounts {
+            self.inner.estimate(q)
+        }
+        fn object_count(&self) -> u64 {
+            self.inner.object_count()
+        }
+        fn storage_cells(&self) -> u64 {
+            self.inner.storage_cells()
+        }
+        fn estimate_tiling(&self, _t: &Tiling) -> Vec<RelationCounts> {
+            std::panic::panic_any(faults::InjectedPanic {
+                site: FaultSite::Sweep,
+                index: usize::MAX,
+            });
+        }
+        fn supports_sweep(&self) -> bool {
+            true
+        }
+    }
+
+    /// Wraps an estimator so every query takes at least `delay` — slow
+    /// enough for a deadline to trip mid-batch.
+    struct Slow {
+        inner: SharedEstimator,
+        delay: Duration,
+    }
+
+    impl Level2Estimator for Slow {
+        fn name(&self) -> &'static str {
+            "Slow"
+        }
+        fn estimate(&self, q: &GridRect) -> RelationCounts {
+            std::thread::sleep(self.delay);
+            self.inner.estimate(q)
+        }
+        fn object_count(&self) -> u64 {
+            self.inner.object_count()
+        }
+        fn storage_cells(&self) -> u64 {
+            self.inner.storage_cells()
+        }
+    }
+
+    /// One poisoned query fails exactly its chunk; every other chunk's
+    /// results are kept bit-identical to the fault-free run, and the
+    /// process survives (the old `.expect("engine worker panicked")`
+    /// would have aborted it).
+    #[test]
+    fn worker_panic_fails_only_its_chunk() {
+        faults::silence_injected_panics();
+        let (grid, est) = setup(300);
+        let queries: Vec<GridRect> = Tiling::new(grid.full(), 8, 5)
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t)
+            .collect();
+        let baseline = EstimatorEngine::new(est.clone())
+            .with_threads(1)
+            .run_batch(&QueryBatch::new(&queries));
+
+        // 40 queries / 4 threads = 4 chunks of 10; poison query 25 →
+        // chunk 2 (queries 20..30) fails.
+        let poisoned: SharedEstimator = Arc::new(PanicOn {
+            inner: est,
+            poison: queries[25],
+        });
+        let engine = EstimatorEngine::new(poisoned).with_threads(4);
+        let r = engine.run_batch(&QueryBatch::new(&queries));
+
+        assert_eq!(r.failed(), 10);
+        assert_eq!(r.completed(), 30);
+        for (i, (outcome, count)) in r.outcomes.iter().zip(&r.counts).enumerate() {
+            if (20..30).contains(&i) {
+                assert_eq!(*outcome, BatchOutcome::Failed(FailReason::Panicked), "{i}");
+                assert_eq!(*count, RelationCounts::default(), "{i}");
+            } else {
+                assert_eq!(*outcome, BatchOutcome::Complete, "{i}");
+                assert_eq!(*count, baseline.counts[i], "query {i} not bit-identical");
+            }
+        }
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].chunk, 2);
+        assert_eq!(r.errors[0].queries, 20..30);
+        assert_eq!(r.errors[0].reason, FailReason::Panicked);
+        assert!(r.errors[0].message.contains("injected fault"));
+        assert_eq!(r.overall(), OutcomeLabel::Failed);
+        // The report total sums only delivered results.
+        let delivered: RelationCounts = r
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(20..30).contains(i))
+            .fold(RelationCounts::default(), |acc, (_, c)| acc.add(c));
+        assert_eq!(r.report.total, delivered);
+    }
+
+    /// A panicking sweep kernel degrades to the per-tile loop: every
+    /// query still answered, bit-identical, outcomes say so, and the
+    /// fault is logged and counted.
+    #[test]
+    fn sweep_panic_degrades_to_per_tile_loop() {
+        faults::silence_injected_panics();
+        let (grid, est) = setup(200);
+        let tiling = Tiling::new(grid.full(), 6, 5).unwrap();
+        let baseline = EstimatorEngine::new(est.clone()).run_batch(&QueryBatch::from(&tiling));
+        assert!(baseline.is_complete());
+
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(Arc::new(SweepPanics { inner: est }))
+            .threads(2)
+            .recorder(recorder.clone())
+            .build();
+        let r = engine.run_batch(&QueryBatch::from(&tiling));
+
+        assert_eq!(r.counts, baseline.counts, "fallback must be lossless");
+        assert_eq!(
+            r.outcomes,
+            vec![BatchOutcome::Degraded(DegradeReason::SweepPanic); 30]
+        );
+        assert_eq!(r.degraded(), 30);
+        assert_eq!(r.overall(), OutcomeLabel::Degraded);
+        assert_eq!(r.errors.len(), 1);
+        assert!(r.errors[0].message.contains("sweep evaluator panicked"));
+
+        let stats = recorder.snapshot();
+        assert_eq!(stats.panics_caught, 1);
+        assert_eq!(stats.degraded_sweeps, 1);
+        assert_eq!(stats.sweep_hits, 0, "the failed sweep is not a dispatch");
+        assert_eq!(stats.queries, 30, "per-tile fallback telemetry is exact");
+        assert_eq!(stats.batch_degraded_latency.count(), 1);
+    }
+
+    /// With a deadline or cancel token in play the uninterruptible sweep
+    /// is skipped: results come from the per-tile loop (bit-identical)
+    /// and are labelled `Degraded(DeadlinePressure)`.
+    #[test]
+    fn controls_skip_sweep_but_match_its_counts() {
+        let (grid, est) = setup(200);
+        assert!(est.supports_sweep());
+        let tiling = Tiling::new(grid.full(), 6, 5).unwrap();
+        let swept = EstimatorEngine::new(est.clone()).run_batch(&QueryBatch::from(&tiling));
+        assert!(swept.is_complete());
+
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(est)
+            .threads(2)
+            .recorder(recorder.clone())
+            .build();
+        let opts = BatchOptions::new().deadline(Duration::from_secs(3600));
+        let r = engine.run_batch_with(&QueryBatch::from(&tiling), &opts);
+
+        assert_eq!(r.counts, swept.counts, "ladder rung must be lossless");
+        assert_eq!(
+            r.outcomes,
+            vec![BatchOutcome::Degraded(DegradeReason::DeadlinePressure); 30]
+        );
+        assert!(r.errors.is_empty(), "nothing failed, only degraded");
+        let stats = recorder.snapshot();
+        assert_eq!(stats.degraded_sweeps, 1);
+        assert_eq!(stats.sweep_hits, 0);
+        assert_eq!(stats.panics_caught, 0);
+    }
+
+    /// An expired deadline yields partial results: an answered prefix
+    /// (bit-identical to the fault-free run) and a `Failed` tail, at
+    /// `check_every` granularity.
+    #[test]
+    fn deadline_returns_partial_results() {
+        let (grid, est) = setup(50);
+        let queries: Vec<GridRect> = Tiling::new(grid.full(), 8, 5)
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t)
+            .collect();
+        let baseline = EstimatorEngine::new(est.clone())
+            .with_threads(1)
+            .run_batch(&QueryBatch::new(&queries));
+
+        let slow: SharedEstimator = Arc::new(Slow {
+            inner: est,
+            delay: Duration::from_millis(2),
+        });
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(slow)
+            .threads(1)
+            .recorder(recorder.clone())
+            .build();
+        let opts = BatchOptions::new()
+            .deadline(Duration::from_millis(10))
+            .check_every(1);
+        let r = engine.run_batch_with(&QueryBatch::new(&queries), &opts);
+
+        assert!(r.completed() >= 1, "deadline allows at least one query");
+        assert!(r.failed() >= 1, "40 x 2 ms cannot fit a 10 ms budget");
+        assert_eq!(r.completed() + r.failed(), 40);
+        // The answered prefix is contiguous and bit-identical.
+        for i in 0..r.completed() {
+            assert_eq!(r.outcomes[i], BatchOutcome::Complete, "{i}");
+            assert_eq!(r.counts[i], baseline.counts[i], "{i}");
+        }
+        for i in r.completed()..40 {
+            assert_eq!(
+                r.outcomes[i],
+                BatchOutcome::Failed(FailReason::DeadlineExceeded),
+                "{i}"
+            );
+            assert_eq!(r.counts[i], RelationCounts::default(), "{i}");
+        }
+        assert_eq!(r.errors.len(), 1);
+        assert_eq!(r.errors[0].reason, FailReason::DeadlineExceeded);
+        let stats = recorder.snapshot();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.queries, r.completed() as u64);
+        assert_eq!(stats.batch_failed_latency.count(), 1);
+    }
+
+    /// A pre-cancelled token (and a zero deadline) fail the whole batch
+    /// before any query runs.
+    #[test]
+    fn pre_tripped_controls_fail_fast() {
+        let (grid, est) = setup(50);
+        let batch = QueryBatch::from(&Tiling::new(grid.full(), 4, 4).unwrap());
+        let engine = EstimatorEngine::new(est).with_threads(4);
+
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(token.is_cancelled());
+        let r = engine.run_batch_with(&batch, &BatchOptions::new().cancel_token(token));
+        assert_eq!(
+            r.outcomes,
+            vec![BatchOutcome::Failed(FailReason::Cancelled); 16]
+        );
+        assert_eq!(r.report.total, RelationCounts::default());
+        assert!(r.errors[0].message.contains("before the batch started"));
+
+        let r = engine.run_batch_with(&batch, &BatchOptions::new().deadline(Duration::ZERO));
+        assert_eq!(
+            r.outcomes,
+            vec![BatchOutcome::Failed(FailReason::DeadlineExceeded); 16]
+        );
+        assert_eq!(r.overall(), OutcomeLabel::Failed);
+    }
+
+    /// Satellite: telemetry stays consistent when a chunk fails mid-batch
+    /// — surviving shards fold (none lost), `panics_caught` increments
+    /// exactly once per injected fault, and the snapshot still renders.
+    #[test]
+    fn telemetry_survives_a_failing_chunk() {
+        faults::silence_injected_panics();
+        let (grid, est) = setup(300);
+        let queries: Vec<GridRect> = Tiling::new(grid.full(), 8, 5)
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t)
+            .collect();
+        // Poison the *first* query of chunk 2, so the failing chunk
+        // contributes exactly zero telemetry and the other three chunks
+        // contribute exactly 30 queries.
+        let poisoned: SharedEstimator = Arc::new(PanicOn {
+            inner: est,
+            poison: queries[20],
+        });
+        let recorder = Recorder::shared();
+        let engine = EstimatorEngine::builder(poisoned)
+            .threads(4)
+            .recorder(recorder.clone())
+            .build();
+
+        let r = engine.run_batch(&QueryBatch::new(&queries));
+        let stats = recorder.snapshot();
+        assert_eq!(stats.queries, 30, "three surviving shards fold");
+        assert_eq!(stats.query_latency.count(), 30);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.panics_caught, 1, "exactly once per injected fault");
+        assert_eq!(stats.batch_failed_latency.count(), 1);
+        // Folded relation totals equal the delivered clamped results.
+        let clamped: Vec<_> = r
+            .counts
+            .iter()
+            .zip(&r.outcomes)
+            .filter(|(_, o)| o.is_delivered())
+            .map(|(c, _)| c.clamped())
+            .collect();
+        assert_eq!(
+            stats.objects_estimated,
+            clamped.iter().map(|c| c.total() as u64).sum::<u64>()
+        );
+        // A second faulted batch increments the counter exactly once more.
+        engine.run_batch(&QueryBatch::new(&queries));
+        assert_eq!(recorder.snapshot().panics_caught, 2);
+        // The snapshot still renders its tables.
+        let rendered = recorder.snapshot().render();
+        assert!(rendered.contains("panics caught"));
+        assert!(rendered.contains("batch/failed"));
+    }
+
+    /// Fail-point facility: a seeded plan injects a chunk panic at an
+    /// exact position, the run degrades exactly as the plan says, and
+    /// disarming the plan restores bit-identical fault-free behaviour.
+    /// (Compiled only with `--features failpoints`; the CI `faults` job
+    /// runs it.)
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failpoint_plan_injects_and_disarms() {
+        use faults::{FaultKind, FaultPlan, FaultSite};
+        faults::silence_injected_panics();
+        let (grid, est) = setup(200);
+        let queries: Vec<GridRect> = Tiling::new(grid.full(), 8, 5)
+            .unwrap()
+            .iter()
+            .map(|(_, t)| t)
+            .collect();
+        let engine = EstimatorEngine::new(est.clone()).with_threads(4);
+        let baseline = engine.run_batch(&QueryBatch::new(&queries));
+        assert!(baseline.is_complete());
+
+        {
+            let _guard =
+                faults::install(FaultPlan::new().with(FaultSite::Chunk, 1, FaultKind::Panic));
+            let r = engine.run_batch(&QueryBatch::new(&queries));
+            assert_eq!(r.failed(), 10, "exactly the armed chunk fails");
+            assert_eq!(r.errors.len(), 1);
+            assert_eq!(r.errors[0].chunk, 1);
+            for i in (0..10).chain(20..40) {
+                assert_eq!(r.counts[i], baseline.counts[i], "{i}");
+                assert_eq!(r.outcomes[i], BatchOutcome::Complete, "{i}");
+            }
+        }
+        // Guard dropped: the plan is disarmed and runs are clean again.
+        let again = engine.run_batch(&QueryBatch::new(&queries));
+        assert!(again.is_complete());
+        assert_eq!(again.counts, baseline.counts);
+    }
+
+    /// Fail-point facility on the sweep site: the armed sweep panic
+    /// degrades a tiling batch to the (bit-identical) per-tile loop, and
+    /// an armed stall forces a deadline overrun.
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failpoint_sweep_panic_and_stall() {
+        use faults::{FaultKind, FaultPlan, FaultSite};
+        faults::silence_injected_panics();
+        let (grid, est) = setup(200);
+        let tiling = Tiling::new(grid.full(), 6, 5).unwrap();
+        let engine = EstimatorEngine::new(est.clone()).with_threads(2);
+        let baseline = engine.run_batch(&QueryBatch::from(&tiling));
+
+        {
+            let _guard =
+                faults::install(FaultPlan::new().with(FaultSite::Sweep, 0, FaultKind::Panic));
+            let r = engine.run_batch(&QueryBatch::from(&tiling));
+            assert_eq!(r.counts, baseline.counts);
+            assert_eq!(r.degraded(), 30);
+            assert!(r.errors[0].message.contains("sweep evaluator panicked"));
+        }
+
+        {
+            // A stall longer than the deadline at the head of chunk 0:
+            // the batch must come back (partial), not hang or die.
+            let _guard =
+                faults::install(FaultPlan::new().with(FaultSite::Chunk, 0, FaultKind::StallMs(50)));
+            let queries: Vec<GridRect> = tiling.iter().map(|(_, t)| t).collect();
+            let opts = BatchOptions::new()
+                .deadline(Duration::from_millis(5))
+                .check_every(1);
+            let r = EstimatorEngine::new(est.clone())
+                .with_threads(1)
+                .run_batch_with(&QueryBatch::new(&queries), &opts);
+            assert_eq!(r.completed(), 0, "stall consumed the whole budget");
+            assert_eq!(
+                r.outcomes,
+                vec![BatchOutcome::Failed(FailReason::DeadlineExceeded); 30]
+            );
+        }
     }
 }

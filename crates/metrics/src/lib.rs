@@ -20,7 +20,7 @@ pub use plot::{ascii_chart, ChartSeries};
 pub use scatter::ScatterSeries;
 pub use table::TextTable;
 pub use telemetry::{
-    fmt_duration, Counter, HistogramSnapshot, LatencyHistogram, LocalHistogram, Recorder,
-    RelationTally, TelemetryShard, TelemetrySnapshot,
+    fmt_duration, Counter, HistogramSnapshot, LatencyHistogram, LocalHistogram, OutcomeLabel,
+    Recorder, RelationTally, TelemetryShard, TelemetrySnapshot,
 };
 pub use timing::{time_it, Stopwatch};

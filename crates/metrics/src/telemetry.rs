@@ -412,6 +412,21 @@ impl HistogramSnapshot {
     }
 }
 
+/// The resilience outcome class of a finished batch, as the engine's
+/// degradation ladder reports it: `Complete` (every query answered on the
+/// intended path), `Degraded` (every query answered, but on a fallback
+/// path), `Failed` (at least one query produced no result). Used to label
+/// the per-outcome batch-latency histograms a [`Recorder`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeLabel {
+    /// All queries answered on the intended path.
+    Complete,
+    /// All queries answered, some on a fallback path.
+    Degraded,
+    /// At least one query produced no result.
+    Failed,
+}
+
 /// A worker-local telemetry accumulator: everything a hot loop records,
 /// with zero synchronization. Fold it into the shared [`Recorder`] once
 /// at join with [`Recorder::absorb`].
@@ -458,6 +473,9 @@ pub struct Recorder {
     zero_hits: Counter,
     mega_hits: Counter,
     sweep_hits: Counter,
+    panics_caught: Counter,
+    deadline_exceeded: Counter,
+    degraded_sweeps: Counter,
     disjoint: Counter,
     contains: Counter,
     contained: Counter,
@@ -465,6 +483,9 @@ pub struct Recorder {
     query_latency: LatencyHistogram,
     batch_latency: LatencyHistogram,
     tiling_latency: LatencyHistogram,
+    batch_complete_latency: LatencyHistogram,
+    batch_degraded_latency: LatencyHistogram,
+    batch_failed_latency: LatencyHistogram,
 }
 
 impl Recorder {
@@ -515,6 +536,36 @@ impl Recorder {
         self.tiling_latency.record(latency);
     }
 
+    /// Counts one worker/sweep panic the engine caught and contained
+    /// (exactly one increment per caught fault, however many queries the
+    /// poisoned chunk held).
+    pub fn record_panic_caught(&self) {
+        self.panics_caught.incr();
+    }
+
+    /// Counts one batch that hit its deadline (or cancel flag) and
+    /// returned partial results.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.incr();
+    }
+
+    /// Counts one tiling-shaped batch that fell from the sweep evaluator
+    /// back to the per-tile loop (degradation ladder step 1).
+    pub fn record_degraded_sweep(&self) {
+        self.degraded_sweeps.incr();
+    }
+
+    /// Records one finished batch into the latency histogram of its
+    /// resilience outcome class (in addition to [`Self::record_batch`],
+    /// which stays outcome-blind).
+    pub fn record_batch_outcome(&self, outcome: OutcomeLabel, latency: Duration) {
+        match outcome {
+            OutcomeLabel::Complete => self.batch_complete_latency.record(latency),
+            OutcomeLabel::Degraded => self.batch_degraded_latency.record(latency),
+            OutcomeLabel::Failed => self.batch_failed_latency.record(latency),
+        }
+    }
+
     /// Folds a worker shard in: one atomic add per counter and touched
     /// bucket, regardless of how many queries the shard saw.
     pub fn absorb(&self, shard: &TelemetryShard) {
@@ -549,6 +600,9 @@ impl Recorder {
             zero_hits: self.zero_hits.get(),
             mega_hits: self.mega_hits.get(),
             sweep_hits: self.sweep_hits.get(),
+            panics_caught: self.panics_caught.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            degraded_sweeps: self.degraded_sweeps.get(),
             relations: RelationTally::new(
                 self.disjoint.get(),
                 self.contains.get(),
@@ -558,6 +612,9 @@ impl Recorder {
             query_latency: self.query_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
             tiling_latency: self.tiling_latency.snapshot(),
+            batch_complete_latency: self.batch_complete_latency.snapshot(),
+            batch_degraded_latency: self.batch_degraded_latency.snapshot(),
+            batch_failed_latency: self.batch_failed_latency.snapshot(),
         }
     }
 }
@@ -579,6 +636,14 @@ pub struct TelemetrySnapshot {
     pub mega_hits: u64,
     /// Tiling-shaped batches answered by the sweep evaluator.
     pub sweep_hits: u64,
+    /// Worker/sweep panics caught and contained by the engine.
+    pub panics_caught: u64,
+    /// Batches that hit their deadline (or cancel flag) and returned
+    /// partial results.
+    pub deadline_exceeded: u64,
+    /// Tiling-shaped batches that fell from the sweep evaluator back to
+    /// the per-tile loop.
+    pub degraded_sweeps: u64,
     /// Per-relation estimate totals.
     pub relations: RelationTally,
     /// Per-query latency distribution.
@@ -587,6 +652,13 @@ pub struct TelemetrySnapshot {
     pub batch_latency: HistogramSnapshot,
     /// Whole-tiling wall-clock latency distribution of sweep dispatches.
     pub tiling_latency: HistogramSnapshot,
+    /// Wall-clock latency of batches whose every query completed on the
+    /// intended path.
+    pub batch_complete_latency: HistogramSnapshot,
+    /// Wall-clock latency of batches answered entirely on a fallback path.
+    pub batch_degraded_latency: HistogramSnapshot,
+    /// Wall-clock latency of batches with at least one unanswered query.
+    pub batch_failed_latency: HistogramSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -614,10 +686,24 @@ impl TelemetrySnapshot {
             zero_hits: self.zero_hits.saturating_sub(earlier.zero_hits),
             mega_hits: self.mega_hits.saturating_sub(earlier.mega_hits),
             sweep_hits: self.sweep_hits.saturating_sub(earlier.sweep_hits),
+            panics_caught: self.panics_caught.saturating_sub(earlier.panics_caught),
+            deadline_exceeded: self
+                .deadline_exceeded
+                .saturating_sub(earlier.deadline_exceeded),
+            degraded_sweeps: self.degraded_sweeps.saturating_sub(earlier.degraded_sweeps),
             relations,
             query_latency: self.query_latency.delta_since(&earlier.query_latency),
             batch_latency: self.batch_latency.delta_since(&earlier.batch_latency),
             tiling_latency: self.tiling_latency.delta_since(&earlier.tiling_latency),
+            batch_complete_latency: self
+                .batch_complete_latency
+                .delta_since(&earlier.batch_complete_latency),
+            batch_degraded_latency: self
+                .batch_degraded_latency
+                .delta_since(&earlier.batch_degraded_latency),
+            batch_failed_latency: self
+                .batch_failed_latency
+                .delta_since(&earlier.batch_failed_latency),
         }
     }
 
@@ -632,6 +718,9 @@ impl TelemetrySnapshot {
             ("zero-hit tiles", self.zero_hits),
             ("mega-hit tiles", self.mega_hits),
             ("sweep dispatches", self.sweep_hits),
+            ("panics caught", self.panics_caught),
+            ("deadlines exceeded", self.deadline_exceeded),
+            ("degraded sweeps", self.degraded_sweeps),
             ("disjoint total", self.relations.disjoint),
             ("contains total", self.relations.contains),
             ("contained total", self.relations.contained),
@@ -645,6 +734,9 @@ impl TelemetrySnapshot {
             ("query", &self.query_latency),
             ("batch", &self.batch_latency),
             ("tiling", &self.tiling_latency),
+            ("batch/complete", &self.batch_complete_latency),
+            ("batch/degraded", &self.batch_degraded_latency),
+            ("batch/failed", &self.batch_failed_latency),
         ] {
             latency.row(&[
                 name.to_string(),
@@ -819,13 +911,51 @@ mod tests {
     }
 
     #[test]
+    fn resilience_counters_count_and_diff() {
+        let rec = Recorder::new();
+        rec.record_panic_caught();
+        rec.record_batch_outcome(OutcomeLabel::Complete, Duration::from_micros(1));
+        let before = rec.snapshot();
+        assert_eq!(before.panics_caught, 1);
+        assert_eq!(before.batch_complete_latency.count(), 1);
+        rec.record_panic_caught();
+        rec.record_deadline_exceeded();
+        rec.record_degraded_sweep();
+        rec.record_batch_outcome(OutcomeLabel::Degraded, Duration::from_micros(2));
+        rec.record_batch_outcome(OutcomeLabel::Failed, Duration::from_micros(3));
+        rec.record_batch_outcome(OutcomeLabel::Failed, Duration::from_micros(4));
+        let delta = rec.snapshot().delta_since(&before);
+        assert_eq!(delta.panics_caught, 1);
+        assert_eq!(delta.deadline_exceeded, 1);
+        assert_eq!(delta.degraded_sweeps, 1);
+        assert_eq!(delta.batch_complete_latency.count(), 0);
+        assert_eq!(delta.batch_degraded_latency.count(), 1);
+        assert_eq!(delta.batch_failed_latency.count(), 2);
+        // Outcome histograms are extra labels, not extra batches.
+        assert_eq!(delta.batches, 0);
+    }
+
+    #[test]
     fn render_mentions_every_series() {
         let rec = Recorder::new();
         rec.record_query(Duration::from_micros(2), RelationTally::new(1, 1, 1, 1));
         rec.record_batch(Duration::from_millis(3));
         let out = rec.snapshot().render();
         for needle in [
-            "queries", "batches", "p99", "query", "batch", "mega-hit", "sweep", "tiling",
+            "queries",
+            "batches",
+            "p99",
+            "query",
+            "batch",
+            "mega-hit",
+            "sweep",
+            "tiling",
+            "panics caught",
+            "deadlines exceeded",
+            "degraded sweeps",
+            "batch/complete",
+            "batch/degraded",
+            "batch/failed",
         ] {
             assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
         }

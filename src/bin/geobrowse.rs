@@ -223,7 +223,10 @@ fn run(o: &Options) -> Result<(), String> {
     let dataset: Dataset = if let Some(path) = &o.data {
         Dataset::load_csv(path, path, space).map_err(|e| e.to_string())?
     } else {
-        let name = o.demo.as_deref().expect("checked in parse");
+        let name = o
+            .demo
+            .as_deref()
+            .ok_or("one of --data or --demo is required")?;
         paper_dataset(name, o.scale.max(1))
             .ok_or_else(|| format!("unknown demo dataset {name:?}"))?
     };
@@ -286,7 +289,9 @@ fn run_stats(
     for _ in 0..o.repeat {
         last = Some(engine.run_batch(&batch));
     }
-    let last = last.expect("repeat >= 1 checked in parse");
+    let Some(last) = last else {
+        return Err("--repeat must be at least 1".into());
+    };
 
     // Advice counters from the final pass (counts are identical each pass).
     let (mut zero, mut mega) = (0u64, 0u64);

@@ -16,7 +16,7 @@
 //! | [`rtree`] | R-tree substrate for exact index baselines |
 //! | [`baselines`] | CD, Beigel–Tanin, Min-skew, naive scan, R-tree oracle |
 //! | [`datagen`] | the paper's four datasets (seeded) and exact ground truth |
-//! | [`engine`] | the batch query engine: shared-estimator fan-out across threads |
+//! | [`engine`] | the batch query engine: shared-estimator fan-out, panic isolation, deadlines, fault injection |
 //! | [`browse`] | the GeoBrowsing service: multi-tile queries, heat maps, advice |
 //! | [`metrics`] | average relative error, scatter stats, timing, text tables, hot-path telemetry |
 //! | [`conformance`] | the differential conformance harness: seeded cases, invariant catalogue, failure shrinking |
@@ -65,7 +65,10 @@ pub mod prelude {
         EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, RelationCounts, SEulerApprox,
         TilingPlan,
     };
-    pub use euler_engine::{EngineBuilder, EstimatorEngine, QueryBatch, SharedEstimator};
+    pub use euler_engine::{
+        BatchOptions, BatchOutcome, BatchResult, CancelToken, ChunkError, DegradeReason,
+        EngineBuilder, EstimatorEngine, FailReason, QueryBatch, SharedEstimator,
+    };
     pub use euler_geom::{Level2Relation, Point, Rect};
     pub use euler_grid::{DataSpace, Grid, GridRect, QuerySet, SnappedRect, Snapper, Tiling};
     pub use euler_metrics::{
