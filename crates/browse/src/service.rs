@@ -1,11 +1,10 @@
 use std::sync::Arc;
 
-use euler_core::{EulerHistogram, SEulerApprox};
+use euler_core::{LiveEulerHistogram, LiveSEuler};
 use euler_engine::{BatchOptions, EstimatorEngine, QueryBatch};
 use euler_geom::Rect;
 use euler_grid::{Grid, SnappedRect, Snapper, Tiling};
 use euler_metrics::{Recorder, TelemetrySnapshot};
-use parking_lot::RwLock;
 
 use crate::{BrowseResult, Browser};
 
@@ -77,30 +76,27 @@ impl BrowseOptions {
 /// A concurrent GeoBrowsing front end over an updatable Euler histogram.
 ///
 /// The Euler histogram is a *linear sketch*: inserts and removes commute,
-/// so the service maintains one mutable histogram behind a write lock and
-/// publishes immutable frozen snapshots for readers. Browsing takes an
-/// `Arc` snapshot — readers never block writers beyond the snapshot swap,
-/// and a long browse keeps working on the consistent state it started
-/// from.
+/// so the service keeps one [`LiveEulerHistogram`] — writes append to its
+/// delta, readers pin epoch snapshots. Browsing takes an `Arc` snapshot —
+/// readers never block writers (pinning is one brief lock acquisition,
+/// after which the view answers with no synchronization at all), and a
+/// long browse keeps working on the consistent epoch it started from.
 ///
-/// Freezing is deferred and amortized: the snapshot is rebuilt on first
-/// read after a batch of writes.
+/// Refreezing is deferred and amortized: the first read after a batch of
+/// writes folds the delta into a fresh frozen cube and publishes a new
+/// epoch, so steady-state browses sweep a pure frozen prefix cube.
 ///
 /// Every browse is dispatched through the batch engine and (unless
 /// disabled per call) recorded into the service's always-on [`Recorder`]:
-/// queries served, latency percentiles, per-relation totals and the
-/// zero-hit/mega-hit tile counters that drive refinement advice. Read
-/// the stats with [`GeoBrowsingService::telemetry`].
+/// queries served, latency percentiles, per-relation totals, the epoch
+/// each batch was answered from, and the zero-hit/mega-hit tile counters
+/// that drive refinement advice. Read the stats with
+/// [`GeoBrowsingService::telemetry`].
 pub struct GeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
-    inner: RwLock<Inner>,
+    live: LiveEulerHistogram,
     recorder: Arc<Recorder>,
-}
-
-struct Inner {
-    hist: EulerHistogram,
-    snapshot: Option<Arc<SEulerApprox>>,
 }
 
 impl GeoBrowsingService {
@@ -109,10 +105,7 @@ impl GeoBrowsingService {
         GeoBrowsingService {
             grid,
             snapper: Snapper::new(grid),
-            inner: RwLock::new(Inner {
-                hist: EulerHistogram::new(grid),
-                snapshot: None,
-            }),
+            live: LiveEulerHistogram::new(grid),
             recorder: Recorder::shared(),
         }
     }
@@ -124,10 +117,7 @@ impl GeoBrowsingService {
         GeoBrowsingService {
             grid,
             snapper,
-            inner: RwLock::new(Inner {
-                hist: EulerHistogram::build(grid, &snapped),
-                snapshot: None,
-            }),
+            live: LiveEulerHistogram::with_objects(grid, &snapped),
             recorder: Recorder::shared(),
         }
     }
@@ -139,7 +129,7 @@ impl GeoBrowsingService {
 
     /// Number of indexed objects.
     pub fn len(&self) -> u64 {
-        self.inner.read().hist.object_count()
+        self.live.len()
     }
 
     /// True when no objects are indexed.
@@ -147,34 +137,27 @@ impl GeoBrowsingService {
         self.len() == 0
     }
 
-    /// Inserts an object MBR (invalidates the read snapshot).
+    /// The current ingest epoch (bumped by every refreeze; starts at 1).
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// Inserts an object MBR (appends to the live delta).
     pub fn insert(&self, rect: &Rect) {
-        let snapped = self.snapper.snap(rect);
-        let mut inner = self.inner.write();
-        inner.hist.insert(&snapped);
-        inner.snapshot = None;
+        self.live.insert(&self.snapper.snap(rect));
     }
 
     /// Removes a previously inserted MBR (linear-sketch exact removal).
     pub fn remove(&self, rect: &Rect) {
-        let snapped = self.snapper.snap(rect);
-        let mut inner = self.inner.write();
-        inner.hist.remove(&snapped);
-        inner.snapshot = None;
+        self.live.remove(&self.snapper.snap(rect));
     }
 
-    /// Returns the current read snapshot, rebuilding it if stale.
-    pub fn snapshot(&self) -> Arc<SEulerApprox> {
-        if let Some(s) = self.inner.read().snapshot.clone() {
-            return s;
-        }
-        let mut inner = self.inner.write();
-        if let Some(s) = inner.snapshot.clone() {
-            return s; // another writer already refreshed it
-        }
-        let snap = Arc::new(SEulerApprox::new(inner.hist.freeze()));
-        inner.snapshot = Some(snap.clone());
-        snap
+    /// Returns the current read snapshot, refreezing it if stale: when
+    /// writes have accumulated in the delta, they are folded into a fresh
+    /// frozen cube and a new epoch is published, so the snapshot handed
+    /// out always sweeps a pure frozen prefix cube.
+    pub fn snapshot(&self) -> Arc<LiveSEuler> {
+        Arc::new(LiveSEuler::new(self.live.refreeze_if_stale()))
     }
 
     /// The service's telemetry recorder (always on; shared with every
@@ -424,6 +407,31 @@ mod tests {
         assert_eq!(via_trait.counts().len(), 4);
         assert_eq!(svc.telemetry().queries, 4);
         assert_eq!(Browser::name(&svc), "GeoBrowsingService");
+    }
+
+    /// Writes accumulate in the delta; the first read folds them and
+    /// publishes a new epoch, which tags every batch answered from it —
+    /// visible both on the service and in its telemetry.
+    #[test]
+    fn browses_are_answered_from_published_epochs() {
+        let svc = GeoBrowsingService::new(grid());
+        assert_eq!(svc.epoch(), 1);
+        svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+        assert_eq!(svc.epoch(), 1, "writes alone do not refreeze");
+
+        let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
+        svc.browse(&tiling, &opts());
+        assert_eq!(svc.epoch(), 2, "first read after a write refreezes");
+        assert_eq!(svc.telemetry().last_epoch, 2);
+
+        // Read-only browses reuse the epoch…
+        svc.browse(&tiling, &opts());
+        assert_eq!(svc.epoch(), 2);
+        // …and the next write/read cycle publishes the next one.
+        svc.insert(&Rect::new(5.2, 5.2, 5.8, 5.8).unwrap());
+        svc.browse(&tiling, &opts());
+        assert_eq!(svc.epoch(), 3);
+        assert_eq!(svc.telemetry().last_epoch, 3);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! approximations are only trustworthy while an exact join keeps agreeing
 //! with them.
 //!
-//! The harness has five parts:
+//! The harness has six parts:
 //!
 //! - [`spec`] — seeded generation of datasets (uniform, clustered,
 //!   degenerate points/segments, boundary-snapped) and query plans
@@ -17,6 +17,9 @@
 //! - [`harness`] — the differential runner executing all nine estimators
 //!   through the [`EstimatorEngine`](euler_engine::EstimatorEngine),
 //!   plus the structural checks (dynamic replay, persistence, browse);
+//! - [`interleave`] — the concurrent-interleaving law for the
+//!   epoch-snapshot substrate: every answer a reader pins equals a frozen
+//!   rebuild of some write-log prefix, at any thread count;
 //! - [`shrink`] — delta-debugging of failures into minimal, replayable
 //!   reproductions;
 //! - [`fault`] + [`corpus`] — injected defects proving the harness
@@ -49,6 +52,7 @@
 pub mod corpus;
 pub mod fault;
 pub mod harness;
+pub mod interleave;
 pub mod invariants;
 pub mod shrink;
 pub mod spec;
@@ -59,6 +63,7 @@ pub use harness::{
     check_fault_resilience, differential_matrix, run_case, sweep_tilings, CaseOutcome,
     EstimatorKind,
 };
+pub use interleave::{check_interleaving, InterleaveSummary};
 pub use invariants::{check_estimate, check_sweep_equivalence, ExactnessClass, Violation};
 pub use shrink::{shrink, Reproduction};
 pub use spec::{CaseSpec, Distribution};
@@ -188,6 +193,18 @@ pub fn shrink_violation(spec: &CaseSpec, violation: &Violation) -> Reproduction 
 /// set. Errors are printed, not propagated — reporting must never mask
 /// the underlying failure.
 pub fn write_report(failures: &[Reproduction]) {
+    let text: String = failures
+        .iter()
+        .map(|r| format!("{}\n\n", r.report()))
+        .collect();
+    append_report_text(&text);
+}
+
+/// Appends raw failure text to the `EULER_CONFORMANCE_REPORT` path, if
+/// set — the shared sink for both shrunk reproductions and structural
+/// failures (e.g. interleaving-law violations) whose replay line is
+/// already embedded in the text.
+pub fn append_report_text(text: &str) {
     let Ok(path) = std::env::var("EULER_CONFORMANCE_REPORT") else {
         return;
     };
@@ -195,10 +212,6 @@ pub fn write_report(failures: &[Reproduction]) {
         return;
     }
     use std::io::Write;
-    let text: String = failures
-        .iter()
-        .map(|r| format!("{}\n\n", r.report()))
-        .collect();
     match std::fs::OpenOptions::new()
         .create(true)
         .append(true)

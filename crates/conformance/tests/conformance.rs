@@ -7,9 +7,9 @@ use std::sync::Arc;
 
 use euler_baselines::NaiveScan;
 use euler_conformance::{
-    check_estimate, default_specs, differential_matrix, env_budget, env_seed, replay_corpus,
-    run_case, run_suite, shrink, sweep_tilings, CaseOutcome, CaseSpec, Distribution, EstimatorKind,
-    ExactnessClass, Fault, FaultyEstimator, Violation,
+    check_estimate, check_interleaving, default_specs, differential_matrix, env_budget, env_seed,
+    replay_corpus, run_case, run_suite, shrink, sweep_tilings, CaseOutcome, CaseSpec, Distribution,
+    EstimatorKind, ExactnessClass, Fault, FaultyEstimator, Violation,
 };
 use euler_core::model::count_by_classification;
 use euler_core::Level2Estimator;
@@ -179,6 +179,48 @@ fn mutated_s_euler_is_caught() {
         !out.is_empty()
     });
     assert!(caught, "Euler-family laws missed the planted off-by-one");
+}
+
+/// The concurrent-interleaving law for the epoch-snapshot substrate:
+/// whatever the scheduler does, every answer a reader extracts from a
+/// pinned snapshot is bit-identical to a frozen rebuild of the write-log
+/// prefix the snapshot names — checked at 1, 4 and 8 reader threads,
+/// racing one writer through seals and refreezes. Honors
+/// `EULER_CONFORMANCE_SEED` / `EULER_CONFORMANCE_BUDGET` like the main
+/// gate (the nightly stress job raises the budget and thread pressure).
+#[test]
+fn interleaved_reads_equal_write_log_prefix_rebuilds() {
+    let base = env_seed();
+    for round in 0..env_budget() as u64 {
+        let spec = CaseSpec {
+            seed: base.wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            dist: Distribution::Mixed,
+            nx: 10,
+            ny: 8,
+            objects: 64,
+        };
+        for readers in [1, 4, 8] {
+            let summary = check_interleaving(&spec, readers);
+            if !summary.is_clean() {
+                // Failing seeds go to the report artifact (the stress
+                // job uploads it) before the assertion fires.
+                euler_conformance::append_report_text(&format!(
+                    "interleaving law violated at {readers} readers:\n{}\n\n",
+                    summary.violations.join("\n")
+                ));
+            }
+            assert!(
+                summary.is_clean(),
+                "interleaving law violated at {readers} readers:\n{}",
+                summary.violations.join("\n")
+            );
+            assert!(summary.answers_checked > 0);
+            assert!(
+                summary.versions_observed >= 1,
+                "readers observed no version at {readers} readers"
+            );
+        }
+    }
 }
 
 /// The suite's own accounting: all nine estimators face every query of

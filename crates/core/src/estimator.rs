@@ -135,6 +135,17 @@ pub trait Level2Estimator {
     fn supports_sweep(&self) -> bool {
         false
     }
+
+    /// The ingest epoch the estimator's backing snapshot belongs to, when
+    /// it reads from the epoch-snapshot substrate (`euler-core`'s
+    /// `snapshot` module); `None` for estimators over plain summaries.
+    ///
+    /// Batch machinery uses this to tag results: an estimator pinned to
+    /// one snapshot answers every query of a batch from the same epoch,
+    /// and the engine records that epoch in its telemetry.
+    fn epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
@@ -156,6 +167,9 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
     fn supports_sweep(&self) -> bool {
         (**self).supports_sweep()
     }
+    fn epoch(&self) -> Option<u64> {
+        (**self).epoch()
+    }
 }
 
 impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
@@ -176,6 +190,9 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
     }
     fn supports_sweep(&self) -> bool {
         (**self).supports_sweep()
+    }
+    fn epoch(&self) -> Option<u64> {
+        (**self).epoch()
     }
 }
 

@@ -136,6 +136,43 @@ impl EulerHistogram {
         }
     }
 
+    /// Folds a batch of signed footprints (`+1` insert, `−1` delete) into
+    /// the histogram via one difference array: `O(|ops| + buckets)`
+    /// regardless of object sizes, the refreeze fold of the epoch-snapshot
+    /// substrate ([`crate::snapshot`]).
+    ///
+    /// Equivalent to the matching sequence of [`insert`] / [`remove`]
+    /// calls. The net count must not drive the object count negative.
+    ///
+    /// [`insert`]: EulerHistogram::insert
+    /// [`remove`]: EulerHistogram::remove
+    pub fn apply_signed_batch<'a, I>(&mut self, ops: I)
+    where
+        I: IntoIterator<Item = (&'a SnappedRect, i64)>,
+    {
+        let (ew, eh) = self.grid.euler_dims();
+        let mut diff = Diff2D::zeros(ew, eh);
+        let mut net = 0i64;
+        for (o, sign) in ops {
+            let (ex0, ex1) = (2 * o.cx0(), 2 * o.cx1());
+            let (ey0, ey1) = (2 * o.cy0(), 2 * o.cy1());
+            diff.add_rect(ex0, ey0, ex1, ey1, sign);
+            net += sign;
+        }
+        let built = diff.build();
+        for ey in 0..eh {
+            for ex in 0..ew {
+                let v = built.get(ex, ey);
+                if v != 0 {
+                    self.buckets.add(ex, ey, v * bucket_sign(ex, ey));
+                }
+            }
+        }
+        let count = self.object_count as i64 + net;
+        assert!(count >= 0, "signed batch drives object count negative");
+        self.object_count = count as u64;
+    }
+
     /// Signed bucket value at Euler index `(ex, ey)` (for tests and the
     /// worked examples of Figures 6–10).
     #[inline]

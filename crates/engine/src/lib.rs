@@ -338,6 +338,11 @@ pub struct BatchReport {
     pub elapsed: Duration,
     /// Component-wise sum of every per-query estimate.
     pub total: RelationCounts,
+    /// The ingest epoch the estimator's pinned snapshot belongs to
+    /// ([`Level2Estimator::epoch`]): an epoch-snapshot estimator answers
+    /// the *whole* batch from one snapshot, so a single value describes
+    /// every result. `None` for estimators over plain summaries.
+    pub epoch: Option<u64>,
 }
 
 impl BatchReport {
@@ -870,10 +875,14 @@ impl EstimatorEngine {
                 message: "controls tripped before the batch started".to_string(),
             });
             let outcomes = vec![BatchOutcome::Failed(reason); n];
+            let epoch = est.epoch();
             if let Some(rec) = &self.recorder {
                 rec.record_batch(Duration::ZERO);
                 rec.record_deadline_exceeded();
                 rec.record_batch_outcome(overall_label(&outcomes), Duration::ZERO);
+                if let Some(e) = epoch {
+                    rec.record_epoch(e);
+                }
             }
             return BatchResult {
                 counts: vec![RelationCounts::default(); n],
@@ -885,6 +894,7 @@ impl EstimatorEngine {
                     threads,
                     elapsed: Duration::ZERO,
                     total: RelationCounts::default(),
+                    epoch,
                 },
             };
         }
@@ -1004,6 +1014,7 @@ impl EstimatorEngine {
             }
         }
 
+        let epoch = est.epoch();
         if let Some(rec) = &self.recorder {
             for shard in &shards {
                 rec.absorb(shard);
@@ -1016,6 +1027,9 @@ impl EstimatorEngine {
                 rec.record_deadline_exceeded();
             }
             rec.record_batch_outcome(overall_label(&outcomes), elapsed);
+            if let Some(e) = epoch {
+                rec.record_epoch(e);
+            }
         }
 
         BatchResult {
@@ -1028,6 +1042,7 @@ impl EstimatorEngine {
                 threads,
                 elapsed,
                 total,
+                epoch,
             },
         }
     }
@@ -1074,6 +1089,7 @@ impl EstimatorEngine {
             total = total.add(c);
         }
 
+        let epoch = est.epoch();
         if let Some(rec) = &self.recorder {
             let shard = shard.as_mut().expect("shard allocated with recorder");
             let per_tile = elapsed / n.max(1) as u32;
@@ -1093,6 +1109,9 @@ impl EstimatorEngine {
             rec.record_batch(elapsed);
             rec.record_sweep(elapsed);
             rec.record_batch_outcome(OutcomeLabel::Complete, elapsed);
+            if let Some(e) = epoch {
+                rec.record_epoch(e);
+            }
         }
 
         Ok(BatchResult {
@@ -1105,6 +1124,7 @@ impl EstimatorEngine {
                 threads: 1,
                 elapsed,
                 total,
+                epoch,
             },
         })
     }
@@ -1123,7 +1143,7 @@ impl std::fmt::Debug for EstimatorEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use euler_core::{EulerHistogram, SEulerApprox};
+    use euler_core::{EulerHistogram, LiveEulerHistogram, LiveSEuler, SEulerApprox};
     use euler_geom::Rect;
     use euler_grid::{DataSpace, Grid, Snapper};
     use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -1196,6 +1216,48 @@ mod tests {
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.queries, 80, "sweep telemetry stays tile-granular");
         assert_eq!(stats.query_latency.count(), 80);
+    }
+
+    /// A batch answered by an epoch-snapshot estimator is tagged with the
+    /// pinned snapshot's epoch on both the sweep and the chunked path,
+    /// and the recorder's gauge tracks the newest epoch seen. Estimators
+    /// over plain summaries leave batches untagged and the gauge at zero.
+    #[test]
+    fn batches_carry_the_pinned_snapshot_epoch() {
+        let grid = Grid::new(DataSpace::paper_world(), 40, 20).unwrap();
+        let snapper = Snapper::new(grid);
+        let live = LiveEulerHistogram::new(grid);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let x = rng.gen_range(-180.0..170.0);
+            let y = rng.gen_range(-90.0..80.0);
+            live.insert(&snapper.snap(&Rect::new(x, y, x + 4.0, y + 3.0).unwrap()));
+        }
+        live.refreeze(); // epoch 1 → 2
+
+        let recorder = Recorder::shared();
+        let est: SharedEstimator = Arc::new(LiveSEuler::new(live.pin()));
+        let engine = EstimatorEngine::builder(est)
+            .threads(4)
+            .recorder(recorder.clone())
+            .build();
+        let tiling = Tiling::new(grid.full(), 8, 5).unwrap();
+        let queries: Vec<GridRect> = tiling.iter().map(|(_, t)| t).collect();
+        let swept = engine.run_batch(&QueryBatch::from(&tiling));
+        let chunked = engine.run_batch(&QueryBatch::new(&queries));
+        assert_eq!(swept.report.epoch, Some(2), "sweep path tags the epoch");
+        assert_eq!(chunked.report.epoch, Some(2), "chunked path tags the epoch");
+        assert_eq!(recorder.snapshot().last_epoch, 2);
+
+        let (_, frozen) = setup(10);
+        let bare = Recorder::shared();
+        let eng2 = EstimatorEngine::builder(frozen)
+            .threads(2)
+            .recorder(bare.clone())
+            .build();
+        let r = eng2.run_batch(&QueryBatch::new(&queries));
+        assert_eq!(r.report.epoch, None);
+        assert_eq!(bare.snapshot().last_epoch, 0);
     }
 
     /// Slice- and Vec-backed batches never dispatch the sweep path, even
@@ -1280,6 +1342,7 @@ mod tests {
             threads: 1,
             elapsed: Duration::ZERO,
             total: RelationCounts::default(),
+            epoch: None,
         };
         assert!(report.throughput_qps().is_finite());
     }

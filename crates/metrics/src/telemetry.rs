@@ -480,6 +480,9 @@ pub struct Recorder {
     contains: Counter,
     contained: Counter,
     overlaps: Counter,
+    /// Highest ingest epoch any recorded batch was answered from — a
+    /// gauge, not a counter (see [`Recorder::record_epoch`]).
+    last_epoch: AtomicU64,
     query_latency: LatencyHistogram,
     batch_latency: LatencyHistogram,
     tiling_latency: LatencyHistogram,
@@ -555,6 +558,15 @@ impl Recorder {
         self.degraded_sweeps.incr();
     }
 
+    /// Records the ingest epoch a batch's answers came from (the epoch of
+    /// the snapshot the estimator pinned). Kept as a **gauge** — the
+    /// maximum epoch seen, so concurrent batches racing across a refreeze
+    /// settle on the newest — with 0 meaning "no epoch-tagged batch yet"
+    /// (live epochs start at 1).
+    pub fn record_epoch(&self, epoch: u64) {
+        self.last_epoch.fetch_max(epoch, Relaxed);
+    }
+
     /// Records one finished batch into the latency histogram of its
     /// resilience outcome class (in addition to [`Self::record_batch`],
     /// which stays outcome-blind).
@@ -609,6 +621,7 @@ impl Recorder {
                 self.contained.get(),
                 self.overlaps.get(),
             ),
+            last_epoch: self.last_epoch.load(Relaxed),
             query_latency: self.query_latency.snapshot(),
             batch_latency: self.batch_latency.snapshot(),
             tiling_latency: self.tiling_latency.snapshot(),
@@ -646,6 +659,10 @@ pub struct TelemetrySnapshot {
     pub degraded_sweeps: u64,
     /// Per-relation estimate totals.
     pub relations: RelationTally,
+    /// Highest ingest epoch any recorded batch was answered from (0 when
+    /// no epoch-tagged batch has run). A gauge: [`Self::delta_since`]
+    /// carries the later snapshot's value instead of subtracting.
+    pub last_epoch: u64,
     /// Per-query latency distribution.
     pub query_latency: HistogramSnapshot,
     /// Per-batch wall-clock latency distribution.
@@ -692,6 +709,8 @@ impl TelemetrySnapshot {
                 .saturating_sub(earlier.deadline_exceeded),
             degraded_sweeps: self.degraded_sweeps.saturating_sub(earlier.degraded_sweeps),
             relations,
+            // Gauge, not counter: the window's value is the latest one.
+            last_epoch: self.last_epoch,
             query_latency: self.query_latency.delta_since(&earlier.query_latency),
             batch_latency: self.batch_latency.delta_since(&earlier.batch_latency),
             tiling_latency: self.tiling_latency.delta_since(&earlier.tiling_latency),
@@ -725,6 +744,7 @@ impl TelemetrySnapshot {
             ("contains total", self.relations.contains),
             ("contained total", self.relations.contained),
             ("overlap total", self.relations.overlaps),
+            ("last epoch", self.last_epoch),
         ] {
             counters.row(&[name.to_string(), v.to_string()]);
         }
@@ -936,6 +956,22 @@ mod tests {
     }
 
     #[test]
+    fn epoch_gauge_keeps_the_maximum_and_survives_deltas() {
+        let rec = Recorder::new();
+        assert_eq!(rec.snapshot().last_epoch, 0, "no epoch-tagged batch yet");
+        rec.record_epoch(3);
+        let before = rec.snapshot();
+        assert_eq!(before.last_epoch, 3);
+        // A straggler batch from an older epoch cannot roll it back.
+        rec.record_epoch(2);
+        assert_eq!(rec.snapshot().last_epoch, 3);
+        rec.record_epoch(5);
+        let delta = rec.snapshot().delta_since(&before);
+        // Gauge semantics: the window reports the latest value, not 5 − 3.
+        assert_eq!(delta.last_epoch, 5);
+    }
+
+    #[test]
     fn render_mentions_every_series() {
         let rec = Recorder::new();
         rec.record_query(Duration::from_micros(2), RelationTally::new(1, 1, 1, 1));
@@ -956,6 +992,7 @@ mod tests {
             "batch/complete",
             "batch/degraded",
             "batch/failed",
+            "last epoch",
         ] {
             assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
         }

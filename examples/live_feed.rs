@@ -1,10 +1,15 @@
 //! A live-updating, multi-attribute browsing scenario: a stream of
 //! geo-tagged observations (three subject types) arrives while analysts
-//! browse. Demonstrates the two write-path options and the faceted
-//! service:
+//! browse. Demonstrates the epoch-snapshot ingest substrate and the
+//! faceted service:
 //!
-//! * [`DynamicGeoBrowsingService`] — O(log² n) updates, no snapshot
-//!   rebuilds, reads always current;
+//! * [`DynamicGeoBrowsingService`] — a facade over the LSM-style
+//!   [`LiveEulerHistogram`]: inserts are O(perimeter) delta appends,
+//!   readers pin an immutable [`LiveSnapshot`] and answer from it
+//!   without holding any lock, so a browse never blocks the stream;
+//! * [`GeoBrowsingService`] — same substrate, read-heavy profile: each
+//!   browse folds pending deltas into a freshly published epoch and
+//!   serves the whole tiling by prefix-sum sweep;
 //! * [`FacetedService`] — one histogram per subject type, browsing any
 //!   filter subset exactly (counts are additive over the partition).
 //!
@@ -12,9 +17,11 @@
 //! cargo run --release --example live_feed
 //! ```
 
-use spatial_histograms::browse::{render_heatmap, DynamicGeoBrowsingService, FacetedService};
+use spatial_histograms::browse::{
+    render_heatmap, BrowseOptions, DynamicGeoBrowsingService, FacetedService, GeoBrowsingService,
+};
 use spatial_histograms::core::persist::PersistError;
-use spatial_histograms::core::EulerHistogram;
+use spatial_histograms::core::s_euler_counts;
 use spatial_histograms::prelude::*;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,13 +65,27 @@ fn main() -> Result<(), PersistError> {
     let grid = Grid::paper_default();
     let tiling = Tiling::new(grid.full(), 36, 18).unwrap();
 
-    // 1. The dynamic service absorbs the stream with no rebuilds.
+    // 1. The dynamic service absorbs the stream with no rebuilds. A
+    //    pinned snapshot is an immutable view of one write-log prefix:
+    //    it keeps answering that state while ingest continues, and the
+    //    stream never waits for a reader.
     let live = DynamicGeoBrowsingService::new(grid);
     let events = feed(30_000);
-    for (_, rect) in &events {
+    let (tonight, overnight) = events.split_at(events.len() / 2);
+    for (_, rect) in tonight {
         live.insert(rect);
     }
-    println!("live service: {} events indexed", live.len());
+    let pinned = live.pin();
+    for (_, rect) in overnight {
+        // These land while `pinned` is held — no blocking either way.
+        live.insert(rect);
+    }
+    let world = grid.full();
+    println!(
+        "pinned snapshot: {} events (stream has since reached {})",
+        s_euler_counts(&*pinned, &world).clamped().intersecting(),
+        live.len()
+    );
     let snapshot = live.browse(&tiling);
     println!("=== all events, intersect counts ===");
     print!(
@@ -72,7 +93,23 @@ fn main() -> Result<(), PersistError> {
         render_heatmap(&snapshot, spatial_histograms::browse::Relation::Intersect)
     );
 
-    // 2. The faceted service answers per-subject filters exactly.
+    // 2. The read-heavy service publishes a new epoch per browse-after-
+    //    write: pending deltas fold into the frozen prefix cube and the
+    //    whole tiling is answered by sweep from that single epoch.
+    let epochal = GeoBrowsingService::new(grid);
+    for (_, rect) in &events {
+        epochal.insert(rect);
+    }
+    let before = epochal.epoch();
+    let result = epochal.browse(&tiling, &BrowseOptions::default());
+    println!(
+        "epoch {} -> {}: browse served {} tiles from one published epoch",
+        before,
+        epochal.epoch(),
+        result.counts().len()
+    );
+
+    // 3. The faceted service answers per-subject filters exactly.
     let faceted: FacetedService<Subject> = FacetedService::new(grid);
     for (subject, rect) in &events {
         faceted.insert(*subject, rect);
@@ -90,7 +127,7 @@ fn main() -> Result<(), PersistError> {
         );
     }
 
-    // 3. Persist tonight's histogram and reload it tomorrow without
+    // 4. Persist tonight's histogram and reload it tomorrow without
     //    replaying the stream.
     let snapper = Snapper::new(grid);
     let mut hist = EulerHistogram::new(grid);

@@ -12,7 +12,7 @@
 //! | [`geom`] | rectangles, interval topology, 9-intersection & interior–exterior relation models |
 //! | [`grid`] | data-space gridding, canonical snapping, tilings and query sets |
 //! | [`cube`] | prefix-sum data cubes (2-D and d-dimensional) |
-//! | [`core`] | Euler histograms, S-/M-/EulerApprox, exact `contains` structures, storage bounds |
+//! | [`core`] | Euler histograms, S-/M-/EulerApprox, exact `contains` structures, storage bounds, the epoch-snapshot live histogram |
 //! | [`rtree`] | R-tree substrate for exact index baselines |
 //! | [`baselines`] | CD, Beigel–Tanin, Min-skew, naive scan, R-tree oracle |
 //! | [`datagen`] | the paper's four datasets (seeded) and exact ground truth |
@@ -62,8 +62,8 @@ pub mod prelude {
         GeoBrowsingService, Relation,
     };
     pub use euler_core::{
-        EulerApprox, EulerHistogram, Level2Estimator, MEulerApprox, RelationCounts, SEulerApprox,
-        TilingPlan,
+        DeltaOp, EulerApprox, EulerHistogram, Level2Estimator, LiveEulerHistogram, LiveSEuler,
+        LiveSnapshot, MEulerApprox, RelationCounts, SEulerApprox, TilingPlan,
     };
     pub use euler_engine::{
         BatchOptions, BatchOutcome, BatchResult, CancelToken, ChunkError, DegradeReason,
