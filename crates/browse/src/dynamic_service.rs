@@ -1,12 +1,13 @@
 use std::sync::Arc;
-use std::time::Instant;
 
-use euler_core::{s_euler_counts, LiveEulerHistogram, LiveSnapshot, RelationCounts};
+use euler_core::{LiveEulerHistogram, LiveSEuler, LiveSnapshot};
+use euler_engine::SharedEstimator;
 use euler_geom::Rect;
 use euler_grid::{Grid, Snapper, Tiling};
-use euler_metrics::{Recorder, RelationTally, TelemetryShard, TelemetrySnapshot};
+use euler_metrics::{Recorder, TelemetrySnapshot};
 
-use crate::{BrowseResult, Browser};
+use crate::session::{run_browse, BrowseSession, PinnedSession};
+use crate::{BrowseRequest, BrowseResult, Browser};
 
 /// A GeoBrowsing front end tuned for write-heavy feeds (live sensor
 /// registrations, streaming catalog updates): writes append to the live
@@ -20,9 +21,13 @@ use crate::{BrowseResult, Browser};
 ///   and answer from it with no lock held across the tiling, so a browse
 ///   never blocks a concurrent insert;
 /// * reads always see every write applied before the pin (no refreeze
-///   staleness), at `O(delta)` extra cost per tile;
+///   staleness), at `O(delta)` extra cost per tiling;
 /// * the static-profile service instead refreezes on read, paying the
 ///   fold once so steady-state browses sweep a pure frozen cube.
+///
+/// Both profiles implement [`BrowseSession`] and browse through the same
+/// engine-backed path, so every request knob (threads, telemetry,
+/// deadline, cancellation) applies here too.
 pub struct DynamicGeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
@@ -65,6 +70,18 @@ impl DynamicGeoBrowsingService {
         self.len() == 0
     }
 
+    /// The current publish epoch. Under this profile nothing refreezes,
+    /// so the epoch only advances if the substrate is refrozen through
+    /// some other handle; reads are keyed by [`Self::version`] instead.
+    pub fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// The current write-log version (bumped by every insert/remove).
+    pub fn version(&self) -> u64 {
+        self.live.version()
+    }
+
     /// Inserts an object MBR.
     pub fn insert(&self, rect: &Rect) {
         self.live.insert(&self.snapper.snap(rect));
@@ -96,34 +113,62 @@ impl DynamicGeoBrowsingService {
     ///
     /// The tiling is answered from one pinned snapshot — consistent
     /// across all tiles, and held without any lock, so inserts land
-    /// freely while the browse runs. Per-tile latencies accumulate into
-    /// a local shard and fold into the recorder once per call, so the
-    /// instrumentation adds no contention on the shared counters.
-    pub fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        let start = Instant::now();
-        let mut shard = TelemetryShard::new();
+    /// freely while the browse runs. Dispatch goes through the shared
+    /// engine path: the frozen prefix is swept in one amortized pass and
+    /// the live delta scattered over the tile grid in `O(delta + tiles)`,
+    /// bit-identical to a per-tile loop over the pin. The request carries
+    /// the same knobs as the static profile — worker count, telemetry,
+    /// mega-hit threshold, deadline, cancellation.
+    pub fn browse(&self, tiling: &Tiling, req: &BrowseRequest) -> BrowseResult {
+        let est: SharedEstimator = Arc::new(LiveSEuler::new(self.live.pin()));
+        run_browse(&est, &self.recorder, tiling, req)
+    }
+}
+
+impl BrowseSession for DynamicGeoBrowsingService {
+    fn session_name(&self) -> &'static str {
+        "DynamicGeoBrowsingService"
+    }
+
+    fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    fn len(&self) -> u64 {
+        self.live.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    fn version(&self) -> u64 {
+        self.live.version()
+    }
+
+    /// Pin under the dynamic read policy: take the current snapshot as
+    /// is (frozen cube + delta view) — never refreeze, never block a
+    /// writer, always see every write applied before the pin.
+    fn pin_session(&self) -> PinnedSession {
         let snap = self.live.pin();
-        let counts: Vec<RelationCounts> = tiling
-            .iter()
-            .map(|(_, tile)| {
-                let t0 = Instant::now();
-                let c = s_euler_counts(&*snap, &tile).clamped();
-                shard.record_query(
-                    t0.elapsed(),
-                    RelationTally::new(
-                        c.disjoint as u64,
-                        c.contains as u64,
-                        c.contained as u64,
-                        c.overlaps as u64,
-                    ),
-                );
-                c
-            })
-            .collect();
-        self.recorder.absorb(&shard);
-        self.recorder.record_batch(start.elapsed());
-        self.recorder.record_epoch(snap.epoch());
-        BrowseResult::new(*tiling, counts)
+        let (epoch, version) = (snap.epoch(), snap.version());
+        PinnedSession::new(Arc::new(LiveSEuler::new(snap)), epoch, version)
+    }
+
+    fn insert(&self, rect: &Rect) {
+        DynamicGeoBrowsingService::insert(self, rect);
+    }
+
+    fn remove(&self, rect: &Rect) {
+        DynamicGeoBrowsingService::remove(self, rect);
+    }
+
+    fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    fn browse(&self, tiling: &Tiling, req: &BrowseRequest) -> BrowseResult {
+        DynamicGeoBrowsingService::browse(self, tiling, req)
     }
 }
 
@@ -133,7 +178,7 @@ impl Browser for DynamicGeoBrowsingService {
     }
 
     fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        DynamicGeoBrowsingService::browse(self, tiling)
+        DynamicGeoBrowsingService::browse(self, tiling, &BrowseRequest::default())
     }
 }
 
@@ -141,6 +186,7 @@ impl Browser for DynamicGeoBrowsingService {
 mod tests {
     use super::*;
     use crate::GeoBrowsingService;
+    use euler_core::s_euler_counts;
     use euler_grid::DataSpace;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use std::sync::Arc;
@@ -152,6 +198,10 @@ mod tests {
             12,
         )
         .unwrap()
+    }
+
+    fn req() -> BrowseRequest {
+        BrowseRequest::default()
     }
 
     fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
@@ -173,8 +223,8 @@ mod tests {
         let stat = GeoBrowsingService::with_objects(grid(), &rects);
         let dynamic = DynamicGeoBrowsingService::with_objects(grid(), &rects);
         let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
-        let a = stat.browse(&tiling, &crate::BrowseOptions::default());
-        let b = dynamic.browse(&tiling);
+        let a = stat.browse(&tiling, &req());
+        let b = dynamic.browse(&tiling, &req());
         for ((c, r), _t) in tiling.iter() {
             assert_eq!(a.get(c, r), b.get(c, r), "tile ({c},{r})");
         }
@@ -185,8 +235,8 @@ mod tests {
         let svc = DynamicGeoBrowsingService::new(grid());
         svc.insert(&Rect::new(1.2, 1.2, 2.8, 2.8).unwrap());
         let tiling = Tiling::new(grid().full(), 4, 3).unwrap();
-        svc.browse(&tiling);
-        svc.browse(&tiling);
+        svc.browse(&tiling, &req());
+        svc.browse(&tiling, &req());
         let stats = svc.telemetry();
         assert_eq!(stats.queries, 24);
         assert_eq!(stats.batches, 2);
@@ -200,13 +250,26 @@ mod tests {
     fn updates_visible_immediately() {
         let svc = DynamicGeoBrowsingService::new(grid());
         let tiling = Tiling::new(grid().full(), 2, 2).unwrap();
-        assert_eq!(svc.browse(&tiling).counts()[0].total(), 0);
+        assert_eq!(svc.browse(&tiling, &req()).counts()[0].total(), 0);
         let r = Rect::new(1.2, 1.2, 2.8, 2.8).unwrap();
         svc.insert(&r);
-        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 1);
+        assert_eq!(svc.browse(&tiling, &req()).get(0, 0).contains, 1);
         svc.remove(&r);
-        assert_eq!(svc.browse(&tiling).get(0, 0).contains, 0);
+        assert_eq!(svc.browse(&tiling, &req()).get(0, 0).contains, 0);
         assert!(svc.is_empty());
+    }
+
+    /// Writes bump the version, never the epoch: under this profile
+    /// nothing refreezes, so the cacheable stamp is the version.
+    #[test]
+    fn versions_advance_epochs_do_not() {
+        let svc = DynamicGeoBrowsingService::new(grid());
+        let (e0, v0) = (svc.epoch(), svc.version());
+        svc.insert(&Rect::new(1.2, 1.2, 2.8, 2.8).unwrap());
+        let tiling = Tiling::new(grid().full(), 2, 2).unwrap();
+        svc.browse(&tiling, &req());
+        assert_eq!(svc.epoch(), e0, "dynamic reads never refreeze");
+        assert_eq!(svc.version(), v0 + 1, "every write bumps the version");
     }
 
     /// Regression for the old read-lock-across-the-tiling design: a
@@ -238,7 +301,7 @@ mod tests {
         assert_eq!(total, 1, "pinned view is isolated from mid-browse writes");
         assert_eq!(svc.len(), 1 + tiling.len() as u64);
         // A fresh browse sees all of them.
-        let fresh = svc.browse(&tiling);
+        let fresh = svc.browse(&tiling, &req());
         assert!(fresh.counts().iter().any(|c| c.intersecting() > 1));
     }
 
@@ -255,7 +318,7 @@ mod tests {
                     if t < 2 {
                         svc.insert(r);
                     } else {
-                        let res = svc.browse(&tiling);
+                        let res = svc.browse(&tiling, &BrowseRequest::default());
                         assert!(res.counts()[0].total() >= 0);
                         let _ = i;
                     }

@@ -214,7 +214,7 @@ mod tests {
                 Rect::new(0.5, 0.5, 11.5, 11.5).unwrap(),
             ],
         );
-        let direct = union.browse(&tiling, &crate::BrowseOptions::default());
+        let direct = union.browse(&tiling, &crate::BrowseRequest::default());
         for ((c, r), _t) in tiling.iter() {
             assert_eq!(summed.get(c, r), direct.get(c, r), "tile ({c},{r})");
         }

@@ -17,7 +17,7 @@
 //!   insert/remove objects, readers browse consistent epoch snapshots of
 //!   an LSM-style live histogram (`euler_core::LiveEulerHistogram`)
 //!   through the one engine-backed entry point
-//!   ([`GeoBrowsingService::browse`] + [`BrowseOptions`]), with always-on
+//!   ([`GeoBrowsingService::browse`] + [`BrowseRequest`]), with always-on
 //!   telemetry (latency percentiles, epochs, zero-hit/mega-hit counters);
 //! * [`DynamicGeoBrowsingService`] — the write-heavy profile of the same
 //!   substrate: browses pin the current snapshot (frozen cube + delta
@@ -32,6 +32,11 @@
 //!   Figure 1 color map, in ASCII);
 //! * [`advise`] — zero-hit/mega-hit analysis: the query-refinement hints
 //!   that motivate browsing in the first place.
+//!
+//! Both updatable services implement [`BrowseSession`] — pin-stamped
+//! snapshot acquisition plus the unified [`BrowseRequest`] browse entry
+//! point — which is what multi-tenant front doors (the `geobrowse serve`
+//! mode) and the conformance harness program against.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,7 +48,9 @@ mod exact_browser;
 mod faceted;
 mod pyramid;
 mod render;
+mod request;
 mod service;
+mod session;
 
 pub use advise::{advise, Advice};
 pub use browser::{BrowseResult, Browser, EulerBrowser, Relation};
@@ -52,7 +59,11 @@ pub use exact_browser::ExactBrowser;
 pub use faceted::FacetedService;
 pub use pyramid::{PyramidBrowser, PyramidError};
 pub use render::render_heatmap;
-pub use service::{BrowseOptions, GeoBrowsingService};
+pub use request::BrowseRequest;
+#[allow(deprecated)]
+pub use service::BrowseOptions;
+pub use service::GeoBrowsingService;
+pub use session::{run_browse, BrowseSession, PinnedSession};
 
 pub use euler_core::RelationCounts;
 pub use euler_engine::{BatchOptions, BatchOutcome, CancelToken};

@@ -1,0 +1,212 @@
+//! The unified browse request: one builder for everything a multi-tile
+//! browse can be asked to do.
+//!
+//! Before this module the browse surface was split across two structs —
+//! `BrowseOptions` (threads, telemetry, mega-hit threshold) and the
+//! engine's `BatchOptions` (deadline, cancel token) — forced through two
+//! entry points (`browse` / `browse_with`). [`BrowseRequest`] collapses
+//! the pair: every knob in one builder, one
+//! `browse(&Tiling, &BrowseRequest)` entry point, and a front door that
+//! can hand the same request to any [`crate::BrowseSession`].
+
+use std::time::Duration;
+
+use euler_engine::{BatchOptions, CancelToken};
+
+/// Everything one multi-tile browse can be asked to do: worker count,
+/// telemetry, the mega-hit advice threshold, a wall-clock deadline and a
+/// cancellation token.
+///
+/// The default is the interactive profile — sequential (engine fan-out
+/// only pays from a few thousand tiles), telemetry on, mega-hit
+/// threshold 10 000, no deadline, no cancel token:
+///
+/// ```
+/// use euler_browse::BrowseRequest;
+/// use std::time::Duration;
+///
+/// let req = BrowseRequest::new()
+///     .threads(4)
+///     .deadline(Duration::from_millis(50))
+///     .mega_threshold(1_000);
+/// assert_eq!(req.effective_threads(), 4);
+/// assert!(req.has_controls());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BrowseRequest {
+    threads: Option<usize>,
+    telemetry: Option<bool>,
+    mega_threshold: Option<i64>,
+    deadline: Option<Duration>,
+    check_every: Option<usize>,
+    cancel: Option<CancelToken>,
+}
+
+impl BrowseRequest {
+    /// The mega-hit threshold used when none is set.
+    pub const DEFAULT_MEGA_THRESHOLD: i64 = 10_000;
+
+    /// The default request: one thread, telemetry on, mega-hit threshold
+    /// 10 000, no deadline or cancel token.
+    pub fn new() -> BrowseRequest {
+        BrowseRequest::default()
+    }
+
+    /// Sets the engine worker count; `0` means one worker per available
+    /// core.
+    pub fn threads(mut self, threads: usize) -> BrowseRequest {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Toggles recording into the session's `Recorder`.
+    pub fn telemetry(mut self, on: bool) -> BrowseRequest {
+        self.telemetry = Some(on);
+        self
+    }
+
+    /// Sets the per-tile intersect count from which a tile counts as a
+    /// mega-hit in the telemetry.
+    pub fn mega_threshold(mut self, threshold: i64) -> BrowseRequest {
+        self.mega_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets a wall-clock budget for the browse: when it runs out, the
+    /// answered tiles are delivered and the unanswered tail is reported
+    /// per tile (see `BrowseResult::unavailable`).
+    pub fn deadline(mut self, budget: Duration) -> BrowseRequest {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets how many queries a worker runs between deadline/cancellation
+    /// polls (see [`BatchOptions::check_every`]).
+    pub fn check_every(mut self, queries: usize) -> BrowseRequest {
+        self.check_every = Some(queries.max(1));
+        self
+    }
+
+    /// Attaches a cancellation token; flip it with [`CancelToken::cancel`]
+    /// and the browse stops with partial delivery.
+    pub fn cancel_token(mut self, token: CancelToken) -> BrowseRequest {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The effective worker count for this machine.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads.unwrap_or(1) {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Whether telemetry recording is enabled (the default).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.unwrap_or(true)
+    }
+
+    /// The mega-hit advice threshold.
+    pub fn mega_limit(&self) -> i64 {
+        self.mega_threshold.unwrap_or(Self::DEFAULT_MEGA_THRESHOLD)
+    }
+
+    /// The wall-clock budget, if any.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Whether a deadline or cancel token is set — if so the engine takes
+    /// the cancellable per-tile path of the degradation ladder.
+    pub fn has_controls(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// The engine-level controls this request carries.
+    pub fn batch_options(&self) -> BatchOptions {
+        let mut opts = BatchOptions::new();
+        if let Some(budget) = self.deadline {
+            opts = opts.deadline(budget);
+        }
+        if let Some(stride) = self.check_every {
+            opts = opts.check_every(stride);
+        }
+        if let Some(token) = &self.cancel {
+            opts = opts.cancel_token(token.clone());
+        }
+        opts
+    }
+}
+
+#[allow(deprecated)]
+impl From<&crate::BrowseOptions> for BrowseRequest {
+    /// Carries the legacy options into the unified request (deprecation
+    /// bridge; remove with `BrowseOptions`).
+    fn from(opts: &crate::BrowseOptions) -> BrowseRequest {
+        BrowseRequest::new()
+            .threads(opts.raw_threads())
+            .telemetry(opts.telemetry_enabled())
+            .mega_threshold(opts.mega_limit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_interactive_profile() {
+        let req = BrowseRequest::new();
+        assert_eq!(req.effective_threads(), 1);
+        assert!(req.telemetry_enabled());
+        assert_eq!(req.mega_limit(), 10_000);
+        assert!(req.deadline_budget().is_none());
+        assert!(req.cancel().is_none());
+        assert!(!req.has_controls());
+        assert!(!req.batch_options().has_controls());
+    }
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let token = CancelToken::new();
+        let req = BrowseRequest::new()
+            .threads(0)
+            .telemetry(false)
+            .mega_threshold(7)
+            .deadline(Duration::from_millis(9))
+            .check_every(3)
+            .cancel_token(token.clone());
+        assert!(req.effective_threads() >= 1);
+        assert!(!req.telemetry_enabled());
+        assert_eq!(req.mega_limit(), 7);
+        assert_eq!(req.deadline_budget(), Some(Duration::from_millis(9)));
+        assert!(req.has_controls());
+        let batch = req.batch_options();
+        assert_eq!(batch.deadline_budget(), Some(Duration::from_millis(9)));
+        assert_eq!(batch.check_interval(), Some(3));
+        token.cancel();
+        assert!(batch.cancel().expect("token attached").is_cancelled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_options_convert_losslessly() {
+        let opts = crate::BrowseOptions::new()
+            .threads(5)
+            .telemetry(false)
+            .mega_threshold(42);
+        let req = BrowseRequest::from(&opts);
+        assert_eq!(req.effective_threads(), 5);
+        assert!(!req.telemetry_enabled());
+        assert_eq!(req.mega_limit(), 42);
+        assert!(!req.has_controls());
+    }
+}

@@ -1,17 +1,25 @@
 use std::sync::Arc;
 
 use euler_core::{LiveEulerHistogram, LiveSEuler};
-use euler_engine::{BatchOptions, EstimatorEngine, QueryBatch};
+use euler_engine::{BatchOptions, EstimatorEngine, SharedEstimator};
 use euler_geom::Rect;
 use euler_grid::{Grid, SnappedRect, Snapper, Tiling};
 use euler_metrics::{Recorder, TelemetrySnapshot};
 
-use crate::{BrowseResult, Browser};
+use crate::session::{run_browse, BrowseSession, PinnedSession};
+use crate::{BrowseRequest, BrowseResult, Browser};
 
 /// Options for a multi-tile browse: worker count and telemetry.
 ///
-/// The default is the interactive profile — sequential (fan-out only
-/// pays from a few thousand tiles) with telemetry on.
+/// Superseded by [`BrowseRequest`], which additionally carries the
+/// deadline and cancellation controls that used to require a separate
+/// `BatchOptions` argument. This struct remains for one release as a
+/// shim; `BrowseRequest::from(&opts)` carries the values over.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `BrowseRequest` — one builder for threads, telemetry, \
+            mega_threshold, deadline and cancel_token"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BrowseOptions {
     threads: usize,
@@ -19,6 +27,7 @@ pub struct BrowseOptions {
     mega_threshold: i64,
 }
 
+#[allow(deprecated)]
 impl Default for BrowseOptions {
     fn default() -> BrowseOptions {
         BrowseOptions {
@@ -29,6 +38,7 @@ impl Default for BrowseOptions {
     }
 }
 
+#[allow(deprecated)]
 impl BrowseOptions {
     /// The default options: one thread, telemetry on, mega-hit threshold
     /// 10 000.
@@ -71,6 +81,16 @@ impl BrowseOptions {
     pub fn telemetry_enabled(&self) -> bool {
         self.telemetry
     }
+
+    /// The raw configured worker count (0 = one per core).
+    pub fn raw_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The mega-hit advice threshold.
+    pub fn mega_limit(&self) -> i64 {
+        self.mega_threshold
+    }
 }
 
 /// A concurrent GeoBrowsing front end over an updatable Euler histogram.
@@ -87,11 +107,16 @@ impl BrowseOptions {
 /// epoch, so steady-state browses sweep a pure frozen prefix cube.
 ///
 /// Every browse is dispatched through the batch engine and (unless
-/// disabled per call) recorded into the service's always-on [`Recorder`]:
-/// queries served, latency percentiles, per-relation totals, the epoch
-/// each batch was answered from, and the zero-hit/mega-hit tile counters
-/// that drive refinement advice. Read the stats with
-/// [`GeoBrowsingService::telemetry`].
+/// disabled per request) recorded into the service's always-on
+/// [`Recorder`]: queries served, latency percentiles, per-relation
+/// totals, the epoch each batch was answered from, and the
+/// zero-hit/mega-hit tile counters that drive refinement advice. Read
+/// the stats with [`GeoBrowsingService::telemetry`].
+///
+/// The service implements [`BrowseSession`] — the interface the
+/// `geobrowse serve` front door and the conformance harness multiplex
+/// over; [`DynamicGeoBrowsingService`](crate::DynamicGeoBrowsingService)
+/// is the same substrate under the write-heavy read policy.
 pub struct GeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
@@ -142,6 +167,11 @@ impl GeoBrowsingService {
         self.live.epoch()
     }
 
+    /// The current write-log version (bumped by every insert/remove).
+    pub fn version(&self) -> u64 {
+        self.live.version()
+    }
+
     /// Inserts an object MBR (appends to the live delta).
     pub fn insert(&self, rect: &Rect) {
         self.live.insert(&self.snapper.snap(rect));
@@ -185,65 +215,100 @@ impl GeoBrowsingService {
     }
 
     /// Answers a browsing query on the current snapshot — the one
-    /// multi-tile entry point. `opts` picks the worker count (engine
-    /// fan-out; worthwhile from a few thousand tiles) and whether the
-    /// call is recorded into the service telemetry.
+    /// multi-tile entry point. The request carries every knob: worker
+    /// count (engine fan-out; worthwhile from a few thousand tiles),
+    /// telemetry, the mega-hit advice threshold, and optionally a
+    /// wall-clock deadline and/or a cancellation token.
     ///
-    /// Because the batch is tiling-shaped and the frozen S-Euler snapshot
-    /// supports the sweep evaluator, the engine answers it with one
-    /// amortized row-major pass (`estimate_tiling`) rather than a
-    /// per-tile loop; the telemetry's `sweep_hits` counter and tiling
-    /// latency series record each such dispatch.
-    pub fn browse(&self, tiling: &Tiling, opts: &BrowseOptions) -> BrowseResult {
-        self.browse_with(tiling, opts, &BatchOptions::default())
+    /// Without controls, the batch is tiling-shaped and the frozen
+    /// S-Euler snapshot supports the sweep evaluator, so the engine
+    /// answers it with one amortized row-major pass (`estimate_tiling`)
+    /// rather than a per-tile loop; the telemetry's `sweep_hits` counter
+    /// and tiling latency series record each such dispatch.
+    ///
+    /// With a deadline or cancel token, the engine takes the cancellable
+    /// per-tile rung of the degradation ladder, and instead of erroring
+    /// the whole tiling when the budget runs out (or a worker faults) the
+    /// result surfaces per-tile availability: answered tiles carry their
+    /// counts, unanswered ones are listed in
+    /// [`BrowseResult::unavailable`] (and excluded from the
+    /// zero-hit/mega-hit advice counters — "no answer" is not "zero
+    /// hits").
+    pub fn browse(&self, tiling: &Tiling, req: &BrowseRequest) -> BrowseResult {
+        let est: SharedEstimator = self.snapshot();
+        run_browse(&est, &self.recorder, tiling, req)
     }
 
-    /// [`Self::browse`] under engine [`BatchOptions`] — a deadline and/or
-    /// a cancellation token. Instead of erroring the whole tiling when
-    /// the budget runs out (or a worker faults), the result surfaces
-    /// per-tile availability: answered tiles carry their counts,
-    /// unanswered ones are listed in [`BrowseResult::unavailable`] (and
-    /// excluded from the zero-hit/mega-hit advice counters — "no answer"
-    /// is not "zero hits").
+    /// [`Self::browse`] under split legacy option structs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "fold `BrowseOptions` + `BatchOptions` into one \
+                `BrowseRequest` and call `browse`"
+    )]
+    #[allow(deprecated)]
     pub fn browse_with(
         &self,
         tiling: &Tiling,
         opts: &BrowseOptions,
         batch: &BatchOptions,
     ) -> BrowseResult {
-        let mut builder =
-            EstimatorEngine::builder(self.snapshot()).threads(opts.effective_threads());
-        if opts.telemetry {
-            builder = builder.recorder(self.recorder.clone());
+        let mut req = BrowseRequest::from(opts);
+        if let Some(budget) = batch.deadline_budget() {
+            req = req.deadline(budget);
         }
-        let result = builder
-            .build()
-            .run_batch_with(&QueryBatch::from(tiling), batch);
-        let unavailable: Vec<usize> = result
-            .outcomes
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.is_failed())
-            .map(|(i, _)| i)
-            .collect();
-        let counts: Vec<_> = result.counts.into_iter().map(|c| c.clamped()).collect();
-        if opts.telemetry {
-            let hits = |c: &euler_core::RelationCounts| c.intersecting();
-            let delivered = || {
-                counts
-                    .iter()
-                    .zip(&result.outcomes)
-                    .filter(|(_, o)| o.is_delivered())
-                    .map(|(c, _)| c)
-            };
-            let zero = delivered().filter(|c| hits(c) == 0).count();
-            let mega = delivered()
-                .filter(|c| hits(c) >= opts.mega_threshold)
-                .count();
-            self.recorder.add_zero_hits(zero as u64);
-            self.recorder.add_mega_hits(mega as u64);
+        if let Some(stride) = batch.check_interval() {
+            req = req.check_every(stride);
         }
-        BrowseResult::with_unavailable(*tiling, counts, unavailable)
+        if let Some(token) = batch.cancel() {
+            req = req.cancel_token(token.clone());
+        }
+        self.browse(tiling, &req)
+    }
+}
+
+impl BrowseSession for GeoBrowsingService {
+    fn session_name(&self) -> &'static str {
+        "GeoBrowsingService"
+    }
+
+    fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    fn len(&self) -> u64 {
+        self.live.len()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    fn version(&self) -> u64 {
+        self.live.version()
+    }
+
+    /// Pin under the static read policy: refreeze if stale, so the view
+    /// handed out always sweeps a pure frozen prefix cube.
+    fn pin_session(&self) -> PinnedSession {
+        let snap = self.live.refreeze_if_stale();
+        let (epoch, version) = (snap.epoch(), snap.version());
+        PinnedSession::new(Arc::new(LiveSEuler::new(snap)), epoch, version)
+    }
+
+    fn insert(&self, rect: &Rect) {
+        GeoBrowsingService::insert(self, rect);
+    }
+
+    fn remove(&self, rect: &Rect) {
+        GeoBrowsingService::remove(self, rect);
+    }
+
+    fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    fn browse(&self, tiling: &Tiling, req: &BrowseRequest) -> BrowseResult {
+        GeoBrowsingService::browse(self, tiling, req)
     }
 }
 
@@ -253,7 +318,7 @@ impl Browser for GeoBrowsingService {
     }
 
     fn browse(&self, tiling: &Tiling) -> BrowseResult {
-        GeoBrowsingService::browse(self, tiling, &BrowseOptions::default())
+        GeoBrowsingService::browse(self, tiling, &BrowseRequest::default())
     }
 }
 
@@ -261,14 +326,15 @@ impl Browser for GeoBrowsingService {
 mod tests {
     use super::*;
     use euler_core::Level2Estimator;
+    use euler_engine::QueryBatch;
     use euler_grid::DataSpace;
 
     fn grid() -> Grid {
         Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap()
     }
 
-    fn opts() -> BrowseOptions {
-        BrowseOptions::default()
+    fn req() -> BrowseRequest {
+        BrowseRequest::default()
     }
 
     #[test]
@@ -278,10 +344,10 @@ mod tests {
         svc.insert(&r);
         assert_eq!(svc.len(), 1);
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
-        assert_eq!(svc.browse(&tiling, &opts()).get(0, 0).contains, 1);
+        assert_eq!(svc.browse(&tiling, &req()).get(0, 0).contains, 1);
         svc.remove(&r);
         assert_eq!(svc.len(), 0);
-        assert_eq!(svc.browse(&tiling, &opts()).get(0, 0).contains, 0);
+        assert_eq!(svc.browse(&tiling, &req()).get(0, 0).contains, 0);
     }
 
     #[test]
@@ -293,9 +359,9 @@ mod tests {
             svc.insert(&Rect::new(x, y, x + 0.7, y + 0.6).unwrap());
         }
         let tiling = Tiling::new(svc.grid().full(), 8, 8).unwrap();
-        let seq = svc.browse(&tiling, &opts());
+        let seq = svc.browse(&tiling, &req());
         for threads in [0, 2, 4, 16] {
-            let par = svc.browse(&tiling, &opts().threads(threads));
+            let par = svc.browse(&tiling, &req().threads(threads));
             assert_eq!(seq.counts(), par.counts(), "{threads} threads");
         }
         // The engine reports through the shared estimator interface.
@@ -310,7 +376,7 @@ mod tests {
         svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
 
-        svc.browse(&tiling, &opts().mega_threshold(1));
+        svc.browse(&tiling, &req().mega_threshold(1));
         let stats = svc.telemetry();
         assert_eq!(stats.queries, 16);
         assert_eq!(stats.batches, 1);
@@ -321,7 +387,7 @@ mod tests {
         assert!(stats.query_latency.p50() <= stats.query_latency.p99());
 
         // Telemetry off: nothing moves.
-        svc.browse(&tiling, &opts().telemetry(false));
+        svc.browse(&tiling, &req().telemetry(false));
         let after = svc.telemetry();
         assert_eq!(after.queries, 16);
         assert_eq!(after.batches, 1);
@@ -343,7 +409,7 @@ mod tests {
             svc.insert(&Rect::new(x, y, x + 0.5, y + 0.5).unwrap());
         }
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
-        let result = svc.browse(&tiling, &opts());
+        let result = svc.browse(&tiling, &req());
         let stats = svc.telemetry();
         assert_eq!(stats.sweep_hits, 1, "tiling browse takes the sweep path");
         assert_eq!(stats.tiling_latency.count(), 1);
@@ -356,7 +422,7 @@ mod tests {
         }
 
         // A telemetry-off browse still sweeps, but records nothing.
-        svc.browse(&tiling, &opts().telemetry(false));
+        svc.browse(&tiling, &req().telemetry(false));
         assert_eq!(svc.telemetry().sweep_hits, 1);
     }
 
@@ -370,22 +436,19 @@ mod tests {
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
 
         // A generous budget delivers everything, identical to browse().
-        let full = svc.browse(&tiling, &opts().telemetry(false));
-        let generous = svc.browse_with(
+        let full = svc.browse(&tiling, &req().telemetry(false));
+        let generous = svc.browse(
             &tiling,
-            &opts().telemetry(false),
-            &BatchOptions::new().deadline(std::time::Duration::from_secs(3600)),
+            &req()
+                .telemetry(false)
+                .deadline(std::time::Duration::from_secs(3600)),
         );
         assert!(generous.is_complete());
         assert_eq!(generous.counts(), full.counts());
 
         // A zero budget delivers nothing — but still returns.
         let zero_before = svc.telemetry().zero_hits;
-        let starved = svc.browse_with(
-            &tiling,
-            &opts(),
-            &BatchOptions::new().deadline(std::time::Duration::ZERO),
-        );
+        let starved = svc.browse(&tiling, &req().deadline(std::time::Duration::ZERO));
         assert!(!starved.is_complete());
         assert_eq!(starved.unavailable().len(), 16);
         assert!(!starved.is_available(0, 0));
@@ -396,6 +459,32 @@ mod tests {
             "unanswered tiles are not zero-hit advice"
         );
         assert_eq!(stats.deadline_exceeded, 1);
+    }
+
+    /// The deprecated two-struct surface still answers, identically to
+    /// the unified request it forwards to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_browse_request() {
+        let svc = GeoBrowsingService::new(grid());
+        svc.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+        let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
+
+        let new_api = svc.browse(&tiling, &req().threads(2).telemetry(false));
+        let old_api = svc.browse_with(
+            &tiling,
+            &BrowseOptions::new().threads(2).telemetry(false),
+            &BatchOptions::default(),
+        );
+        assert_eq!(new_api.counts(), old_api.counts());
+
+        // Controls carried by the legacy BatchOptions still bite.
+        let starved = svc.browse_with(
+            &tiling,
+            &BrowseOptions::new().telemetry(false),
+            &BatchOptions::new().deadline(std::time::Duration::ZERO),
+        );
+        assert_eq!(starved.unavailable().len(), 16);
     }
 
     #[test]
@@ -420,16 +509,16 @@ mod tests {
         assert_eq!(svc.epoch(), 1, "writes alone do not refreeze");
 
         let tiling = Tiling::new(svc.grid().full(), 4, 4).unwrap();
-        svc.browse(&tiling, &opts());
+        svc.browse(&tiling, &req());
         assert_eq!(svc.epoch(), 2, "first read after a write refreezes");
         assert_eq!(svc.telemetry().last_epoch, 2);
 
         // Read-only browses reuse the epoch…
-        svc.browse(&tiling, &opts());
+        svc.browse(&tiling, &req());
         assert_eq!(svc.epoch(), 2);
         // …and the next write/read cycle publishes the next one.
         svc.insert(&Rect::new(5.2, 5.2, 5.8, 5.8).unwrap());
-        svc.browse(&tiling, &opts());
+        svc.browse(&tiling, &req());
         assert_eq!(svc.epoch(), 3);
         assert_eq!(svc.telemetry().last_epoch, 3);
     }
@@ -462,7 +551,7 @@ mod tests {
                         let x = 0.1 + (i % 7) as f64;
                         svc.insert(&Rect::new(x, 0.1, x + 0.5, 0.6).unwrap());
                     } else {
-                        let res = svc.browse(&tiling, &BrowseOptions::default());
+                        let res = svc.browse(&tiling, &BrowseRequest::default());
                         let total = res.counts()[0].total();
                         assert!(total >= 1);
                     }

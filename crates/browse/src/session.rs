@@ -1,0 +1,247 @@
+//! The [`BrowseSession`] abstraction: one interface over the two browse
+//! service profiles.
+//!
+//! [`GeoBrowsingService`](crate::GeoBrowsingService) (refreeze-on-read)
+//! and [`DynamicGeoBrowsingService`](crate::DynamicGeoBrowsingService)
+//! (pin-current, never refreeze) are facades over the same
+//! `LiveEulerHistogram` substrate that differ only in *read policy*.
+//! Anything that multiplexes work onto "a browsable, updatable spatial
+//! session" — the `geobrowse serve` front door, the conformance harness —
+//! should be written once against this trait instead of twice against
+//! the twins.
+
+use std::sync::Arc;
+
+use euler_core::RelationCounts;
+use euler_engine::{EstimatorEngine, QueryBatch, SharedEstimator};
+use euler_geom::Rect;
+use euler_grid::{Grid, Tiling};
+use euler_metrics::{Recorder, TelemetrySnapshot};
+
+use crate::{BrowseRequest, BrowseResult};
+
+/// A consistent, lock-free read view acquired from a [`BrowseSession`]:
+/// the pinned estimator plus the epoch and write-log version it answers
+/// from. Everything computed from the estimator is attributable to
+/// exactly this `(epoch, version)` — the property result caches key on.
+#[derive(Clone)]
+pub struct PinnedSession {
+    estimator: SharedEstimator,
+    epoch: u64,
+    version: u64,
+}
+
+impl PinnedSession {
+    /// Wraps a pinned estimator with its provenance stamps.
+    pub fn new(estimator: SharedEstimator, epoch: u64, version: u64) -> PinnedSession {
+        PinnedSession {
+            estimator,
+            epoch,
+            version,
+        }
+    }
+
+    /// The pinned estimator (answers with no synchronization).
+    pub fn estimator(&self) -> &SharedEstimator {
+        &self.estimator
+    }
+
+    /// The ingest epoch the pinned snapshot was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The write-log prefix length the pinned snapshot reflects. Unlike
+    /// the epoch (bumped only by refreezes) this advances on *every*
+    /// write, so it is the correct cache/invalidation stamp for both
+    /// read profiles.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl std::fmt::Debug for PinnedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedSession")
+            .field("estimator", &self.estimator.name())
+            .field("epoch", &self.epoch)
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+/// A browsable, updatable spatial session: the interface the serve front
+/// door and the conformance harness program against.
+///
+/// Both service profiles implement it; which one you hand out decides
+/// the read policy (refreeze-on-read vs pin-current), not the API.
+pub trait BrowseSession: Send + Sync {
+    /// The session profile name (for telemetry and protocol banners).
+    fn session_name(&self) -> &'static str;
+
+    /// The session grid.
+    fn grid(&self) -> &Grid;
+
+    /// Number of indexed objects.
+    fn len(&self) -> u64;
+
+    /// True when no objects are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current publish epoch (bumped by every refreeze; starts at 1).
+    fn epoch(&self) -> u64;
+
+    /// The current write-log version (bumped by every insert/remove).
+    fn version(&self) -> u64;
+
+    /// Acquires a consistent read view: a pinned estimator stamped with
+    /// the epoch and version it answers from. Pinning never blocks
+    /// writers, and a pinned view is immune to later writes.
+    fn pin_session(&self) -> PinnedSession;
+
+    /// Inserts an object MBR.
+    fn insert(&self, rect: &Rect);
+
+    /// Removes a previously inserted MBR (linear-sketch exact removal).
+    fn remove(&self, rect: &Rect);
+
+    /// The session's always-on telemetry recorder.
+    fn recorder(&self) -> &Arc<Recorder>;
+
+    /// A point-in-time readout of the session's query stats.
+    fn telemetry(&self) -> TelemetrySnapshot {
+        self.recorder().snapshot()
+    }
+
+    /// Answers a browsing query on a freshly pinned view — the one
+    /// multi-tile entry point. The request carries every knob: worker
+    /// count, telemetry, mega-hit threshold, deadline, cancel token.
+    fn browse(&self, tiling: &Tiling, req: &BrowseRequest) -> BrowseResult {
+        run_browse(self.pin_session().estimator(), self.recorder(), tiling, req)
+    }
+}
+
+/// The shared engine-backed browse path: dispatches `tiling` through an
+/// [`EstimatorEngine`] over `estimator` under the request's controls,
+/// converts failed slots into per-tile availability, and (when telemetry
+/// is on) feeds the zero-hit/mega-hit advice counters.
+///
+/// Both service profiles and the serve front door funnel through this
+/// one function, so "what a browse means" is defined exactly once.
+pub fn run_browse(
+    estimator: &SharedEstimator,
+    recorder: &Arc<Recorder>,
+    tiling: &Tiling,
+    req: &BrowseRequest,
+) -> BrowseResult {
+    let mut builder = EstimatorEngine::builder(estimator.clone()).threads(req.effective_threads());
+    let telemetry = req.telemetry_enabled();
+    if telemetry {
+        builder = builder.recorder(recorder.clone());
+    }
+    let result = builder
+        .build()
+        .run_batch_with(&QueryBatch::from(tiling), &req.batch_options());
+    let unavailable: Vec<usize> = result
+        .outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.is_failed())
+        .map(|(i, _)| i)
+        .collect();
+    let counts: Vec<_> = result.counts.into_iter().map(|c| c.clamped()).collect();
+    if telemetry {
+        let hits = |c: &RelationCounts| c.intersecting();
+        let delivered = || {
+            counts
+                .iter()
+                .zip(&result.outcomes)
+                .filter(|(_, o)| o.is_delivered())
+                .map(|(c, _)| c)
+        };
+        let zero = delivered().filter(|c| hits(c) == 0).count();
+        let mega = delivered().filter(|c| hits(c) >= req.mega_limit()).count();
+        recorder.add_zero_hits(zero as u64);
+        recorder.add_mega_hits(mega as u64);
+    }
+    BrowseResult::with_unavailable(*tiling, counts, unavailable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DynamicGeoBrowsingService, GeoBrowsingService};
+    use euler_core::Level2Estimator;
+    use euler_grid::DataSpace;
+
+    fn grid() -> Grid {
+        Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 8.0, 8.0).unwrap()), 8, 8).unwrap()
+    }
+
+    fn sessions() -> Vec<Box<dyn BrowseSession>> {
+        vec![
+            Box::new(GeoBrowsingService::new(grid())),
+            Box::new(DynamicGeoBrowsingService::new(grid())),
+        ]
+    }
+
+    /// The law the trait exists for: written once, it holds for both
+    /// profiles — browse tile = clamped pinned estimate, writes land,
+    /// versions advance per write, epochs only at publish points.
+    #[test]
+    fn both_profiles_satisfy_the_session_contract() {
+        for session in sessions() {
+            let name = session.session_name();
+            assert!(session.is_empty(), "{name}");
+            let r = Rect::new(1.2, 1.2, 2.8, 2.8).unwrap();
+            let v0 = session.version();
+            session.insert(&r);
+            assert_eq!(session.len(), 1, "{name}");
+            assert_eq!(session.version(), v0 + 1, "{name}: insert bumps version");
+
+            let tiling = Tiling::new(session.grid().full(), 4, 4).unwrap();
+            let result = session.browse(&tiling, &BrowseRequest::new());
+            let pinned = session.pin_session();
+            for ((_, tile), got) in tiling.iter().zip(result.counts()) {
+                let want = pinned.estimator().estimate(&tile).clamped();
+                assert_eq!(*got, want, "{name}: tile {tile}");
+            }
+            assert_eq!(
+                pinned.epoch(),
+                session.epoch(),
+                "{name}: pin carries the session epoch"
+            );
+
+            session.remove(&r);
+            assert_eq!(session.version(), v0 + 2, "{name}: remove bumps version");
+            assert!(session.is_empty(), "{name}");
+            assert_eq!(session.telemetry().queries, 16, "{name}");
+        }
+    }
+
+    /// A pinned view is isolated from later writes; a fresh pin sees them.
+    #[test]
+    fn pins_are_consistent_snapshots() {
+        for session in sessions() {
+            let name = session.session_name();
+            session.insert(&Rect::new(1.2, 1.2, 1.8, 1.8).unwrap());
+            let pinned = session.pin_session();
+            session.insert(&Rect::new(5.2, 5.2, 5.8, 5.8).unwrap());
+            let q = session.grid().full();
+            assert_eq!(
+                pinned.estimator().estimate(&q).clamped().total(),
+                1,
+                "{name}"
+            );
+            let fresh = session.pin_session();
+            assert_eq!(
+                fresh.estimator().estimate(&q).clamped().total(),
+                2,
+                "{name}"
+            );
+            assert!(fresh.version() > pinned.version(), "{name}");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use euler_baselines::{BtHistogram, CdHistogram, MinSkew, NaiveScan, RTreeOracle};
-use euler_browse::{BrowseOptions, GeoBrowsingService};
+use euler_browse::{BrowseRequest, BrowseSession, DynamicGeoBrowsingService, GeoBrowsingService};
 use euler_core::model::count_by_classification;
 use euler_core::{
     DynamicEulerHistogram, EulerApprox, EulerHistogram, ExactContains2D, Level2Estimator,
@@ -425,8 +425,10 @@ fn check_persist_round_trip(
 }
 
 /// The browse API is the user-facing surface: browsing any tiling must
-/// return, per tile, the clamped S-Euler estimate — and therefore satisfy
-/// the same Euler-family laws against the oracle (clamped).
+/// return, per tile, the clamped estimate of a pinned view — and
+/// therefore satisfy the same Euler-family laws against the oracle
+/// (clamped). Written once against [`BrowseSession`], checked for both
+/// service profiles (refreeze-on-read and pin-current).
 fn check_browse_api(
     spec: &CaseSpec,
     grid: &Grid,
@@ -434,38 +436,48 @@ fn check_browse_api(
     oracle: &[RelationCounts],
     out: &mut Vec<Violation>,
 ) {
-    let service = GeoBrowsingService::with_objects(*grid, &spec.rects());
-    let snapshot = service.snapshot();
+    let sessions: Vec<Box<dyn BrowseSession>> = vec![
+        Box::new(GeoBrowsingService::with_objects(*grid, &spec.rects())),
+        Box::new(DynamicGeoBrowsingService::with_objects(
+            *grid,
+            &spec.rects(),
+        )),
+    ];
     let tiling = Tiling::new(grid.full(), spec.nx.min(4), spec.ny.min(3))
         .expect("tiling within a >=2x2 grid");
-    for threads in [1, 3] {
-        let result = service.browse(&tiling, &BrowseOptions::new().threads(threads));
-        for ((_, tile), got) in tiling.iter().zip(result.counts()) {
-            let want = snapshot.estimate(&tile).clamped();
-            if *got != want {
-                out.push(Violation {
-                    estimator: format!("browse[threads={threads}]"),
-                    law: "browse tile = clamped snapshot estimate",
-                    query: tile,
-                    got: *got,
-                    oracle: want,
-                });
+    for session in &sessions {
+        let name = session.session_name();
+        let pinned = session.pin_session();
+        for threads in [1, 3] {
+            let result = session.browse(&tiling, &BrowseRequest::new().threads(threads));
+            for ((_, tile), got) in tiling.iter().zip(result.counts()) {
+                let want = pinned.estimator().estimate(&tile).clamped();
+                if *got != want {
+                    out.push(Violation {
+                        estimator: format!("{name}[threads={threads}]"),
+                        law: "browse tile = clamped pinned estimate",
+                        query: tile,
+                        got: *got,
+                        oracle: want,
+                    });
+                }
             }
         }
-    }
-    // The snapshot estimator itself must satisfy the Euler-family laws on
-    // the case's query plan (the service snapped the same raw rects).
-    let n = service.len() as i64;
-    for (q, want) in queries.iter().zip(oracle) {
-        check_estimate(
-            "browse-snapshot",
-            ExactnessClass::ApproxLevel2,
-            q,
-            &snapshot.estimate(q),
-            want,
-            n,
-            out,
-        );
+        // The pinned estimator itself must satisfy the Euler-family laws
+        // on the case's query plan (the service snapped the same raw
+        // rects), regardless of read policy.
+        let n = session.len() as i64;
+        for (q, want) in queries.iter().zip(oracle) {
+            check_estimate(
+                "browse-session",
+                ExactnessClass::ApproxLevel2,
+                q,
+                &pinned.estimator().estimate(q),
+                want,
+                n,
+                out,
+            );
+        }
     }
 }
 

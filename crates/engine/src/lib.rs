@@ -167,6 +167,21 @@ impl BatchOptions {
         self.deadline.is_some() || self.cancel.is_some()
     }
 
+    /// The configured wall-clock budget, if any.
+    pub fn deadline_budget(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The configured polling stride, if any (see [`Self::check_every`]).
+    pub fn check_interval(&self) -> Option<usize> {
+        self.check_every
+    }
+
     fn effective_check_every(&self) -> usize {
         self.check_every.unwrap_or(Self::DEFAULT_CHECK_EVERY).max(1)
     }

@@ -1,0 +1,291 @@
+//! The serving pipeline: admission → cache → engine.
+//!
+//! [`ServeCore`] is transport-agnostic and synchronous — the TCP server
+//! calls [`ServeCore::handle`] from `spawn_blocking`, tests call it
+//! directly. It multiplexes every tenant onto one [`BrowseSession`]
+//! (either service profile) and degrades under load instead of queueing:
+//!
+//! 1. **Admission** — each tenant holds at most `queue_capacity`
+//!    in-flight requests; the next one is shed with a structured
+//!    `queue_full` rejection. Nothing ever waits in an unbounded queue.
+//! 2. **Cache** — the request pins a snapshot and looks
+//!    `(version, tiling)` up in the hot-tiling cache; a hit bypasses the
+//!    engine entirely. Any write advances the version, so epoch/version
+//!    advance *is* the invalidation.
+//! 3. **Engine** — on a miss, whatever remains of the request's deadline
+//!    budget is handed to the engine as a `BrowseRequest` deadline; the
+//!    PR 5 degradation ladder turns overload into per-tile partial
+//!    answers (`status:"degraded"`), never a panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use euler_browse::{run_browse, BrowseRequest, BrowseSession};
+use euler_grid::{GridRect, Tiling};
+use euler_metrics::Counter;
+
+use crate::cache::{CacheKey, CacheStats, TilingCache};
+use crate::json::Json;
+use crate::proto::{BrowseParams, BrowseReply, ProtoError, Request, Response, ShedReason};
+use crate::tenant::{ServeConfig, TenantRegistry, TenantSnapshot};
+
+/// The multi-tenant serving core over one browse session.
+pub struct ServeCore {
+    session: Arc<dyn BrowseSession>,
+    config: ServeConfig,
+    cache: TilingCache,
+    tenants: TenantRegistry,
+    engine_dispatches: Counter,
+    shutdown: AtomicBool,
+}
+
+impl ServeCore {
+    /// Wraps `session` with admission control and caching under
+    /// `config`.
+    pub fn new(session: Arc<dyn BrowseSession>, config: ServeConfig) -> Arc<ServeCore> {
+        let cache = TilingCache::new(config.cache_capacity);
+        Arc::new(ServeCore {
+            session,
+            config,
+            cache,
+            tenants: TenantRegistry::new(),
+            engine_dispatches: Counter::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Arc<dyn BrowseSession> {
+        &self.session
+    }
+
+    /// The admission configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Engine dispatches so far (browses that were *not* cache hits) —
+    /// the counter the cache-bypass tests verify against.
+    pub fn engine_dispatches(&self) -> u64 {
+        self.engine_dispatches.get()
+    }
+
+    /// Hot-tiling cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-tenant counters, sorted by tenant name.
+    pub fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        self.tenants.snapshots()
+    }
+
+    /// True once a `shutdown` request has been served.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Raises the shutdown flag directly — what a `shutdown` request does
+    /// over the wire, for hosts tearing the server down themselves.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Parses and serves one protocol line.
+    pub fn handle_line(&self, line: &str) -> Response {
+        match Request::parse(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Serves one request.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Browse(params) => self.browse(params),
+            Request::Stats { tenant } => Response::Stats(self.stats_json(tenant)),
+            Request::Insert { rect, .. } => {
+                self.session.insert(rect);
+                Response::Ack {
+                    op: "insert",
+                    version: Some(self.session.version()),
+                }
+            }
+            Request::Remove { rect, .. } => {
+                self.session.remove(rect);
+                Response::Ack {
+                    op: "remove",
+                    version: Some(self.session.version()),
+                }
+            }
+            Request::Ping { .. } => Response::Ack {
+                op: "ping",
+                version: None,
+            },
+            Request::Shutdown { .. } => {
+                self.shutdown.store(true, Ordering::Release);
+                Response::Ack {
+                    op: "shutdown",
+                    version: None,
+                }
+            }
+        }
+    }
+
+    fn browse(&self, params: &BrowseParams) -> Response {
+        let tenant = self.tenants.tenant(&params.tenant);
+        let admitted_at = Instant::now();
+
+        // Admission: bounded in-flight slots per tenant. The guard frees
+        // the slot on every exit path.
+        let Some(_slot) = tenant.try_admit(self.config.queue_capacity) else {
+            tenant.record_shed_queue();
+            return Response::Shed {
+                reason: ShedReason::QueueFull,
+            };
+        };
+
+        let tiling = match self.build_tiling(params) {
+            Ok(t) => t,
+            Err(e) => return Response::Error(e),
+        };
+
+        let budget = params
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.config.default_deadline)
+            .min(self.config.max_deadline);
+
+        // Pin once: the stamp, the cache key and the answer all refer to
+        // this exact snapshot.
+        let pinned = self.session.pin_session();
+        let key = CacheKey::new(pinned.version(), &tiling);
+        if let Some(hit) = self.cache.get(&key) {
+            tenant.record_admitted();
+            tenant.record_cache_hit();
+            tenant.record_latency(admitted_at.elapsed());
+            return Response::Browse(BrowseReply {
+                epoch: pinned.epoch(),
+                version: pinned.version(),
+                cache_hit: true,
+                result: hit,
+            });
+        }
+
+        // Whatever the admission path consumed comes out of the budget;
+        // a spent budget sheds here instead of dispatching a doomed run.
+        let spent = admitted_at.elapsed();
+        if spent >= budget {
+            tenant.record_shed_budget();
+            return Response::Shed {
+                reason: ShedReason::BudgetExhausted,
+            };
+        }
+
+        // Serving is latency-sensitive: poll the deadline every query so
+        // an expired budget cuts the batch at the next tile, not at the
+        // engine's default 64-query stride.
+        let mut breq = BrowseRequest::new().deadline(budget - spent).check_every(1);
+        if let Some(threads) = params.threads {
+            breq = breq.threads(threads);
+        }
+        if let Some(mega) = params.mega_threshold {
+            breq = breq.mega_threshold(mega);
+        }
+
+        self.engine_dispatches.incr();
+        let result = Arc::new(run_browse(
+            pinned.estimator(),
+            self.session.recorder(),
+            &tiling,
+            &breq,
+        ));
+        tenant.record_admitted();
+        if result.is_complete() {
+            self.cache.insert(key, result.clone());
+        } else {
+            tenant.record_degraded();
+        }
+        tenant.record_latency(admitted_at.elapsed());
+        Response::Browse(BrowseReply {
+            epoch: pinned.epoch(),
+            version: pinned.version(),
+            cache_hit: false,
+            result,
+        })
+    }
+
+    fn build_tiling(&self, params: &BrowseParams) -> Result<Tiling, ProtoError> {
+        if params.cols == 0 || params.rows == 0 {
+            return Err(ProtoError("cols and rows must be positive".into()));
+        }
+        if params.cols.saturating_mul(params.rows) > self.config.max_tiles {
+            return Err(ProtoError(format!(
+                "tiling exceeds max_tiles={}",
+                self.config.max_tiles
+            )));
+        }
+        let grid = self.session.grid();
+        let region = match params.region {
+            None => grid.full(),
+            Some((x0, y0, x1, y1)) => GridRect::new(x0, y0, x1, y1, grid)
+                .map_err(|e| ProtoError(format!("invalid region: {e}")))?,
+        };
+        Tiling::new(region, params.cols, params.rows)
+            .map_err(|e| ProtoError(format!("invalid tiling: {e}")))
+    }
+
+    /// The `stats` payload: requesting tenant's counters plus service,
+    /// cache and session aggregates.
+    pub fn stats_json(&self, tenant: &str) -> Json {
+        let t = self.tenants.tenant(tenant).snapshot();
+        let cache = self.cache.stats();
+        let session = self.session.telemetry();
+        Json::obj()
+            .set("status", "ok")
+            .set("op", "stats")
+            .set("tenant", tenant_json(&t))
+            .set(
+                "cache",
+                Json::obj()
+                    .set("hits", cache.hits)
+                    .set("misses", cache.misses)
+                    .set("insertions", cache.insertions)
+                    .set("evictions", cache.evictions)
+                    .set("len", cache.len)
+                    .set("capacity", self.cache.capacity()),
+            )
+            .set(
+                "service",
+                Json::obj()
+                    .set("profile", self.session.session_name())
+                    .set("objects", self.session.len())
+                    .set("epoch", self.session.epoch())
+                    .set("version", self.session.version())
+                    .set("engine_dispatches", self.engine_dispatches.get())
+                    .set("queries", session.queries)
+                    .set("batches", session.batches),
+            )
+    }
+}
+
+fn tenant_json(t: &TenantSnapshot) -> Json {
+    Json::obj()
+        .set("name", t.name.as_str())
+        .set("in_flight", t.in_flight)
+        .set("admitted", t.admitted)
+        .set("shed_queue", t.shed_queue)
+        .set("shed_budget", t.shed_budget)
+        .set("degraded", t.degraded)
+        .set("cache_hits", t.cache_hits)
+        .set(
+            "latency_us",
+            Json::obj()
+                .set("count", t.latency.count())
+                .set("p50", t.latency.p50().as_micros() as u64)
+                .set("p95", t.latency.p95().as_micros() as u64)
+                .set("p99", t.latency.p99().as_micros() as u64)
+                .set("max", t.latency.max().as_micros() as u64),
+        )
+}

@@ -1,0 +1,148 @@
+//! The TCP front door: line-delimited JSON requests multiplexed onto one
+//! [`ServeCore`].
+//!
+//! Each accepted connection gets its own async task; each request line is
+//! parsed on the task, then served on a blocking thread (the engine sweep
+//! is CPU-bound), so slow browses never stall the accept loop or other
+//! connections. The accept loop polls its shutdown flag between short
+//! accept timeouts and exits cleanly once any tenant sends `shutdown`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use tokio::io::{AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+use crate::core::ServeCore;
+use crate::proto::{ProtoError, Request, Response};
+
+/// Accepts connections on `listener` until `core` observes a shutdown.
+///
+/// This is the async entry point; [`Server::start`] wraps it in a
+/// dedicated runtime for synchronous callers.
+pub async fn serve(core: Arc<ServeCore>, listener: TcpListener) -> io::Result<()> {
+    loop {
+        if core.is_shutdown() {
+            return Ok(());
+        }
+        match tokio::time::timeout(Duration::from_millis(25), listener.accept()).await {
+            Ok(Ok((stream, _peer))) => {
+                let core = core.clone();
+                tokio::spawn(async move {
+                    // Connection errors (reset peers, broken pipes) end
+                    // that session only.
+                    let _ = handle_connection(core, stream).await;
+                });
+            }
+            Ok(Err(e)) => return Err(e),
+            Err(_elapsed) => {} // timeout tick: re-check the shutdown flag
+        }
+    }
+}
+
+async fn handle_connection(core: Arc<ServeCore>, stream: TcpStream) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).await? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match Request::parse(trimmed) {
+            Ok(req) => {
+                let core = core.clone();
+                match tokio::task::spawn_blocking(move || core.handle(&req)).await {
+                    Ok(resp) => resp,
+                    Err(_join) => {
+                        Response::Error(ProtoError("internal: request worker panicked".into()))
+                    }
+                }
+            }
+            Err(e) => Response::Error(e),
+        };
+        let shutting_down = core.is_shutdown();
+        let mut payload = response.to_json().to_string();
+        payload.push('\n');
+        reader.get_mut().write_all(payload.as_bytes()).await?;
+        reader.get_mut().flush().await?;
+        if shutting_down {
+            return Ok(()); // acknowledge shutdown, then close
+        }
+    }
+}
+
+/// A running TCP server: its bound address plus the runtime thread that
+/// drives the accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    core: Arc<ServeCore>,
+    thread: Option<thread::JoinHandle<io::Result<()>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) and serves
+    /// `core` on a dedicated runtime thread until a `shutdown` request
+    /// arrives.
+    pub fn start(core: Arc<ServeCore>, addr: &str) -> io::Result<Server> {
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()?;
+        let listener = runtime.block_on(TcpListener::bind(addr))?;
+        let bound = listener.local_addr()?;
+        let loop_core = core.clone();
+        let thread = thread::Builder::new()
+            .name("euler-serve".into())
+            .spawn(move || {
+                let result = runtime.block_on(serve(loop_core, listener));
+                drop(runtime); // joins worker threads; idle connections drop
+                result
+            })?;
+        Ok(Server {
+            addr: bound,
+            core,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the server actually bound.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serving core, for in-process inspection alongside the wire.
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// Waits for the accept loop to observe shutdown and exit.
+    pub fn join(mut self) -> io::Result<()> {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> io::Result<()> {
+        match self.thread.take() {
+            None => Ok(()),
+            Some(handle) => match handle.join() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other("server thread panicked")),
+            },
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // An abandoned handle must not leave the accept loop running.
+        self.core.begin_shutdown();
+        let _ = self.join_inner();
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-tenant admission state: a bounded in-flight slot count, a
+//! deadline budget, and the counters/latency histogram exported through
+//! the `stats` endpoint.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use euler_metrics::{Counter, HistogramSnapshot, LatencyHistogram};
+use std::collections::HashMap;
+
+/// Admission limits, applied per tenant.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent in-flight requests one tenant may hold; the next
+    /// request is shed immediately (`queue_full`). Bounded by
+    /// construction — overload can never queue unboundedly.
+    pub queue_capacity: usize,
+    /// The wall-clock budget per request when the client names none,
+    /// measured from admission; the engine inherits whatever remains.
+    pub default_deadline: Duration,
+    /// Upper clamp for client-supplied budgets.
+    pub max_deadline: Duration,
+    /// Results the hot-tiling cache retains.
+    pub cache_capacity: usize,
+    /// Largest tiling (cols × rows) a browse may request.
+    pub max_tiles: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 8,
+            default_deadline: Duration::from_millis(250),
+            max_deadline: Duration::from_secs(5),
+            cache_capacity: 256,
+            max_tiles: 1 << 16,
+        }
+    }
+}
+
+/// One tenant's admission slots and telemetry.
+pub struct TenantState {
+    name: String,
+    in_flight: AtomicUsize,
+    admitted: Counter,
+    shed_queue: Counter,
+    shed_budget: Counter,
+    degraded: Counter,
+    cache_hits: Counter,
+    latency: LatencyHistogram,
+}
+
+impl TenantState {
+    fn new(name: &str) -> TenantState {
+        TenantState {
+            name: name.to_string(),
+            in_flight: AtomicUsize::new(0),
+            admitted: Counter::new(),
+            shed_queue: Counter::new(),
+            shed_budget: Counter::new(),
+            degraded: Counter::new(),
+            cache_hits: Counter::new(),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// The tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Tries to take an in-flight slot; `None` means the tenant is at
+    /// capacity and the request must be shed.
+    pub(crate) fn try_admit(self: &Arc<TenantState>, capacity: usize) -> Option<InFlightSlot> {
+        let held = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        let slot = InFlightSlot {
+            tenant: self.clone(),
+        };
+        if held > capacity {
+            // The slot guard releases the count on drop.
+            None
+        } else {
+            Some(slot)
+        }
+    }
+
+    pub(crate) fn record_admitted(&self) {
+        self.admitted.incr();
+    }
+    pub(crate) fn record_shed_queue(&self) {
+        self.shed_queue.incr();
+    }
+    pub(crate) fn record_shed_budget(&self) {
+        self.shed_budget.incr();
+    }
+    pub(crate) fn record_degraded(&self) {
+        self.degraded.incr();
+    }
+    pub(crate) fn record_cache_hit(&self) {
+        self.cache_hits.incr();
+    }
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// A point-in-time readout of this tenant's counters.
+    pub fn snapshot(&self) -> TenantSnapshot {
+        TenantSnapshot {
+            name: self.name.clone(),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            admitted: self.admitted.get(),
+            shed_queue: self.shed_queue.get(),
+            shed_budget: self.shed_budget.get(),
+            degraded: self.degraded.get(),
+            cache_hits: self.cache_hits.get(),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// RAII guard for one admitted (or about-to-be-shed) request's in-flight
+/// slot.
+pub(crate) struct InFlightSlot {
+    tenant: Arc<TenantState>,
+}
+
+impl Drop for InFlightSlot {
+    fn drop(&mut self) {
+        self.tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Point-in-time per-tenant stats, exported by the `stats` endpoint.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub name: String,
+    /// Requests currently being served.
+    pub in_flight: usize,
+    /// Requests admitted past the queue gate.
+    pub admitted: u64,
+    /// Requests shed because the tenant was at capacity.
+    pub shed_queue: u64,
+    /// Requests shed because their budget was spent before dispatch.
+    pub shed_budget: u64,
+    /// Admitted browses that came back partial (deadline/cancel inside
+    /// the engine).
+    pub degraded: u64,
+    /// Browses answered from the hot-tiling cache.
+    pub cache_hits: u64,
+    /// Completion latency (admission → response) distribution.
+    pub latency: HistogramSnapshot,
+}
+
+/// The tenant registry: lazily creates per-tenant state on first use.
+pub(crate) struct TenantRegistry {
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    pub(crate) fn new() -> TenantRegistry {
+        TenantRegistry {
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn tenant(&self, name: &str) -> Arc<TenantState> {
+        let mut map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(TenantState::new(name)))
+            .clone()
+    }
+
+    pub(crate) fn snapshots(&self) -> Vec<TenantSnapshot> {
+        let map = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<TenantSnapshot> = map.values().map(|t| t.snapshot()).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}

@@ -1,0 +1,249 @@
+//! Deterministic overload: a flooding tenant is shed and degraded through
+//! structured responses while a well-behaved tenant sharing the same core
+//! keeps completing within its budget.
+//!
+//! Determinism comes from a gate, not sleeps-and-hope: the estimator
+//! blocks queries that fall in the flood tenant's region until the test
+//! opens the gate, so exactly `queue_capacity` flood requests dwell
+//! in-flight while the assertions run.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use euler_browse::{BrowseSession, DynamicGeoBrowsingService, PinnedSession};
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_engine::SharedEstimator;
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid, GridRect};
+use euler_metrics::{Recorder, TelemetrySnapshot};
+use euler_serve::{LocalClient, Request, Response, ServeConfig, ServeCore, ShedReason};
+
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Blocks estimates whose query lies left of `split` until the gate
+/// opens; everything else passes straight through.
+struct GatedEstimator {
+    inner: SharedEstimator,
+    gate: Arc<Gate>,
+    split: usize,
+}
+
+impl Level2Estimator for GatedEstimator {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        if q.x1 <= self.split {
+            self.gate.wait();
+        }
+        self.inner.estimate(q)
+    }
+
+    fn object_count(&self) -> u64 {
+        self.inner.object_count()
+    }
+
+    fn storage_cells(&self) -> u64 {
+        self.inner.storage_cells()
+    }
+}
+
+/// A browse session whose pinned estimators are gated — the serving core
+/// neither knows nor cares; it sees an unusually slow region.
+struct GatedSession {
+    inner: DynamicGeoBrowsingService,
+    gate: Arc<Gate>,
+    split: usize,
+}
+
+impl BrowseSession for GatedSession {
+    fn session_name(&self) -> &'static str {
+        "gated-dynamic"
+    }
+    fn grid(&self) -> &Grid {
+        BrowseSession::grid(&self.inner)
+    }
+    fn len(&self) -> u64 {
+        BrowseSession::len(&self.inner)
+    }
+    fn epoch(&self) -> u64 {
+        BrowseSession::epoch(&self.inner)
+    }
+    fn version(&self) -> u64 {
+        BrowseSession::version(&self.inner)
+    }
+    fn insert(&self, rect: &Rect) {
+        BrowseSession::insert(&self.inner, rect)
+    }
+    fn remove(&self, rect: &Rect) {
+        BrowseSession::remove(&self.inner, rect)
+    }
+    fn recorder(&self) -> &Arc<Recorder> {
+        BrowseSession::recorder(&self.inner)
+    }
+    fn telemetry(&self) -> TelemetrySnapshot {
+        BrowseSession::telemetry(&self.inner)
+    }
+
+    fn pin_session(&self) -> PinnedSession {
+        let pinned = self.inner.pin_session();
+        let (epoch, version) = (pinned.epoch(), pinned.version());
+        PinnedSession::new(
+            Arc::new(GatedEstimator {
+                inner: pinned.estimator().clone(),
+                gate: self.gate.clone(),
+                split: self.split,
+            }),
+            epoch,
+            version,
+        )
+    }
+}
+
+fn browse_req(tenant: &str, region: (usize, usize, usize, usize), deadline_ms: u64) -> Request {
+    let (x0, y0, x1, y1) = region;
+    Request::parse(&format!(
+        r#"{{"tenant":"{tenant}","op":"browse","cols":2,"rows":2,"region":[{x0},{y0},{x1},{y1}],"deadline_ms":{deadline_ms}}}"#
+    ))
+    .unwrap()
+}
+
+const LEFT: (usize, usize, usize, usize) = (0, 0, 8, 16);
+const RIGHT: (usize, usize, usize, usize) = (8, 0, 16, 16);
+
+#[test]
+fn flooding_tenant_sheds_while_polite_tenant_stays_in_budget() {
+    let grid = Grid::new(
+        DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()),
+        16,
+        16,
+    )
+    .unwrap();
+    let inner = DynamicGeoBrowsingService::new(grid);
+    for i in 0..10 {
+        let lo = (i * 6) as f64 % 52.0;
+        inner.insert(&Rect::new(lo, lo / 2.0, lo + 8.0, lo / 2.0 + 5.0).unwrap());
+    }
+    let gate = Arc::new(Gate::new());
+    let session = Arc::new(GatedSession {
+        inner,
+        gate: gate.clone(),
+        split: 8,
+    });
+    let config = ServeConfig {
+        queue_capacity: 2,
+        cache_capacity: 0, // every browse reaches the engine
+        ..ServeConfig::default()
+    };
+    let core = ServeCore::new(session, config);
+    let client = LocalClient::new(core.clone());
+
+    // A zero budget is spent before dispatch: structured shed, no panic,
+    // no queue — deterministic because the check precedes the engine.
+    match client.request(&browse_req("flood", LEFT, 0)) {
+        Response::Shed { reason } => assert_eq!(reason, ShedReason::BudgetExhausted),
+        other => panic!("expected a budget shed, got {other:?}"),
+    }
+
+    // Fill the flood tenant's two in-flight slots with requests that
+    // dwell behind the gate inside the engine.
+    let dwellers: Vec<_> = (0..2)
+        .map(|_| {
+            let core = core.clone();
+            thread::spawn(move || LocalClient::new(core).request(&browse_req("flood", LEFT, 100)))
+        })
+        .collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let in_flight = core
+            .tenant_snapshots()
+            .iter()
+            .find(|t| t.name == "flood")
+            .map(|t| t.in_flight)
+            .unwrap_or(0);
+        if in_flight == 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flood requests never reached the engine"
+        );
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // The third concurrent flood request finds the queue full.
+    match client.request(&browse_req("flood", LEFT, 100)) {
+        Response::Shed { reason } => assert_eq!(reason, ShedReason::QueueFull),
+        other => panic!("expected a queue shed, got {other:?}"),
+    }
+
+    // The polite tenant shares the core but browses an ungated region:
+    // every request completes while the flood dwells.
+    for _ in 0..20 {
+        match client.request(&browse_req("polite", RIGHT, 5000)) {
+            Response::Browse(r) => assert!(r.result.is_complete()),
+            other => panic!("polite tenant should complete, got {other:?}"),
+        }
+    }
+
+    // Let the dwellers' 100ms budgets lapse, then release them: the
+    // engine's deadline ladder delivers partial answers, not errors.
+    thread::sleep(Duration::from_millis(150));
+    gate.open();
+    for d in dwellers {
+        match d.join().unwrap() {
+            Response::Browse(r) => {
+                assert!(
+                    !r.result.is_complete(),
+                    "a dweller released after its deadline must degrade"
+                );
+                assert!(!r.result.unavailable().is_empty());
+            }
+            other => panic!("expected a degraded browse, got {other:?}"),
+        }
+    }
+
+    let snapshots = core.tenant_snapshots();
+    let flood = snapshots.iter().find(|t| t.name == "flood").unwrap();
+    let polite = snapshots.iter().find(|t| t.name == "polite").unwrap();
+    assert_eq!(flood.shed_budget, 1);
+    assert_eq!(flood.shed_queue, 1);
+    assert_eq!(flood.degraded, 2);
+    assert_eq!(flood.admitted, 2);
+    assert_eq!(flood.in_flight, 0, "slots must be released on every path");
+
+    assert_eq!(polite.admitted, 20);
+    assert_eq!(polite.shed_queue + polite.shed_budget, 0);
+    assert_eq!(polite.degraded, 0);
+    assert!(
+        polite.latency.p95() < Duration::from_millis(250),
+        "polite p95 {:?} blew the budget while the flood dwelled",
+        polite.latency.p95()
+    );
+}

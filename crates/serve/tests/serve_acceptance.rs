@@ -1,0 +1,258 @@
+//! The serve acceptance law, over real TCP: eight concurrent tenant
+//! sessions browse against a live writer and every single answer is
+//! correct — the response's stamped `version` names the write-log prefix
+//! it was computed from, and a frozen rebuild of exactly that prefix
+//! reproduces the counts bit-for-bit (the interleave law, now holding
+//! across the admission layer, the cache, and the wire).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use euler_browse::{BrowseRequest, BrowseSession, DynamicGeoBrowsingService, GeoBrowsingService};
+use euler_core::RelationCounts;
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid, Tiling};
+use euler_serve::{Json, Request, ServeConfig, ServeCore, Server, TcpClient};
+
+fn grid() -> Grid {
+    Grid::new(
+        DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()),
+        16,
+        16,
+    )
+    .unwrap()
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(usize),
+    Remove(usize),
+}
+
+/// A deterministic write log: mostly inserts, with every seventh op
+/// removing the oldest still-present object (linear-sketch exact
+/// removal requires removing exactly what was inserted).
+fn write_log() -> (Vec<Rect>, Vec<Op>) {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut rects = Vec::new();
+    let mut ops = Vec::new();
+    let mut removable = 0usize;
+    for i in 0..40 {
+        if i % 7 == 3 && removable < rects.len() {
+            ops.push(Op::Remove(removable));
+            removable += 1;
+        } else {
+            let x = (next() % 48) as f64;
+            let y = (next() % 48) as f64;
+            let w = 1.0 + (next() % 12) as f64;
+            let h = 1.0 + (next() % 12) as f64;
+            rects.push(Rect::new(x, y, (x + w).min(64.0), (y + h).min(64.0)).unwrap());
+            ops.push(Op::Insert(rects.len() - 1));
+        }
+    }
+    (rects, ops)
+}
+
+fn apply(service: &GeoBrowsingService, rects: &[Rect], ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Insert(i) => service.insert(&rects[i]),
+            Op::Remove(i) => service.remove(&rects[i]),
+        }
+    }
+}
+
+struct Observation {
+    version: u64,
+    cols: usize,
+    rows: usize,
+    counts: Vec<[i64; 4]>,
+}
+
+fn parse_browse(json: &Json) -> Observation {
+    assert_eq!(
+        json.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "unexpected non-ok browse: {json}"
+    );
+    let counts = json
+        .get("counts")
+        .and_then(Json::as_array)
+        .expect("counts array")
+        .iter()
+        .map(|tile| {
+            let t = tile.as_array().expect("tile quad");
+            [
+                t[0].as_i64().unwrap(),
+                t[1].as_i64().unwrap(),
+                t[2].as_i64().unwrap(),
+                t[3].as_i64().unwrap(),
+            ]
+        })
+        .collect();
+    Observation {
+        version: json.get("version").and_then(Json::as_u64).expect("version"),
+        cols: json.get("cols").and_then(Json::as_u64).expect("cols") as usize,
+        rows: json.get("rows").and_then(Json::as_u64).expect("rows") as usize,
+        counts,
+    }
+}
+
+const TENANTS: usize = 8;
+const BROWSES_PER_TENANT: usize = 12;
+const TILINGS: [(usize, usize); 6] = [(1, 1), (2, 2), (4, 4), (3, 5), (8, 2), (8, 8)];
+
+#[test]
+fn eight_live_tenants_get_zero_incorrect_answers_over_tcp() {
+    let session = Arc::new(DynamicGeoBrowsingService::new(grid()));
+    let core = ServeCore::new(session, ServeConfig::default());
+    let server = Server::start(core.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    let v0 = core.session().version();
+
+    let (rects, ops) = write_log();
+
+    // The writer streams the log over its own connection; each ack's
+    // version must be exactly v0 + ops applied (single writer).
+    let writer = {
+        let (rects, ops) = (rects.clone(), ops.clone());
+        thread::spawn(move || {
+            let mut client = TcpClient::connect(addr).expect("writer connect");
+            for (i, op) in ops.iter().enumerate() {
+                let (op_name, rect) = match *op {
+                    Op::Insert(r) => ("insert", rects[r]),
+                    Op::Remove(r) => ("remove", rects[r]),
+                };
+                let line = format!(
+                    r#"{{"tenant":"writer","op":"{op_name}","rect":[{},{},{},{}]}}"#,
+                    rect.xlo(),
+                    rect.ylo(),
+                    rect.xhi(),
+                    rect.yhi()
+                );
+                let ack = client.round_trip(&line).expect("write ack");
+                assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+                assert_eq!(
+                    ack.get("version").and_then(Json::as_u64),
+                    Some(v0 + i as u64 + 1),
+                    "acks must stamp the post-op version"
+                );
+                thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    // Eight tenants browse concurrently with the writer, each over its
+    // own TCP session, cycling through tilings.
+    let tenants: Vec<_> = (0..TENANTS)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("tenant connect");
+                let mut seen = Vec::new();
+                for k in 0..BROWSES_PER_TENANT {
+                    let (cols, rows) = TILINGS[(t + k) % TILINGS.len()];
+                    let line = format!(
+                        r#"{{"tenant":"tenant-{t}","op":"browse","cols":{cols},"rows":{rows},"deadline_ms":4000}}"#
+                    );
+                    let json = client.round_trip(&line).expect("browse reply");
+                    seen.push(parse_browse(&json));
+                    thread::sleep(Duration::from_millis(1));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer thread");
+    let observations: Vec<Observation> = tenants
+        .into_iter()
+        .flat_map(|t| t.join().expect("tenant thread"))
+        .collect();
+    assert_eq!(observations.len(), TENANTS * BROWSES_PER_TENANT);
+
+    // Zero incorrect answers: each observation's version names a prefix
+    // of the write log; a frozen rebuild of that prefix must reproduce
+    // the counts bit-for-bit.
+    let mut expected: HashMap<(u64, usize, usize), Vec<RelationCounts>> = HashMap::new();
+    for obs in &observations {
+        assert!(
+            obs.version >= v0 && obs.version <= v0 + ops.len() as u64,
+            "version {} outside the write-log range",
+            obs.version
+        );
+        assert_eq!(obs.counts.len(), obs.cols * obs.rows);
+        let key = (obs.version, obs.cols, obs.rows);
+        let want = expected.entry(key).or_insert_with(|| {
+            let frozen = GeoBrowsingService::new(grid());
+            apply(&frozen, &rects, &ops[..(obs.version - v0) as usize]);
+            let tiling =
+                Tiling::new(BrowseSession::grid(&frozen).full(), obs.cols, obs.rows).unwrap();
+            let result = frozen.browse(&tiling, &BrowseRequest::default());
+            assert!(result.is_complete());
+            result.counts().to_vec()
+        });
+        for (got, want) in obs.counts.iter().zip(want.iter()) {
+            assert_eq!(
+                (got[0], got[1], got[2], got[3]),
+                (want.disjoint, want.contains, want.contained, want.overlaps),
+                "served answer diverged from the frozen rebuild at version {}",
+                obs.version
+            );
+        }
+    }
+
+    // Cache hits bypass the engine, counter-verified over the wire now
+    // that the writer has stopped moving the version.
+    let mut client = TcpClient::connect(addr).expect("verifier connect");
+    let warm = r#"{"tenant":"verifier","op":"browse","cols":5,"rows":5,"deadline_ms":4000}"#;
+    let miss = client.round_trip(warm).expect("miss");
+    assert_eq!(miss.get("cache").and_then(Json::as_str), Some("miss"));
+    let dispatches = core.engine_dispatches();
+    let hit = client.round_trip(warm).expect("hit");
+    assert_eq!(hit.get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(
+        core.engine_dispatches(),
+        dispatches,
+        "the wire-level cache hit must not dispatch the engine"
+    );
+    assert_eq!(
+        hit.get("counts").unwrap().to_string(),
+        miss.get("counts").unwrap().to_string(),
+        "hit and miss answers must render identically"
+    );
+
+    // Stats over the wire, then a clean shutdown.
+    let stats = client
+        .send(&Request::parse(r#"{"tenant":"verifier","op":"stats"}"#).unwrap())
+        .expect("stats");
+    assert_eq!(
+        stats
+            .get("tenant")
+            .and_then(|t| t.get("cache_hits"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    assert!(
+        stats
+            .get("service")
+            .and_then(|s| s.get("engine_dispatches"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    let bye = client
+        .round_trip(r#"{"tenant":"verifier","op":"shutdown"}"#)
+        .expect("shutdown ack");
+    assert_eq!(bye.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(core.is_shutdown());
+    server.join().expect("clean server exit");
+}

@@ -24,7 +24,7 @@ fn main() {
 
     // Browse the whole world as 36x18 tiles of 10x10 degrees.
     let world = Tiling::new(grid.full(), 36, 18).unwrap();
-    let result = service.browse(&world, &BrowseOptions::default());
+    let result = service.browse(&world, &BrowseRequest::default());
     println!("\n=== world view: records CONTAINED per 10x10-degree tile ===");
     print!("{}", render_heatmap(&result, Relation::Contains));
 
@@ -52,7 +52,7 @@ fn main() {
     let zoom = Tiling::new(region, 22, 24).unwrap_or_else(|_| {
         Tiling::new(region, region.width().min(22), region.height().min(24)).unwrap()
     });
-    let zoomed = service.browse(&zoom, &BrowseOptions::default());
+    let zoomed = service.browse(&zoom, &BrowseRequest::default());
     println!(
         "\n=== zoom on {region}: {}x{} tiles, OVERLAP counts ===",
         zoom.cols(),

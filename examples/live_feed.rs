@@ -18,7 +18,7 @@
 //! ```
 
 use spatial_histograms::browse::{
-    render_heatmap, BrowseOptions, DynamicGeoBrowsingService, FacetedService, GeoBrowsingService,
+    render_heatmap, BrowseRequest, DynamicGeoBrowsingService, FacetedService, GeoBrowsingService,
 };
 use spatial_histograms::core::persist::PersistError;
 use spatial_histograms::core::s_euler_counts;
@@ -86,7 +86,7 @@ fn main() -> Result<(), PersistError> {
         s_euler_counts(&*pinned, &world).clamped().intersecting(),
         live.len()
     );
-    let snapshot = live.browse(&tiling);
+    let snapshot = live.browse(&tiling, &BrowseRequest::default());
     println!("=== all events, intersect counts ===");
     print!(
         "{}",
@@ -101,7 +101,7 @@ fn main() -> Result<(), PersistError> {
         epochal.insert(rect);
     }
     let before = epochal.epoch();
-    let result = epochal.browse(&tiling, &BrowseOptions::default());
+    let result = epochal.browse(&tiling, &BrowseRequest::default());
     println!(
         "epoch {} -> {}: browse served {} tiles from one published epoch",
         before,

@@ -1,0 +1,92 @@
+//! A scripted multi-tenant serve session over real TCP, exercising the
+//! whole admission layer end to end: browse miss → hit (engine bypassed),
+//! a live write invalidating the cache, a zero-budget request shed with a
+//! structured reason, a stats readout, and a clean shutdown.
+//!
+//! Runs entirely on an ephemeral port and exits 0 — CI runs it as a
+//! smoke test.
+//!
+//! ```sh
+//! cargo run --example serve_session
+//! ```
+
+use std::sync::Arc;
+
+use spatial_histograms::prelude::*;
+use spatial_histograms::serve::{Json, ServeConfig, ServeCore, Server, TcpClient};
+
+fn expect(json: &Json, key: &str) -> String {
+    json.get(key)
+        .unwrap_or_else(|| panic!("response lacks {key:?}: {json}"))
+        .to_string()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small world with a few objects, served under the dynamic read
+    // profile (writes visible to the next pin, no refreeze pauses).
+    let grid = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0)?), 16, 16)?;
+    let service = DynamicGeoBrowsingService::new(grid);
+    for i in 0..8 {
+        let lo = (i * 7) as f64 % 50.0;
+        service.insert(&Rect::new(lo, lo / 2.0, lo + 8.0, lo / 2.0 + 6.0)?);
+    }
+
+    let core = ServeCore::new(Arc::new(service), ServeConfig::default());
+    let server = Server::start(core.clone(), "127.0.0.1:0")?;
+    println!("serving on {}", server.addr());
+
+    // Tenant "alice": a browse that misses, then the same tiling again —
+    // a cache hit that must not dispatch the engine.
+    let mut alice = TcpClient::connect(server.addr())?;
+    let browse = r#"{"tenant":"alice","op":"browse","cols":4,"rows":4,"deadline_ms":2000}"#;
+    let miss = alice.round_trip(browse)?;
+    assert_eq!(expect(&miss, "status"), "\"ok\"");
+    assert_eq!(expect(&miss, "cache"), "\"miss\"");
+    let dispatches = core.engine_dispatches();
+    let hit = alice.round_trip(browse)?;
+    assert_eq!(expect(&hit, "cache"), "\"hit\"");
+    assert_eq!(core.engine_dispatches(), dispatches, "hit bypasses engine");
+    assert_eq!(expect(&hit, "counts"), expect(&miss, "counts"));
+    println!(
+        "alice: miss then bit-identical hit at version {}",
+        expect(&hit, "version")
+    );
+
+    // Tenant "feed" inserts an object: the version advances, so alice's
+    // next browse of the same tiling misses and sees the new object.
+    let mut feed = TcpClient::connect(server.addr())?;
+    let ack = feed.round_trip(r#"{"tenant":"feed","op":"insert","rect":[5.0,5.0,26.0,21.0]}"#)?;
+    assert_eq!(expect(&ack, "status"), "\"ok\"");
+    let after = alice.round_trip(browse)?;
+    assert_eq!(expect(&after, "cache"), "\"miss\"", "write invalidates");
+    assert_ne!(expect(&after, "counts"), expect(&miss, "counts"));
+    println!(
+        "feed: write advanced version to {}",
+        expect(&after, "version")
+    );
+
+    // A zero-budget request on a fresh tiling is shed with a structured
+    // reason — overload never panics or queues unboundedly.
+    let shed = alice
+        .round_trip(r#"{"tenant":"alice","op":"browse","cols":7,"rows":7,"deadline_ms":0}"#)?;
+    assert_eq!(expect(&shed, "status"), "\"shed\"");
+    assert_eq!(expect(&shed, "reason"), "\"budget_exhausted\"");
+    println!("alice: zero-budget request shed as budget_exhausted");
+
+    // Stats endpoint: per-tenant counters plus cache and service rows.
+    let stats = alice.round_trip(r#"{"tenant":"alice","op":"stats"}"#)?;
+    let cache_hits = stats
+        .get("tenant")
+        .and_then(|t| t.get("cache_hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(cache_hits, 1);
+    println!("stats: {}", stats.get("cache").unwrap());
+
+    // Clean shutdown: acknowledged, then the accept loop exits.
+    let bye = alice.round_trip(r#"{"tenant":"alice","op":"shutdown"}"#)?;
+    assert_eq!(expect(&bye, "status"), "\"ok\"");
+    server.join()?;
+    println!("server stopped cleanly");
+    Ok(())
+}

@@ -5,13 +5,17 @@
 //! per-tile counts as a terminal heat map with refinement advice. The
 //! `stats` subcommand replays the browse through the instrumented batch
 //! engine and prints the telemetry readout (latency percentiles, relation
-//! totals, zero-hit/mega-hit counters) instead of the heat map.
+//! totals, zero-hit/mega-hit counters) instead of the heat map. The
+//! `serve` subcommand starts the multi-tenant TCP admission layer
+//! (line-delimited JSON; see `euler-serve`) over a browse session
+//! preloaded with the dataset.
 //!
 //! ```sh
 //! geobrowse --demo adl --tiles 36x18 --relation contains
 //! geobrowse --data roads.csv --grid 360x180 --region 100,60,148,108 \
 //!           --tiles 22x24 --relation overlap --estimator m --boundaries 3,10
 //! geobrowse stats --demo adl --repeat 20 --threads 4
+//! geobrowse serve --demo adl --addr 127.0.0.1:7878 --profile dynamic
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +35,8 @@ enum Command {
     Browse,
     /// Replay the tiling through the batch engine and print telemetry.
     Stats,
+    /// Serve concurrent browsing sessions over TCP.
+    Serve,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +54,11 @@ struct Options {
     mega: i64,
     repeat: u32,
     threads: usize,
+    addr: String,
+    profile: String,
+    queue: usize,
+    deadline_ms: u64,
+    cache: usize,
 }
 
 impl Default for Options {
@@ -66,6 +77,11 @@ impl Default for Options {
             mega: 10_000,
             repeat: 8,
             threads: 1,
+            addr: "127.0.0.1:7878".into(),
+            profile: "dynamic".into(),
+            queue: 8,
+            deadline_ms: 250,
+            cache: 256,
         }
     }
 }
@@ -74,7 +90,7 @@ const USAGE: &str = "\
 geobrowse — browse a spatial dataset with Euler histograms
 
 USAGE:
-  geobrowse [stats] [--data FILE.csv | --demo sp_skew|sz_skew|adl|ca_road]
+  geobrowse [stats|serve] [--data FILE.csv | --demo sp_skew|sz_skew|adl|ca_road]
             [--scale N]            demo dataset size divisor (default 10)
             [--grid NXxNY]         grid cells (default 360x180)
             [--tiles CxR]          tiling columns x rows (default 36x18)
@@ -87,6 +103,13 @@ USAGE:
   stats mode only:
             [--repeat N]           browse passes to record (default 8)
             [--threads N]          engine worker threads (default 1)
+
+  serve mode only (dataset optional — omit to start empty):
+            [--addr HOST:PORT]     listen address (default 127.0.0.1:7878; port 0 = ephemeral)
+            [--profile dynamic|frozen]  read policy (default dynamic)
+            [--queue N]            per-tenant in-flight cap (default 8)
+            [--deadline-ms N]      default per-request budget (default 250)
+            [--cache N]            hot-tiling cache capacity (default 256)
 ";
 
 fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
@@ -99,9 +122,16 @@ fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut o = Options::default();
     let mut i = 0;
-    if args.first().map(String::as_str) == Some("stats") {
-        o.command = Command::Stats;
-        i = 1;
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            o.command = Command::Stats;
+            i = 1;
+        }
+        Some("serve") => {
+            o.command = Command::Serve;
+            i = 1;
+        }
+        _ => {}
     }
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
@@ -174,12 +204,34 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
             }
+            "--addr" => o.addr = value(&mut i)?,
+            "--profile" => {
+                o.profile = value(&mut i)?;
+                if !["dynamic", "frozen"].contains(&o.profile.as_str()) {
+                    return Err(format!("unknown profile {:?}", o.profile));
+                }
+            }
+            "--queue" => {
+                o.queue = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --deadline-ms: {e}"))?
+            }
+            "--cache" => {
+                o.cache = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --cache: {e}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
     }
-    if o.data.is_none() && o.demo.is_none() {
+    if o.data.is_none() && o.demo.is_none() && o.command != Command::Serve {
         return Err("one of --data or --demo is required".into());
     }
     if o.data.is_some() && o.demo.is_some() {
@@ -220,6 +272,10 @@ fn run(o: &Options) -> Result<(), String> {
     let space = DataSpace::paper_world();
     let grid = Grid::new(space, o.grid.0, o.grid.1).map_err(|e| e.to_string())?;
 
+    if o.command == Command::Serve {
+        return run_serve(o, grid, space);
+    }
+
     let dataset: Dataset = if let Some(path) = &o.data {
         Dataset::load_csv(path, path, space).map_err(|e| e.to_string())?
     } else {
@@ -245,6 +301,7 @@ fn run(o: &Options) -> Result<(), String> {
     let (est, build_time) = build_estimator(o, grid, &objects);
 
     match o.command {
+        Command::Serve => unreachable!("serve branches before dataset setup"),
         Command::Stats => run_stats(o, est, build_time, &tiling),
         Command::Browse => {
             let browser = EulerBrowser::new(est);
@@ -317,6 +374,58 @@ fn run_stats(
         last.report.throughput_qps()
     );
     Ok(())
+}
+
+/// `serve` subcommand: preload a browse session with the dataset (if
+/// any) and run the multi-tenant TCP admission layer until a tenant
+/// sends `{"op":"shutdown"}`.
+fn run_serve(o: &Options, grid: Grid, space: DataSpace) -> Result<(), String> {
+    use spatial_histograms::serve::{ServeConfig, ServeCore, Server};
+
+    let rects: Vec<Rect> = if let Some(path) = &o.data {
+        Dataset::load_csv(path, path, space)
+            .map_err(|e| e.to_string())?
+            .rects()
+            .to_vec()
+    } else if let Some(name) = &o.demo {
+        paper_dataset(name, o.scale.max(1))
+            .ok_or_else(|| format!("unknown demo dataset {name:?}"))?
+            .rects()
+            .to_vec()
+    } else {
+        Vec::new()
+    };
+
+    let session: Arc<dyn BrowseSession> = if o.profile == "frozen" {
+        let s = GeoBrowsingService::new(grid);
+        for r in &rects {
+            s.insert(r);
+        }
+        Arc::new(s)
+    } else {
+        let s = DynamicGeoBrowsingService::new(grid);
+        for r in &rects {
+            s.insert(r);
+        }
+        Arc::new(s)
+    };
+
+    let config = ServeConfig {
+        queue_capacity: o.queue.max(1),
+        default_deadline: Duration::from_millis(o.deadline_ms.max(1)),
+        cache_capacity: o.cache,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(ServeCore::new(session, config), &o.addr)
+        .map_err(|e| format!("cannot listen on {}: {e}", o.addr))?;
+    // Single stdout line so wrapper scripts can scrape the bound port.
+    println!(
+        "listening on {} ({} profile, {} objects)",
+        server.addr(),
+        o.profile,
+        rects.len()
+    );
+    server.join().map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -401,6 +510,33 @@ mod tests {
         assert_eq!(o.threads, 4);
         // The subcommand keyword only counts in first position.
         assert!(parse_args(&args(&["--demo", "adl", "stats"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_serve_subcommand() {
+        let o = parse_args(&args(&[
+            "serve",
+            "--demo",
+            "adl",
+            "--addr",
+            "127.0.0.1:0",
+            "--profile",
+            "frozen",
+            "--queue",
+            "4",
+            "--deadline-ms",
+            "100",
+            "--cache",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(o.command, Command::Serve);
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.profile, "frozen");
+        assert_eq!((o.queue, o.deadline_ms, o.cache), (4, 100, 32));
+        // serve may start without a dataset; other modes may not.
+        assert!(parse_args(&args(&["serve"])).is_ok());
+        assert!(parse_args(&args(&["serve", "--profile", "warm"])).is_err());
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! service.insert(&Rect::new(10.0, 10.0, 12.0, 11.0).unwrap());
 //! service.insert(&Rect::new(200.0, 90.0, 203.0, 94.0).unwrap());
 //! let tiling = Tiling::new(grid.full(), 36, 18).unwrap();
-//! let result = service.browse(&tiling, &BrowseOptions::default());
+//! let result = service.browse(&tiling, &BrowseRequest::default());
 //! assert_eq!(result.counts().iter().map(|c| c.contains).sum::<i64>(), 2);
 //! // Every browse feeds the service telemetry.
 //! let stats = service.telemetry();
@@ -54,12 +54,15 @@ pub use euler_geom as geom;
 pub use euler_grid as grid;
 pub use euler_metrics as metrics;
 pub use euler_rtree as rtree;
+pub use euler_serve as serve;
 
 /// The types most applications need, in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use euler_browse::BrowseOptions;
     pub use euler_browse::{
-        advise, render_heatmap, BrowseOptions, Browser, EulerBrowser, ExactBrowser,
-        GeoBrowsingService, Relation,
+        advise, render_heatmap, BrowseRequest, BrowseSession, Browser, DynamicGeoBrowsingService,
+        EulerBrowser, ExactBrowser, GeoBrowsingService, PinnedSession, Relation,
     };
     pub use euler_core::{
         DeltaOp, EulerApprox, EulerHistogram, Level2Estimator, LiveEulerHistogram, LiveSEuler,

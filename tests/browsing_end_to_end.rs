@@ -61,7 +61,7 @@ fn heatmap_and_advice_pipeline() {
     let d = paper_dataset("sp_skew", 200).unwrap();
     let service = GeoBrowsingService::with_objects(grid, d.rects());
     let tiling = Tiling::new(grid.full(), 36, 18).unwrap();
-    let result = service.browse(&tiling, &BrowseOptions::default());
+    let result = service.browse(&tiling, &BrowseRequest::default());
 
     let map = render_heatmap(&result, Relation::Intersect);
     // Frame: 18 map rows + 2 borders + legend line.
@@ -111,7 +111,7 @@ fn polygon_ingest_filter_and_refine() {
     }
     let service = GeoBrowsingService::with_objects(grid, &mbrs);
     let tiling = Tiling::new(grid.full(), 6, 3).unwrap();
-    let result = service.browse(&tiling, &BrowseOptions::default());
+    let result = service.browse(&tiling, &BrowseRequest::default());
     // Refine the hottest tile: count polygons whose geometry actually
     // reaches the tile center region (a cheap proxy for exact overlap).
     let tips = spatial_histograms::browse::advise(
@@ -136,7 +136,7 @@ fn service_updates_visible_to_new_snapshots_only() {
     let service = GeoBrowsingService::new(grid);
     let tiling = Tiling::new(grid.full(), 6, 3).unwrap();
     assert_eq!(
-        service.browse(&tiling, &BrowseOptions::default()).counts()[0].total(),
+        service.browse(&tiling, &BrowseRequest::default()).counts()[0].total(),
         0
     );
 
@@ -174,7 +174,7 @@ fn concurrent_browse_under_write_load() {
             std::thread::spawn(move || {
                 let mut last_total = 0;
                 for _ in 0..50 {
-                    let res = svc.browse(&tiling, &BrowseOptions::default());
+                    let res = svc.browse(&tiling, &BrowseRequest::default());
                     let total = res.counts()[0].total();
                     // Monotone dataset growth: snapshots never go backward.
                     assert!(total >= last_total);

@@ -83,7 +83,7 @@ fn dynamic_service_matches_static_service_after_churn() {
         }
     }
     let tiling = Tiling::new(grid.full(), 9, 6).unwrap();
-    let a = stat.browse(&tiling, &BrowseOptions::default());
+    let a = stat.browse(&tiling, &BrowseRequest::default());
     let b = Browser::browse(&dynamic, &tiling);
     for ((c, r), _t) in tiling.iter() {
         assert_eq!(a.get(c, r), b.get(c, r), "tile ({c},{r})");
@@ -102,7 +102,7 @@ fn faceted_browse_is_additive_at_scale() {
     }
     let tiling = Tiling::new(grid.full(), 6, 6).unwrap();
     let combined = faceted.browse(&tiling, &[0, 1, 2, 3]);
-    let direct = all.browse(&tiling, &BrowseOptions::default());
+    let direct = all.browse(&tiling, &BrowseRequest::default());
     for ((c, r), _t) in tiling.iter() {
         assert_eq!(combined.get(c, r), direct.get(c, r), "tile ({c},{r})");
     }
@@ -146,8 +146,8 @@ fn csv_round_trip_preserves_browse_results() {
     let a = GeoBrowsingService::with_objects(grid, d.rects());
     let b = GeoBrowsingService::with_objects(grid, loaded.rects());
     let tiling = Tiling::new(grid.full(), 12, 6).unwrap();
-    let ra = a.browse(&tiling, &BrowseOptions::default());
-    let rb = b.browse(&tiling, &BrowseOptions::default());
+    let ra = a.browse(&tiling, &BrowseRequest::default());
+    let rb = b.browse(&tiling, &BrowseRequest::default());
     for ((c, r), _t) in tiling.iter() {
         assert_eq!(ra.get(c, r), rb.get(c, r));
     }

@@ -1,0 +1,202 @@
+//! Async IO traits and helpers: `AsyncRead`/`AsyncWrite` (plain-slice
+//! variants of tokio's traits), the `AsyncReadExt`/`AsyncWriteExt`
+//! helper methods, and a `BufReader` with `read_line` for line-delimited
+//! protocols.
+
+use std::future::{poll_fn, Future};
+use std::io;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Nonblocking byte-stream reads (plain-slice variant of tokio's
+/// `AsyncRead`: the buffer is a `&mut [u8]`, the result the byte count,
+/// `Ok(0)` meaning EOF).
+pub trait AsyncRead {
+    /// Attempts to read into `buf`.
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut [u8],
+    ) -> Poll<io::Result<usize>>;
+}
+
+/// Nonblocking byte-stream writes.
+pub trait AsyncWrite {
+    /// Attempts to write from `buf`.
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>>;
+
+    /// Attempts to flush buffered data.
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+
+    /// Attempts to shut the writer down.
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+/// Helper methods for [`AsyncRead`] streams.
+pub trait AsyncReadExt: AsyncRead + Unpin + Send {
+    /// Reads some bytes into `buf`, resolving with the count (0 = EOF).
+    fn read<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<usize>> + Send + 'a {
+        poll_fn(move |cx| Pin::new(&mut *self).poll_read(cx, buf))
+    }
+
+    /// Reads exactly `buf.len()` bytes, failing with `UnexpectedEof` on a
+    /// short stream.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<()>> + Send + 'a {
+        async move {
+            let mut filled = 0;
+            while filled < buf.len() {
+                let n = self.read(&mut buf[filled..]).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "early eof in read_exact",
+                    ));
+                }
+                filled += n;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl<T: AsyncRead + Unpin + Send + ?Sized> AsyncReadExt for T {}
+
+/// Helper methods for [`AsyncWrite`] streams.
+pub trait AsyncWriteExt: AsyncWrite + Unpin + Send {
+    /// Writes the whole of `buf`.
+    fn write_all<'a>(
+        &'a mut self,
+        buf: &'a [u8],
+    ) -> impl Future<Output = io::Result<()>> + Send + 'a {
+        async move {
+            let mut written = 0;
+            while written < buf.len() {
+                let n = poll_fn(|cx| Pin::new(&mut *self).poll_write(cx, &buf[written..])).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "write_all made no progress",
+                    ));
+                }
+                written += n;
+            }
+            Ok(())
+        }
+    }
+
+    /// Flushes buffered data.
+    fn flush(&mut self) -> impl Future<Output = io::Result<()>> + Send + '_ {
+        poll_fn(|cx| Pin::new(&mut *self).poll_flush(cx))
+    }
+
+    /// Shuts the writer down.
+    fn shutdown(&mut self) -> impl Future<Output = io::Result<()>> + Send + '_ {
+        poll_fn(|cx| Pin::new(&mut *self).poll_shutdown(cx))
+    }
+}
+
+impl<T: AsyncWrite + Unpin + Send + ?Sized> AsyncWriteExt for T {}
+
+/// A buffered reader over an [`AsyncRead`], providing `read_line` for
+/// line-delimited protocols.
+pub struct BufReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    pos: usize,
+    cap: usize,
+}
+
+impl<R: AsyncRead + Unpin + Send> BufReader<R> {
+    /// Wraps `inner` with an 8 KiB buffer.
+    pub fn new(inner: R) -> BufReader<R> {
+        BufReader {
+            inner,
+            buf: vec![0; 8 * 1024],
+            pos: 0,
+            cap: 0,
+        }
+    }
+
+    /// The wrapped reader.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// The wrapped reader, mutably.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Unwraps the reader, discarding any buffered data.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Refills the internal buffer if it is empty; resolves with the
+    /// number of buffered bytes (0 = EOF).
+    async fn fill(&mut self) -> io::Result<usize> {
+        if self.pos < self.cap {
+            return Ok(self.cap - self.pos);
+        }
+        let me = &mut *self;
+        let n = poll_fn(|cx| Pin::new(&mut me.inner).poll_read(cx, &mut me.buf)).await?;
+        self.pos = 0;
+        self.cap = n;
+        Ok(n)
+    }
+
+    /// Reads bytes until (and including) the next `\n`, appending the
+    /// UTF-8 text to `out`. Resolves with the byte count: 0 means EOF; a
+    /// non-empty final line without a terminator is returned as-is.
+    pub async fn read_line(&mut self, out: &mut String) -> io::Result<usize> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            if self.fill().await? == 0 {
+                break; // EOF: return what we have.
+            }
+            let avail = &self.buf[self.pos..self.cap];
+            match avail.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    line.extend_from_slice(&avail[..=i]);
+                    self.pos += i + 1;
+                    break;
+                }
+                None => {
+                    line.extend_from_slice(avail);
+                    self.pos = self.cap;
+                }
+            }
+        }
+        let text =
+            String::from_utf8(line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        out.push_str(&text);
+        Ok(text.len())
+    }
+}
+
+impl<R: AsyncRead + Unpin> AsyncRead for BufReader<R> {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut [u8],
+    ) -> Poll<io::Result<usize>> {
+        let me = &mut *self;
+        if me.pos < me.cap {
+            let n = (me.cap - me.pos).min(buf.len());
+            buf[..n].copy_from_slice(&me.buf[me.pos..me.pos + n]);
+            me.pos += n;
+            return Poll::Ready(Ok(n));
+        }
+        Pin::new(&mut me.inner).poll_read(cx, buf)
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for `tokio`, providing the async surface this
+//! workspace consumes — no more.
+//!
+//! * [`runtime`] — a multi-threaded executor: `Runtime::new()` /
+//!   `Builder::new_multi_thread()`, `block_on`, worker threads driving
+//!   spawned tasks through an atomic IDLE/QUEUED/RUNNING/NOTIFIED state
+//!   machine (no lost or duplicated wake-ups).
+//! * [`task`] — `spawn` (also re-exported at the crate root),
+//!   `spawn_blocking`, `yield_now`, and a `JoinHandle` future resolving
+//!   to `Result<T, JoinError>` (panics are caught and reported, exactly
+//!   like upstream).
+//! * [`time`] — `sleep` / `timeout` served by one global timer thread
+//!   (binary heap of deadlines + condvar).
+//! * [`net`] — `TcpListener` / `TcpStream` over nonblocking
+//!   `std::net` sockets; `WouldBlock` re-arms a short timer tick and the
+//!   task retries, so no OS readiness API is required.
+//! * [`io`] — `AsyncRead`/`AsyncWrite` (plain-slice variants), the
+//!   `AsyncReadExt`/`AsyncWriteExt` helpers, and a `BufReader` with
+//!   `read_line` for line-delimited protocols.
+//!
+//! Behavioral caveats (by design): socket readiness is polled on a
+//! ~1 ms timer tick rather than epoll/kqueue, `connect` resolves and
+//! connects synchronously, and there is no cooperative budget — none of
+//! which matters at the request rates this workspace serves in tests,
+//! examples and CI.
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+#[cfg(test)]
+mod tests {
+    use crate::io::{AsyncWriteExt, BufReader};
+    use crate::net::{TcpListener, TcpStream};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn block_on_spawn_and_join() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let total = rt.block_on(async {
+            let handles: Vec<_> = (0..16)
+                .map(|i| crate::spawn(async move { i * 2 }))
+                .collect();
+            let mut total = 0;
+            for h in handles {
+                total += h.await.unwrap();
+            }
+            total
+        });
+        assert_eq!(total, (0..16).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn spawn_blocking_runs_off_pool() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            crate::task::spawn_blocking(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                7
+            })
+            .await
+            .unwrap()
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn panics_surface_as_join_errors() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        let err = rt.block_on(async { crate::spawn(async { panic!("boom") }).await.unwrap_err() });
+        assert!(err.is_panic());
+        assert_eq!(err.into_panic().downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn sleep_and_timeout() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let t0 = Instant::now();
+            crate::time::sleep(Duration::from_millis(20)).await;
+            assert!(t0.elapsed() >= Duration::from_millis(20));
+
+            let slow = crate::time::timeout(
+                Duration::from_millis(10),
+                crate::time::sleep(Duration::from_secs(60)),
+            )
+            .await;
+            assert!(slow.is_err());
+
+            let fast = crate::time::timeout(Duration::from_secs(60), async { 5 }).await;
+            assert_eq!(fast.unwrap(), 5);
+        });
+    }
+
+    #[test]
+    fn tcp_line_echo_round_trip() {
+        let rt = crate::runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (stream, _) = listener.accept().await.unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                while reader.read_line(&mut line).await.unwrap() > 0 {
+                    if line.trim_end() == "quit" {
+                        break;
+                    }
+                    let reply = format!("echo:{line}");
+                    reader.get_mut().write_all(reply.as_bytes()).await.unwrap();
+                    line.clear();
+                }
+            });
+            let stream = TcpStream::connect(addr).await.unwrap();
+            let mut client = BufReader::new(stream);
+            for i in 0..5 {
+                let msg = format!("hello {i}\n");
+                client.get_mut().write_all(msg.as_bytes()).await.unwrap();
+                let mut reply = String::new();
+                client.read_line(&mut reply).await.unwrap();
+                assert_eq!(reply, format!("echo:hello {i}\n"));
+            }
+            client.get_mut().write_all(b"quit\n").await.unwrap();
+            server.await.unwrap();
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! Async TCP over nonblocking `std::net` sockets.
+//!
+//! There is no OS readiness API in this stand-in: a `WouldBlock` arms a
+//! short timer tick (see [`crate::time`]) and the task retries — worst
+//! case ~1 ms of added latency per wait, irrelevant at the request rates
+//! this workspace serves.
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use crate::io::{AsyncRead, AsyncWrite};
+use crate::time::wake_at;
+
+/// How long to wait before retrying a `WouldBlock` socket operation.
+const RETRY_TICK: Duration = Duration::from_millis(1);
+
+fn retry_later(waker: &Waker) {
+    wake_at(Instant::now() + RETRY_TICK, waker.clone());
+}
+
+/// A TCP listener accepting [`TcpStream`]s.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` (the socket is nonblocking from the start).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The bound local address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts one inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|cx| match self.inner.accept() {
+            Ok((stream, addr)) => {
+                stream.set_nonblocking(true)?;
+                Poll::Ready(Ok((TcpStream { inner: stream }, addr)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                retry_later(cx.waker());
+                Poll::Pending
+            }
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// A TCP connection implementing [`AsyncRead`] + [`AsyncWrite`].
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connects to `addr`. Resolution and the connect itself run
+    /// synchronously (stand-in simplification); the established stream is
+    /// nonblocking.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Disables Nagle's algorithm.
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut [u8],
+    ) -> Poll<io::Result<usize>> {
+        loop {
+            match (&self.inner).read(buf) {
+                Ok(n) => return Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    retry_later(cx.waker());
+                    return Poll::Pending;
+                }
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        loop {
+            match (&self.inner).write(buf) {
+                Ok(n) => return Poll::Ready(Ok(n)),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    retry_later(cx.waker());
+                    return Poll::Pending;
+                }
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        }
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        // Kernel-buffered; nothing to flush at this layer.
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(self.inner.shutdown(Shutdown::Write))
+    }
+}

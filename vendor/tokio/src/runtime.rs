@@ -1,0 +1,215 @@
+//! The executor: a fixed pool of worker threads draining one shared
+//! injection queue, plus `block_on` driving a root future on the caller's
+//! thread.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::io;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle as ThreadHandle;
+
+use crate::task::{spawn_on, JoinHandle, TaskCell};
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<TaskCell>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A handle that can enqueue tasks onto a runtime's worker pool.
+#[derive(Clone)]
+pub(crate) struct Spawner {
+    shared: Arc<Shared>,
+}
+
+impl Spawner {
+    pub(crate) fn enqueue(&self, task: Arc<TaskCell>) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(task);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Spawner>> = const { RefCell::new(None) };
+}
+
+/// The spawner of the runtime the current thread is running inside, if
+/// any (worker threads and `block_on` callers have one).
+pub(crate) fn current_spawner() -> Option<Spawner> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+struct EnterGuard {
+    prev: Option<Spawner>,
+}
+
+fn enter(spawner: Spawner) -> EnterGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(spawner));
+    EnterGuard { prev }
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Builds a [`Runtime`] (subset of tokio's builder: worker count only).
+pub struct Builder {
+    worker_threads: Option<usize>,
+}
+
+impl Builder {
+    /// A multi-thread runtime builder — the only flavor this stand-in
+    /// has.
+    pub fn new_multi_thread() -> Builder {
+        Builder {
+            worker_threads: None,
+        }
+    }
+
+    /// Sets the number of worker threads (default: available
+    /// parallelism, capped at 8).
+    pub fn worker_threads(&mut self, n: usize) -> &mut Builder {
+        self.worker_threads = Some(n.max(1));
+        self
+    }
+
+    /// Accepted for API compatibility; IO and time are always enabled.
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Builds the runtime, starting its worker threads.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        let workers = self.worker_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4)
+        });
+        Ok(Runtime::start(workers))
+    }
+}
+
+/// A multi-threaded async runtime: worker threads drive spawned tasks;
+/// [`Runtime::block_on`] drives a root future on the calling thread.
+/// Dropping the runtime stops the workers; queued-but-unfinished tasks
+/// are dropped.
+pub struct Runtime {
+    spawner: Spawner,
+    workers: Vec<ThreadHandle<()>>,
+}
+
+impl Runtime {
+    /// A runtime with the default worker count.
+    pub fn new() -> io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    fn start(workers: usize) -> Runtime {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let spawner = Spawner {
+            shared: shared.clone(),
+        };
+        let handles = (0..workers)
+            .map(|i| {
+                let spawner = spawner.clone();
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || worker_loop(spawner, shared))
+                    .expect("spawn runtime worker")
+            })
+            .collect();
+        Runtime {
+            spawner,
+            workers: handles,
+        }
+    }
+
+    /// Spawns a future onto the worker pool from outside async context.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        spawn_on(&self.spawner, future)
+    }
+
+    /// Drives `future` to completion on the calling thread. While inside,
+    /// the thread counts as runtime context: `tokio::spawn` works.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let _guard = enter(self.spawner.clone());
+        struct ThreadWaker {
+            thread: std::thread::Thread,
+        }
+        impl Wake for ThreadWaker {
+            fn wake(self: Arc<Self>) {
+                self.thread.unpark();
+            }
+            fn wake_by_ref(self: &Arc<Self>) {
+                self.thread.unpark();
+            }
+        }
+        let waker = Waker::from(Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(v) => return v,
+                // The unpark token is sticky: a wake landing between the
+                // poll and the park just makes the park return at once.
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.spawner.shared.shutdown.store(true, Ordering::Release);
+        self.spawner.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Remaining queued tasks (and their futures) drop here.
+        self.spawner
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+fn worker_loop(spawner: Spawner, shared: Arc<Shared>) {
+    let _guard = enter(spawner);
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        task.run();
+    }
+}

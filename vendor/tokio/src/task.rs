@@ -1,0 +1,321 @@
+//! Task spawning: `spawn`, `spawn_blocking`, `yield_now`, `JoinHandle`.
+
+use std::any::Any;
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::runtime::{current_spawner, Spawner};
+
+/// Task states. `wake()` and `run()` race through these with
+/// compare-exchange loops so a task is never queued twice and a wake
+/// arriving mid-poll is never lost.
+pub(crate) const IDLE: u8 = 0;
+pub(crate) const QUEUED: u8 = 1;
+pub(crate) const RUNNING: u8 = 2;
+pub(crate) const NOTIFIED: u8 = 3;
+pub(crate) const DONE: u8 = 4;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// One spawned task: the future, its scheduling state, and the spawner
+/// that re-queues it when woken.
+pub(crate) struct TaskCell {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    spawner: Spawner,
+}
+
+impl TaskCell {
+    pub(crate) fn new(future: BoxFuture, spawner: Spawner) -> TaskCell {
+        TaskCell {
+            future: Mutex::new(Some(future)),
+            state: AtomicU8::new(QUEUED),
+            spawner,
+        }
+    }
+
+    /// Polls the task once; requeues it if a wake arrived mid-poll.
+    pub(crate) fn run(self: &Arc<TaskCell>) {
+        self.state.store(RUNNING, Ordering::Release);
+        let waker = Waker::from(self.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut slot = self.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(fut) = slot.as_mut() else {
+            self.state.store(DONE, Ordering::Release);
+            return;
+        };
+        // The wrapped future catches its own panics (see `spawn`), so a
+        // poll never unwinds through the worker.
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *slot = None;
+                self.state.store(DONE, Ordering::Release);
+            }
+            Poll::Pending => {
+                drop(slot);
+                loop {
+                    match self.state.compare_exchange(
+                        RUNNING,
+                        IDLE,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return,
+                        Err(NOTIFIED) => {
+                            if self
+                                .state
+                                .compare_exchange(
+                                    NOTIFIED,
+                                    QUEUED,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                self.spawner.enqueue(self.clone());
+                                return;
+                            }
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Wake for TaskCell {
+    fn wake(self: Arc<Self>) {
+        loop {
+            match self.state.load(Ordering::Acquire) {
+                IDLE => {
+                    if self
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        let spawner = self.spawner.clone();
+                        spawner.enqueue(self);
+                        return;
+                    }
+                }
+                RUNNING => {
+                    if self
+                        .state
+                        .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                // Already queued, already notified, or finished.
+                _ => return,
+            }
+        }
+    }
+}
+
+/// What a task left behind: its output, or the panic payload.
+type TaskResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+struct JoinState<T> {
+    result: Option<TaskResult<T>>,
+    waker: Option<Waker>,
+}
+
+/// Shared completion slot between a running task and its [`JoinHandle`].
+pub(crate) struct JoinShared<T> {
+    state: Mutex<JoinState<T>>,
+}
+
+impl<T> JoinShared<T> {
+    fn new() -> Arc<JoinShared<T>> {
+        Arc::new(JoinShared {
+            state: Mutex::new(JoinState {
+                result: None,
+                waker: None,
+            }),
+        })
+    }
+
+    fn complete(&self, result: TaskResult<T>) {
+        let waker = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.result = Some(result);
+            s.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// An owned handle awaiting a spawned task, resolving to
+/// `Result<T, JoinError>`; a panicking task yields `Err` with the payload
+/// preserved, mirroring upstream tokio.
+pub struct JoinHandle<T> {
+    shared: Arc<JoinShared<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// True once the task has produced its result (or panicked).
+    pub fn is_finished(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .result
+            .is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        match s.result.take() {
+            Some(Ok(v)) => Poll::Ready(Ok(v)),
+            Some(Err(payload)) => Poll::Ready(Err(JoinError { payload })),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// A task failed to produce its output (it panicked).
+pub struct JoinError {
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl JoinError {
+    /// True when the task panicked (the only failure this stand-in has —
+    /// there is no `abort`).
+    pub fn is_panic(&self) -> bool {
+        true
+    }
+
+    /// The panic payload.
+    pub fn into_panic(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JoinError::Panic({})", panic_message(&self.payload))
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", panic_message(&self.payload))
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+fn panic_message<'a>(payload: &'a Box<dyn Any + Send + 'static>) -> &'a str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Spawns a future onto the current runtime's thread pool.
+///
+/// # Panics
+///
+/// Panics when called from outside a runtime context (a worker thread or
+/// a `block_on` caller).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let spawner = current_spawner().expect("tokio::spawn called from outside a runtime context");
+    spawn_on(&spawner, future)
+}
+
+pub(crate) fn spawn_on<F>(spawner: &Spawner, future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = JoinShared::new();
+    let completion = shared.clone();
+    // CatchUnwind wraps every poll, so a panicking task completes its
+    // JoinHandle with the payload instead of unwinding into the worker.
+    let wrapped = async move {
+        let result = CatchUnwind {
+            inner: Box::pin(future),
+        }
+        .await;
+        completion.complete(result);
+    };
+    let cell = Arc::new(TaskCell::new(Box::pin(wrapped), spawner.clone()));
+    spawner.enqueue(cell);
+    JoinHandle { shared }
+}
+
+struct CatchUnwind<F: Future> {
+    inner: Pin<Box<F>>,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = TaskResult<F::Output>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = self.inner.as_mut();
+        match catch_unwind(AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}
+
+/// Runs a blocking closure on a dedicated OS thread, off the async
+/// workers, and resolves with its return value.
+pub fn spawn_blocking<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let shared = JoinShared::new();
+    let completion = shared.clone();
+    std::thread::spawn(move || {
+        completion.complete(catch_unwind(AssertUnwindSafe(f)));
+    });
+    JoinHandle { shared }
+}
+
+/// Yields once back to the scheduler, letting other queued tasks run.
+pub async fn yield_now() {
+    struct YieldNow {
+        yielded: bool,
+    }
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.yielded {
+                Poll::Ready(())
+            } else {
+                self.yielded = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow { yielded: false }.await
+}

@@ -1,0 +1,195 @@
+//! Timers: `sleep` and `timeout`, served by one global timer thread
+//! holding a deadline heap. The same thread provides the retry ticks the
+//! [`crate::net`] sockets use in place of an OS readiness API.
+
+use std::cmp::{Ordering as CmpOrdering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+struct Entry {
+    at: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> CmpOrdering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+struct Timer {
+    state: Mutex<TimerState>,
+    changed: Condvar,
+}
+
+static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+
+fn timer() -> &'static Timer {
+    TIMER.get_or_init(|| {
+        let timer: &'static Timer = Box::leak(Box::new(Timer {
+            state: Mutex::new(TimerState {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            }),
+            changed: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-timer".into())
+            .spawn(move || timer_loop(timer))
+            .expect("spawn timer thread");
+        timer
+    })
+}
+
+fn timer_loop(timer: &'static Timer) {
+    let mut state = timer.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let now = Instant::now();
+        // Fire everything due, outside the lock.
+        let mut due = Vec::new();
+        while let Some(Reverse(e)) = state.heap.peek() {
+            if e.at <= now {
+                due.push(state.heap.pop().unwrap().0.waker);
+            } else {
+                break;
+            }
+        }
+        if !due.is_empty() {
+            drop(state);
+            for w in due {
+                w.wake();
+            }
+            state = timer.state.lock().unwrap_or_else(|e| e.into_inner());
+            continue;
+        }
+        state = match state.heap.peek() {
+            Some(Reverse(e)) => {
+                let wait = e.at.saturating_duration_since(now);
+                timer
+                    .changed
+                    .wait_timeout(state, wait)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => timer.changed.wait(state).unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+}
+
+/// Wakes `waker` at (or shortly after) `at`. Duplicate registrations are
+/// fine — a spurious wake just re-polls the future.
+pub(crate) fn wake_at(at: Instant, waker: Waker) {
+    let t = timer();
+    let mut state = t.state.lock().unwrap_or_else(|e| e.into_inner());
+    let seq = state.seq;
+    state.seq += 1;
+    state.heap.push(Reverse(Entry { at, seq, waker }));
+    drop(state);
+    t.changed.notify_one();
+}
+
+/// A future completing once its deadline has passed.
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    /// The instant the sleep completes at.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            wake_at(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Sleeps for at least `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Sleeps until at least `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// The error returned by [`timeout`] when the inner future was too slow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Error types, mirroring `tokio::time::error`.
+pub mod error {
+    pub use super::Elapsed;
+}
+
+/// A future racing an inner future against a deadline.
+pub struct Timeout<F: Future> {
+    future: Pin<Box<F>>,
+    deadline: Instant,
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Poll::Ready(v) = self.future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= self.deadline {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        wake_at(self.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Requires `future` to complete within `duration`, else resolves to
+/// `Err(Elapsed)` (the inner future is dropped).
+pub fn timeout<F: Future>(duration: Duration, future: F) -> Timeout<F> {
+    Timeout {
+        future: Box::pin(future),
+        deadline: Instant::now() + duration,
+    }
+}
