@@ -42,22 +42,25 @@ impl Entry {
     }
 }
 
-/// One ~2 ms timed window: repeats `f` `reps` times, returns mean
-/// per-run nanoseconds (repetition keeps the clock's granularity from
-/// dominating the small tilings).
-fn window_ns(f: &mut dyn FnMut() -> i64, reps: u64) -> u64 {
+/// One batch of individually timed calls: runs `f` `calls` times,
+/// timing every call on its own, and returns the fastest. A single call
+/// (a few µs to a ms) is far more likely to fit between interruptions
+/// on a shared core than any longer averaging window, so the per-call
+/// minimum converges on the undisturbed cost even under bursty noise.
+fn best_call_ns(f: &mut dyn FnMut() -> i64, calls: u64) -> u64 {
+    let mut best = u64::MAX;
     let mut sink = 0i64;
-    let t = Instant::now();
-    for _ in 0..reps {
+    for _ in 0..calls {
+        let t = Instant::now();
         sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
     }
-    let ns = t.elapsed().as_nanos() as u64 / reps;
     black_box(sink);
-    ns
+    best
 }
 
 /// Minimum per-run nanoseconds for the two paths, measured in
-/// *interleaved* windows (loop, sweep, loop, sweep, …) so slow drift —
+/// *interleaved* batches (loop, sweep, loop, sweep, …) so slow drift —
 /// CPU frequency, a noisy neighbour — hits both paths alike and cancels
 /// out of the speedup ratio.
 fn measure_pair(
@@ -65,18 +68,20 @@ fn measure_pair(
     mut sweep_f: impl FnMut() -> i64,
     samples: usize,
 ) -> (u64, u64) {
+    // ~1 ms of calls per batch, at least 8 so the minimum has a field
+    // to pick from even for the slowest configurations.
     let calibrate = |f: &mut dyn FnMut() -> i64| {
         let t = Instant::now();
         black_box(f());
         let once = t.elapsed().as_nanos().max(1) as u64;
-        (2_000_000 / once).clamp(1, 2_000)
+        (1_000_000 / once).clamp(8, 512)
     };
-    let reps_l = calibrate(&mut loop_f);
-    let reps_s = calibrate(&mut sweep_f);
+    let calls_l = calibrate(&mut loop_f);
+    let calls_s = calibrate(&mut sweep_f);
     let (mut best_l, mut best_s) = (u64::MAX, u64::MAX);
     for _ in 0..samples {
-        best_l = best_l.min(window_ns(&mut loop_f, reps_l));
-        best_s = best_s.min(window_ns(&mut sweep_f, reps_s));
+        best_l = best_l.min(best_call_ns(&mut loop_f, calls_l));
+        best_s = best_s.min(best_call_ns(&mut sweep_f, calls_s));
     }
     (best_l, best_s)
 }
@@ -97,7 +102,7 @@ fn bench_browse_sweep(c: &mut Criterion) {
     } else {
         &[(180, 90), (360, 180), (720, 360)]
     };
-    let samples = if quick { 10 } else { 15 };
+    let samples = if quick { 25 } else { 60 };
 
     let mut entries: Vec<Entry> = Vec::new();
     let mut group = c.benchmark_group("browse_sweep");

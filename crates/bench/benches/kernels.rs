@@ -1,0 +1,387 @@
+//! Scalar-vs-packed kernel tier micro-benches over the prefix-cube
+//! substrate.
+//!
+//! Each configuration times the same workload through both
+//! [`KernelTier`] implementations — [`ScalarTier`], the straight-line
+//! reference, and [`PackedTier`], the lane-packed production tier — on a
+//! paper-grid-sized cube, plus one estimator-level pair (the batched
+//! eight-corner `inside_closed_sums` gather against the two independent
+//! four-corner lookups it replaced). The two sides of every pair are
+//! asserted bit-identical before any timing starts.
+//!
+//! Besides the console table, the bench writes the machine-readable
+//! summary `results/BENCH_kernels.json` (quick mode:
+//! `results/BENCH_kernels.quick.json`) in the one-entry-per-line shape
+//! `bench_diff` string-parses, with `speedup = scalar_ns / packed_ns` —
+//! a machine-relative ratio the CI gate can hold across hosts.
+//!
+//! Set `EULER_BENCH_QUICK=1` for the seconds-long CI smoke run.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+use euler_bench::results_dir;
+use euler_core::{EulerHistogram, FrozenEulerHistogram};
+use euler_cube::kernels::{KernelTier, PackedTier, ScalarTier};
+use euler_cube::{Dense2D, PrefixSum2D};
+use euler_datagen::{adl_like, AdlConfig};
+use euler_grid::{DataSpace, Grid, GridRect};
+
+/// One four-lane `signed_sum4` input: `(x0, y0, x1, y1)` per lane.
+type LaneWindow = ([i64; 4], [i64; 4], [i64; 4], [i64; 4]);
+
+struct Entry {
+    id: String,
+    scalar_ns: u64,
+    packed_ns: u64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns as f64 / self.packed_ns.max(1) as f64
+    }
+}
+
+/// One ~2 ms timed window: repeats `f` `reps` times, returns mean
+/// per-run nanoseconds (repetition keeps the clock's granularity from
+/// dominating the small kernels).
+fn window_ns(f: &mut dyn FnMut() -> i64, reps: u64) -> u64 {
+    let mut sink = 0i64;
+    let t = Instant::now();
+    for _ in 0..reps {
+        sink = sink.wrapping_add(f());
+    }
+    let ns = t.elapsed().as_nanos() as u64 / reps;
+    black_box(sink);
+    ns
+}
+
+/// Minimum per-run nanoseconds for the two tiers, measured in
+/// *interleaved* windows (scalar, packed, scalar, packed, …) so slow
+/// drift — CPU frequency, a noisy neighbour — hits both tiers alike and
+/// cancels out of the speedup ratio.
+fn measure_pair(
+    mut scalar_f: impl FnMut() -> i64,
+    mut packed_f: impl FnMut() -> i64,
+    samples: usize,
+) -> (u64, u64) {
+    let calibrate = |f: &mut dyn FnMut() -> i64| {
+        let t = Instant::now();
+        black_box(f());
+        let once = t.elapsed().as_nanos().max(1) as u64;
+        (2_000_000 / once).clamp(1, 20_000)
+    };
+    let reps_s = calibrate(&mut scalar_f);
+    let reps_p = calibrate(&mut packed_f);
+    let (mut best_s, mut best_p) = (u64::MAX, u64::MAX);
+    for _ in 0..samples {
+        best_s = best_s.min(window_ns(&mut scalar_f, reps_s));
+        best_p = best_p.min(window_ns(&mut packed_f, reps_p));
+    }
+    (best_s, best_p)
+}
+
+/// Deterministic splitmix64 stream — the bench needs reproducible
+/// workloads, not statistical quality.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw from `[lo, hi]`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+}
+
+/// A paper-grid-sized Euler cube (360×180 cells → 719×359 Euler slots)
+/// filled with a deterministic pseudo-random payload.
+fn synthetic_cube() -> PrefixSum2D {
+    let (w, h) = (719, 359);
+    let mut mix = Mix(7);
+    let data: Vec<i64> = (0..w * h).map(|_| mix.range(-3, 9)).collect();
+    PrefixSum2D::build(&Dense2D::from_vec(w, h, data))
+}
+
+fn main() {
+    let quick = std::env::var_os("EULER_BENCH_QUICK").is_some();
+    let samples = if quick { 8 } else { 15 };
+    let cube = synthetic_cube();
+    let (w, h) = (719i64, 359i64);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Strip combines: one Q2-row-sized strip of tile columns (180), the
+    // hot inner loop of the sweep evaluator.
+    let n = 180;
+    let mut mix = Mix(11);
+    let long: Vec<i64> = (0..n + 1).map(|_| mix.range(-1_000, 1_000)).collect();
+    let long2: Vec<i64> = (0..n + 1).map(|_| mix.range(-1_000, 1_000)).collect();
+    let short: Vec<i64> = (0..n).map(|_| mix.range(-1_000, 1_000)).collect();
+    let short2: Vec<i64> = (0..n).map(|_| mix.range(-1_000, 1_000)).collect();
+    let add: Vec<i64> = (0..n).map(|_| mix.range(-1_000, 1_000)).collect();
+    {
+        let (mut s_out, mut p_out) = (vec![0i64; n], vec![0i64; n]);
+        ScalarTier::strip_combine(&long, &short, &long2, &short2, &mut s_out);
+        PackedTier::strip_combine(&long, &short, &long2, &short2, &mut p_out);
+        assert_eq!(s_out, p_out, "strip_combine tiers diverged");
+        let (s, p) = measure_pair(
+            || {
+                ScalarTier::strip_combine(&long, &short, &long2, &short2, &mut s_out);
+                s_out[0]
+            },
+            || {
+                PackedTier::strip_combine(&long, &short, &long2, &short2, &mut p_out);
+                p_out[0]
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: format!("strip_combine/{n}"),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+    {
+        let (mut s_out, mut p_out) = (vec![0i64; n], vec![0i64; n]);
+        ScalarTier::strip_combine_add(&long, &short, &long2, &short2, &add, &mut s_out);
+        PackedTier::strip_combine_add(&long, &short, &long2, &short2, &add, &mut p_out);
+        assert_eq!(s_out, p_out, "strip_combine_add tiers diverged");
+        let (s, p) = measure_pair(
+            || {
+                ScalarTier::strip_combine_add(&long, &short, &long2, &short2, &add, &mut s_out);
+                s_out[0]
+            },
+            || {
+                PackedTier::strip_combine_add(&long, &short, &long2, &short2, &add, &mut p_out);
+                p_out[0]
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: format!("strip_combine_add/{n}"),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+
+    // Corner-strip gather: one cube row scattered into the SoA strips.
+    {
+        let row = cube.row_clipped(180);
+        let ia: Vec<usize> = (0..n).map(|k| 2 * k).collect();
+        let ib: Vec<usize> = (0..n).map(|k| 2 * k + 1).collect();
+        let (mut sa, mut sb) = (vec![0i64; n], vec![0i64; n]);
+        let (mut pa, mut pb) = (vec![0i64; n], vec![0i64; n]);
+        ScalarTier::gather2(row, &ia, &ib, &mut sa, &mut sb);
+        PackedTier::gather2(row, &ia, &ib, &mut pa, &mut pb);
+        assert_eq!((&sa, &sb), (&pa, &pb), "gather2 tiers diverged");
+        let (s, p) = measure_pair(
+            || {
+                ScalarTier::gather2(row, &ia, &ib, &mut sa, &mut sb);
+                sa[0] + sb[0]
+            },
+            || {
+                PackedTier::gather2(row, &ia, &ib, &mut pa, &mut pb);
+                pa[0] + pb[0]
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: format!("gather2/{n}"),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+
+    // Batched clipped prefix lookups, coordinates straddling the guard
+    // planes and the far clamp.
+    {
+        let m = 4096;
+        let mut mix = Mix(23);
+        let xs: Vec<i64> = (0..m).map(|_| mix.range(-3, w + 2)).collect();
+        let ys: Vec<i64> = (0..m).map(|_| mix.range(-3, h + 2)).collect();
+        let (mut s_out, mut p_out) = (vec![0i64; m], vec![0i64; m]);
+        cube.prefix_many_in::<ScalarTier>(&xs, &ys, &mut s_out);
+        cube.prefix_many_in::<PackedTier>(&xs, &ys, &mut p_out);
+        assert_eq!(s_out, p_out, "prefix_many tiers diverged");
+        let (s, p) = measure_pair(
+            || {
+                cube.prefix_many_in::<ScalarTier>(&xs, &ys, &mut s_out);
+                s_out[0]
+            },
+            || {
+                cube.prefix_many_in::<PackedTier>(&xs, &ys, &mut p_out);
+                p_out[0]
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: format!("prefix_many/{m}"),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+
+    // Four-lane clipped window sums: a batch of ordered windows of
+    // estimator-typical extents.
+    {
+        let m = 512;
+        let mut mix = Mix(31);
+        let windows: Vec<LaneWindow> = (0..m)
+            .map(|_| {
+                let mut lane = |dim: i64| {
+                    let lo = mix.range(-2, dim - 2);
+                    (lo, lo + mix.range(0, 40))
+                };
+                let (ax, bx, cx, dx) = (lane(w), lane(w), lane(w), lane(w));
+                let (ay, by, cy, dy) = (lane(h), lane(h), lane(h), lane(h));
+                (
+                    [ax.0, bx.0, cx.0, dx.0],
+                    [ay.0, by.0, cy.0, dy.0],
+                    [ax.1, bx.1, cx.1, dx.1],
+                    [ay.1, by.1, cy.1, dy.1],
+                )
+            })
+            .collect();
+        for &(x0, y0, x1, y1) in &windows {
+            assert_eq!(
+                cube.signed_sum4_in::<ScalarTier>(x0, y0, x1, y1),
+                cube.signed_sum4_in::<PackedTier>(x0, y0, x1, y1),
+                "signed_sum4 tiers diverged"
+            );
+        }
+        let (s, p) = measure_pair(
+            || {
+                let mut acc = 0i64;
+                for &(x0, y0, x1, y1) in &windows {
+                    let r = cube.signed_sum4_in::<ScalarTier>(x0, y0, x1, y1);
+                    acc = acc.wrapping_add(r[0] + r[1] + r[2] + r[3]);
+                }
+                acc
+            },
+            || {
+                let mut acc = 0i64;
+                for &(x0, y0, x1, y1) in &windows {
+                    let r = cube.signed_sum4_in::<PackedTier>(x0, y0, x1, y1);
+                    acc = acc.wrapping_add(r[0] + r[1] + r[2] + r[3]);
+                }
+                acc
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: format!("signed_sum4/{m}"),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+
+    // Estimator-level pair: the batched eight-corner gather behind every
+    // frozen point estimate against the two independent four-corner
+    // lookups it replaced. (Under `scalar-kernels` the batch runs the
+    // scalar tier, so this entry then measures batching alone.)
+    {
+        let grid = Grid::new(DataSpace::paper_world(), 360, 180).unwrap();
+        let d = adl_like(&AdlConfig {
+            count: if quick { 1_000 } else { 10_000 },
+            ..AdlConfig::default()
+        });
+        let hist: FrozenEulerHistogram = EulerHistogram::build(grid, &d.snap(&grid)).freeze();
+        let mut mix = Mix(47);
+        let queries: Vec<GridRect> = (0..1024)
+            .map(|_| {
+                let x0 = mix.range(0, 354) as usize;
+                let y0 = mix.range(0, 174) as usize;
+                let x1 = x0 + mix.range(1, 5) as usize;
+                let y1 = y0 + mix.range(1, 5) as usize;
+                GridRect::unchecked(x0, y0, x1, y1)
+            })
+            .collect();
+        for q in &queries {
+            assert_eq!(
+                hist.inside_closed_sums(q),
+                (
+                    hist.inside_sum(q.x0, q.y0, q.x1, q.y1),
+                    hist.closed_sum(q.x0, q.y0, q.x1, q.y1)
+                ),
+                "batched point gather diverged from the pointwise lookups"
+            );
+        }
+        let (s, p) = measure_pair(
+            || {
+                let mut acc = 0i64;
+                for q in &queries {
+                    acc = acc.wrapping_add(hist.inside_sum(q.x0, q.y0, q.x1, q.y1));
+                    acc = acc.wrapping_add(hist.closed_sum(q.x0, q.y0, q.x1, q.y1));
+                }
+                acc
+            },
+            || {
+                let mut acc = 0i64;
+                for q in &queries {
+                    let (n_ii, closed) = hist.inside_closed_sums(q);
+                    acc = acc.wrapping_add(n_ii).wrapping_add(closed);
+                }
+                acc
+            },
+            samples,
+        );
+        entries.push(Entry {
+            id: "point_batch/360x180".to_string(),
+            scalar_ns: s,
+            packed_ns: p,
+        });
+    }
+
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "kernel", "scalar", "packed", "speedup"
+    );
+    for e in &entries {
+        println!(
+            "{:<22} {:>11} ns {:>11} ns {:>8.2}x",
+            e.id,
+            e.scalar_ns,
+            e.packed_ns,
+            e.speedup()
+        );
+    }
+
+    write_json(&entries, quick);
+}
+
+/// Hand-rolled JSON (the vendored criterion stub has no machine output
+/// and the workspace has no JSON serializer): one entry object per line,
+/// the exact shape `bench_diff` string-parses.
+fn write_json(entries: &[Entry], quick: bool) {
+    let mut body = String::from("{\n  \"bench\": \"kernels\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"id\":\"{}\",\"scalar_ns\":{},\"packed_ns\":{},\"speedup\":{:.3}}}{sep}\n",
+            e.id,
+            e.scalar_ns,
+            e.packed_ns,
+            e.speedup()
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let name = if quick {
+        "BENCH_kernels.quick.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create bench json");
+    f.write_all(body.as_bytes()).expect("write bench json");
+    eprintln!("[written to {}]", path.display());
+}

@@ -1,0 +1,93 @@
+//! Scratch decomposition of the browse_sweep ratio: where does sweep
+//! time go between the raw kernel, the estimator override, and the
+//! engine? Not part of any figure — a profiling aid.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
+use euler_datagen::{adl_like, AdlConfig};
+use euler_engine::{EstimatorEngine, QueryBatch};
+use euler_grid::{DataSpace, Grid, GridRect, QuerySet};
+
+fn best_ns(mut f: impl FnMut() -> i64, samples: usize) -> u64 {
+    let mut best = u64::MAX;
+    let mut sink = 0i64;
+    for _ in 0..samples {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_nanos() as u64);
+    }
+    black_box(sink);
+    best
+}
+
+fn main() {
+    let d = adl_like(&AdlConfig {
+        count: 10_000,
+        ..AdlConfig::default()
+    });
+    let grid = Grid::new(DataSpace::paper_world(), 360, 180).unwrap();
+    let objects = d.snap(&grid);
+    let est = Arc::new(SEulerApprox::new(
+        EulerHistogram::build(grid, &objects).freeze(),
+    ));
+    let shared: euler_engine::SharedEstimator = est.clone();
+    let engine = EstimatorEngine::new(shared).with_threads(1);
+
+    for qs in QuerySet::paper_sets(&grid) {
+        if ![20, 10, 5, 2].contains(&qs.tile_size()) {
+            continue;
+        }
+        let tiling = *qs.tiling();
+        let queries: Vec<GridRect> = tiling.iter().map(|(_, t)| t).collect();
+        let loop_batch = QueryBatch::new(&queries);
+        let sweep_batch = QueryBatch::from(&tiling);
+        let n = tiling.len() as u64;
+        let reps = ((400_000 / n).max(64) as usize).min(2048);
+
+        let t_loop_engine = best_ns(|| engine.run_batch(&loop_batch).report.total.disjoint, reps);
+        let t_sweep_engine = best_ns(
+            || engine.run_batch(&sweep_batch).report.total.disjoint,
+            reps,
+        );
+        let t_est_tiling = best_ns(|| est.estimate_tiling(&tiling)[0].disjoint, reps);
+        let t_sim = best_ns(
+            || {
+                let (counts, total) = est.estimate_tiling_total(&tiling);
+                const BLOCK: [euler_engine::BatchOutcome; 64] =
+                    [euler_engine::BatchOutcome::Complete; 64];
+                let mut outcomes = Vec::with_capacity(counts.len());
+                while outcomes.len() + BLOCK.len() <= counts.len() {
+                    outcomes.extend_from_slice(&BLOCK);
+                }
+                outcomes.resize(counts.len(), euler_engine::BatchOutcome::Complete);
+                black_box(&outcomes);
+                total.disjoint
+            },
+            reps,
+        );
+        let t_est_loop = best_ns(
+            || {
+                let mut acc = 0i64;
+                for q in &queries {
+                    acc = acc.wrapping_add(est.estimate(q).disjoint);
+                }
+                acc
+            },
+            reps,
+        );
+        println!(
+            "{}: tiles={} | per-tile: el={:.2} es={:.2} t={:.2} sim={:.2} l={:.2} | ratio={:.2}",
+            qs.label(),
+            n,
+            t_loop_engine as f64 / n as f64,
+            t_sweep_engine as f64 / n as f64,
+            t_est_tiling as f64 / n as f64,
+            t_sim as f64 / n as f64,
+            t_est_loop as f64 / n as f64,
+            t_loop_engine as f64 / t_sweep_engine as f64,
+        );
+    }
+}

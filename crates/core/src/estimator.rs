@@ -123,6 +123,23 @@ pub trait Level2Estimator {
         t.iter().map(|(_, tile)| self.estimate(&tile)).collect()
     }
 
+    /// [`estimate_tiling`] plus the element-wise sum of every tile's
+    /// counts. Batch machinery reports the per-relation total alongside
+    /// the per-tile counts; sweep-capable estimators override this to
+    /// accumulate the total during emission instead of paying a second
+    /// pass over the (potentially large) output vector. Must equal
+    /// folding [`RelationCounts::add`] over [`estimate_tiling`].
+    ///
+    /// [`estimate_tiling`]: Level2Estimator::estimate_tiling
+    fn estimate_tiling_total(&self, t: &Tiling) -> (Vec<RelationCounts>, RelationCounts) {
+        let counts = self.estimate_tiling(t);
+        let mut total = RelationCounts::default();
+        for c in &counts {
+            total = total.add(c);
+        }
+        (counts, total)
+    }
+
     /// Whether [`estimate_tiling`] is backed by a tiling-aware sweep
     /// kernel (rather than the default per-tile loop). Batch machinery
     /// uses this to decide when dispatching a whole tiling to the
@@ -164,6 +181,9 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for Box<T> {
     fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
         (**self).estimate_tiling(t)
     }
+    fn estimate_tiling_total(&self, t: &Tiling) -> (Vec<RelationCounts>, RelationCounts) {
+        (**self).estimate_tiling_total(t)
+    }
     fn supports_sweep(&self) -> bool {
         (**self).supports_sweep()
     }
@@ -187,6 +207,9 @@ impl<T: Level2Estimator + ?Sized> Level2Estimator for std::sync::Arc<T> {
     }
     fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
         (**self).estimate_tiling(t)
+    }
+    fn estimate_tiling_total(&self, t: &Tiling) -> (Vec<RelationCounts>, RelationCounts) {
+        (**self).estimate_tiling_total(t)
     }
     fn supports_sweep(&self) -> bool {
         (**self).supports_sweep()

@@ -90,11 +90,59 @@ pub(crate) fn n_ei_proxy_x2<H: EulerSource + ?Sized>(
     q: &GridRect,
     split: RegionSplit,
 ) -> i64 {
+    // A frozen backend evaluates each orientation's four windows as one
+    // lane-packed `signed_sum4`; the dynamic backend keeps the guarded
+    // per-window path.
+    if let Some(f) = hist.as_frozen() {
+        return match split {
+            RegionSplit::YBandSides => 2 * proxy_y_band_frozen(f, q),
+            RegionSplit::XBandSides => 2 * proxy_x_band_frozen(f, q),
+            RegionSplit::Average => proxy_y_band_frozen(f, q) + proxy_x_band_frozen(f, q),
+        };
+    }
     match split {
         RegionSplit::YBandSides => 2 * proxy_y_band(hist, q),
         RegionSplit::XBandSides => 2 * proxy_x_band(hist, q),
         RegionSplit::Average => proxy_y_band(hist, q) + proxy_x_band(hist, q),
     }
+}
+
+/// [`proxy_y_band`] with all four windows in one lane-packed call.
+///
+/// The `q.x0 > 0`-style guards vanish: a window that the guarded path
+/// skips is empty after Euler-index clipping, and its lane's four-corner
+/// combination collapses onto shared clamped planes summing to exactly 0
+/// (guard column for a left/bottom edge, repeated last plane for a
+/// right/top edge).
+fn proxy_y_band_frozen(f: &FrozenEulerHistogram, q: &GridRect) -> i64 {
+    let nx = f.grid().nx() as i64;
+    let ny = f.grid().ny() as i64;
+    let (x0, y0) = (q.x0 as i64, q.y0 as i64);
+    let (x1, y1) = (q.x1 as i64, q.y1 as i64);
+    // Lanes: A left inside, A right inside, B top closed, B bottom closed.
+    let s = f.cum().signed_sum4(
+        [0, 2 * x1, -1, -1],
+        [2 * y0, 2 * y0, 2 * y1 - 1, -1],
+        [2 * x0 - 2, 2 * nx - 2, 2 * nx - 1, 2 * nx - 1],
+        [2 * y1 - 2, 2 * y1 - 2, 2 * ny - 1, 2 * y0 - 1],
+    );
+    s[0] + s[1] + s[2] + s[3]
+}
+
+/// The transposed split, lane-packed like [`proxy_y_band_frozen`].
+fn proxy_x_band_frozen(f: &FrozenEulerHistogram, q: &GridRect) -> i64 {
+    let nx = f.grid().nx() as i64;
+    let ny = f.grid().ny() as i64;
+    let (x0, y0) = (q.x0 as i64, q.y0 as i64);
+    let (x1, y1) = (q.x1 as i64, q.y1 as i64);
+    // Lanes: A bottom inside, A top inside, B left closed, B right closed.
+    let s = f.cum().signed_sum4(
+        [2 * x0, 2 * x0, -1, 2 * x1 - 1],
+        [0, 2 * y1, -1, -1],
+        [2 * x1 - 2, 2 * x1 - 2, 2 * x0 - 1, 2 * nx - 1],
+        [2 * y0 - 2, 2 * ny - 2, 2 * ny - 1, 2 * ny - 1],
+    );
+    s[0] + s[1] + s[2] + s[3]
 }
 
 /// A = side slabs in the y-band, B = full-width top/bottom slabs.
@@ -144,8 +192,14 @@ impl<H: EulerSource> Level2Estimator for EulerApprox<H> {
 
     fn estimate(&self, q: &GridRect) -> RelationCounts {
         let size = self.hist.object_count() as i64;
-        let n_ii = self.hist.intersect_count(q); // Eq. 18
-        let n_ei_prime = self.hist.outside_sum(q); // Eq. 19
+        // Eq. 18/19, through the batched kernel lane when frozen.
+        let (n_ii, n_ei_prime) = match self.hist.as_frozen() {
+            Some(f) => {
+                let (n_ii, closed) = f.inside_closed_sums(q);
+                (n_ii, f.total() - closed)
+            }
+            None => (self.hist.intersect_count(q), self.hist.outside_sum(q)),
+        };
         let disjoint = size - n_ii;
         let overlaps = n_ei_prime - disjoint; // Eq. 20
                                               // Eq. 21, rounding the (possibly half-integral under Average)

@@ -242,6 +242,23 @@ impl FrozenEulerHistogram {
         &self.cum
     }
 
+    /// Both per-query estimator sums — the inside sum (`n_ii`) and the
+    /// closed sum — in one batched kernel call:
+    /// [`PrefixSum2D::range_sum_pair`] lane-clips the four x and four y
+    /// corner planes of the two Euler windows together and gathers the
+    /// eight prefixes with no redundant work. Bit-identical to
+    /// [`Self::inside_sum`] + [`Self::closed_sum`].
+    #[inline]
+    pub fn inside_closed_sums(&self, q: &GridRect) -> (i64, i64) {
+        debug_assert!(q.x0 < q.x1 && q.y0 < q.y1);
+        let (x0, y0) = (q.x0 as i64, q.y0 as i64);
+        let (x1, y1) = (q.x1 as i64, q.y1 as i64);
+        self.cum.range_sum_pair(
+            (2 * x0, 2 * y0, 2 * x1 - 2, 2 * y1 - 2),
+            (2 * x0 - 1, 2 * y0 - 1, 2 * x1 - 1, 2 * y1 - 1),
+        )
+    }
+
     /// Sum of all buckets; equals `|S|` (every object's full footprint has
     /// Euler characteristic 1).
     #[inline]

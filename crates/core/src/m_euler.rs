@@ -146,8 +146,9 @@ impl Level2Estimator for MEulerApprox {
             if s_i == 0 {
                 continue;
             }
-            let n_ii = g.hist.intersect_count(q);
-            let n_ei_prime = g.hist.outside_sum(q);
+            // Both per-group windows through one batched kernel call.
+            let (n_ii, closed) = g.hist.inside_closed_sums(q);
+            let n_ei_prime = g.hist.total() - closed;
             let n_d = s_i - n_ii;
             n_ii_total += n_ii;
             // The shared overlap estimator (loophole-immune, §5.4).

@@ -7,6 +7,8 @@
 //! Each crossover inflates `n_ei` by one (Figure 9(b)); each containing
 //! object is misattributed from `N_cd` to overlap/contains error.
 
+use std::sync::{Arc, Mutex};
+
 use euler_grid::{GridRect, Tiling};
 
 use crate::sweep::{sweep_s_euler, TilingPlan};
@@ -14,20 +16,50 @@ use crate::{s_euler_counts, EulerSource, FrozenEulerHistogram, Level2Estimator, 
 
 /// The S-EulerApprox estimator: Equations 14–17 on any Euler-histogram
 /// backend (static frozen by default; the dynamic histogram also works).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SEulerApprox<H: EulerSource = FrozenEulerHistogram> {
     hist: H,
+    /// Most recent [`TilingPlan`], keyed by its [`Tiling`]. Browsing
+    /// workloads re-answer the same tiling against evolving data, so the
+    /// plan build would otherwise recur on every call; the lock is held
+    /// only to clone the `Arc`, never across a sweep.
+    plan_cache: Mutex<Option<Arc<TilingPlan>>>,
+}
+
+impl<H: EulerSource + Clone> Clone for SEulerApprox<H> {
+    fn clone(&self) -> SEulerApprox<H> {
+        SEulerApprox {
+            hist: self.hist.clone(),
+            plan_cache: Mutex::new(self.plan_cache.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl<H: EulerSource> SEulerApprox<H> {
     /// Wraps a histogram backend.
     pub fn new(hist: H) -> SEulerApprox<H> {
-        SEulerApprox { hist }
+        SEulerApprox {
+            hist,
+            plan_cache: Mutex::new(None),
+        }
     }
 
     /// The underlying histogram backend.
     pub fn histogram(&self) -> &H {
         &self.hist
+    }
+
+    /// The cached plan for `t`, building and stashing one on miss.
+    fn plan_for(&self, t: &Tiling) -> Arc<TilingPlan> {
+        let mut cache = self.plan_cache.lock().unwrap();
+        if let Some(plan) = cache.as_ref() {
+            if plan.tiling() == t {
+                return Arc::clone(plan);
+            }
+        }
+        let plan = Arc::new(TilingPlan::new(t));
+        *cache = Some(Arc::clone(&plan));
+        plan
     }
 }
 
@@ -52,8 +84,24 @@ impl<H: EulerSource> Level2Estimator for SEulerApprox<H> {
 
     fn estimate_tiling(&self, t: &Tiling) -> Vec<RelationCounts> {
         match self.hist.as_frozen() {
-            Some(frozen) => sweep_s_euler(frozen, &TilingPlan::new(t)),
+            Some(frozen) => sweep_s_euler(frozen, &self.plan_for(t)).0,
             None => t.iter().map(|(_, tile)| self.estimate(&tile)).collect(),
+        }
+    }
+
+    fn estimate_tiling_total(&self, t: &Tiling) -> (Vec<RelationCounts>, RelationCounts) {
+        match self.hist.as_frozen() {
+            // The sweep core accumulates the total during emission — no
+            // second pass over the per-tile output.
+            Some(frozen) => sweep_s_euler(frozen, &self.plan_for(t)),
+            None => {
+                let counts = self.estimate_tiling(t);
+                let mut total = RelationCounts::default();
+                for c in &counts {
+                    total = total.add(c);
+                }
+                (counts, total)
+            }
         }
     }
 

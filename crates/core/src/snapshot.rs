@@ -260,6 +260,32 @@ impl EulerSource for LiveSnapshot {
             None
         }
     }
+
+    fn inside_closed_sums(&self, q: &GridRect) -> (i64, i64) {
+        // Frozen half of both estimator windows in one batched
+        // eight-corner gather, then a single delta walk adding each
+        // op's contribution to both windows — instead of two full
+        // `signed_sum` passes over runs and tail.
+        let (mut n_ii, mut closed) = self.frozen.inside_closed_sums(q);
+        if self.delta_ops == 0 {
+            return (n_ii, closed);
+        }
+        let (ix0, iy0) = (2 * q.x0 as i64, 2 * q.y0 as i64);
+        let (ix1, iy1) = (2 * q.x1 as i64 - 2, 2 * q.y1 as i64 - 2);
+        let (cx0, cy0) = (ix0 - 1, iy0 - 1);
+        let (cx1, cy1) = (ix1 + 1, iy1 + 1);
+        for run in self.runs.iter() {
+            n_ii += run.hist.signed_sum(ix0, iy0, ix1, iy1);
+            closed += run.hist.signed_sum(cx0, cy0, cx1, cy1);
+        }
+        let mut node = self.tail.as_deref();
+        while let Some(n) = node {
+            n_ii += op_signed_sum(&n.op, ix0, iy0, ix1, iy1);
+            closed += op_signed_sum(&n.op, cx0, cy0, cx1, cy1);
+            node = n.rest.as_deref();
+        }
+        (n_ii, closed)
+    }
 }
 
 /// Writer-side state, serialized under one mutex. Readers never take it.

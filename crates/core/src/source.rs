@@ -50,13 +50,34 @@ pub trait EulerSource {
     fn as_frozen(&self) -> Option<&FrozenEulerHistogram> {
         None
     }
+
+    /// `(n_ii, closed_sum)` of one aligned region: both estimator windows
+    /// in a single call so backends can batch the corner lookups. A
+    /// frozen backend resolves all eight corners through one
+    /// [`FrozenEulerHistogram::inside_closed_sums`] gather; composite
+    /// backends (e.g. [`crate::LiveSnapshot`]) override this to also
+    /// share one delta walk between the two windows.
+    fn inside_closed_sums(&self, q: &GridRect) -> (i64, i64) {
+        match self.as_frozen() {
+            Some(f) => f.inside_closed_sums(q),
+            None => (
+                self.inside_sum(q.x0, q.y0, q.x1, q.y1),
+                self.closed_sum(q.x0, q.y0, q.x1, q.y1),
+            ),
+        }
+    }
 }
 
 /// The S-EulerApprox algebra (Equations 14–17) on any backend.
+///
+/// A frozen backend takes the batched-kernel lane: both estimator
+/// windows resolve through one
+/// [`FrozenEulerHistogram::inside_closed_sums`] call instead of two
+/// independent four-corner lookups.
 pub fn s_euler_counts<H: EulerSource + ?Sized>(h: &H, q: &GridRect) -> RelationCounts {
     let size = h.object_count() as i64;
-    let n_ii = h.intersect_count(q);
-    let n_ei = h.outside_sum(q);
+    let (n_ii, closed) = h.inside_closed_sums(q);
+    let n_ei = h.total() - closed;
     let disjoint = size - n_ii;
     RelationCounts {
         disjoint,

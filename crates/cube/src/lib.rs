@@ -17,7 +17,10 @@
 //!   (the paper states its results for d dimensions in Theorem 3.1);
 //! * [`RangeFenwick2D`] — a dynamic cube (O(log² n) rectangle update and
 //!   rectangle sum), in the update-efficient-cube direction the paper
-//!   cites as \[GRAE99\]/\[RAE00\].
+//!   cites as \[GRAE99\]/\[RAE00\];
+//! * [`kernels`] — the batched, lane-packed kernel tiers behind
+//!   [`PrefixSum2D`]'s clipped lookups and `euler-core`'s sweep strips
+//!   (the `scalar-kernels` feature swaps in the scalar reference tier).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +28,7 @@
 mod dense2d;
 mod diff2d;
 mod fenwick2d;
+pub mod kernels;
 mod ndim;
 mod prefix2d;
 
