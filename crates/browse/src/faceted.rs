@@ -8,12 +8,11 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use euler_core::{EulerHistogram, Level2Estimator, RelationCounts, SEulerApprox};
 use euler_geom::Rect;
 use euler_grid::{Grid, Snapper, Tiling};
-use parking_lot::RwLock;
 
 use crate::BrowseResult;
 
@@ -48,7 +47,7 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
     /// Inserts an object under a facet value.
     pub fn insert(&self, facet: F, rect: &Rect) {
         let snapped = self.snapper.snap(rect);
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("facet lock");
         let state = inner.entry(facet).or_insert_with(|| FacetState {
             hist: EulerHistogram::new(self.grid),
             snapshot: None,
@@ -61,7 +60,7 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
     /// when the facet is unknown.
     pub fn remove(&self, facet: &F, rect: &Rect) -> bool {
         let snapped = self.snapper.snap(rect);
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("facet lock");
         match inner.get_mut(facet) {
             Some(state) => {
                 state.hist.remove(&snapped);
@@ -74,13 +73,19 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
 
     /// The facet values currently present.
     pub fn facets(&self) -> Vec<F> {
-        self.inner.read().keys().cloned().collect()
+        self.inner
+            .read()
+            .expect("facet lock")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Objects indexed under one facet (0 for unknown facets).
     pub fn facet_len(&self, facet: &F) -> u64 {
         self.inner
             .read()
+            .expect("facet lock")
             .get(facet)
             .map_or(0, |s| s.hist.object_count())
     }
@@ -89,6 +94,7 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
     pub fn len(&self) -> u64 {
         self.inner
             .read()
+            .expect("facet lock")
             .values()
             .map(|s| s.hist.object_count())
             .sum()
@@ -106,7 +112,7 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
         let mut out = Vec::with_capacity(filter.len());
         // Fast path under the read lock.
         {
-            let inner = self.inner.read();
+            let inner = self.inner.read().expect("facet lock");
             if filter
                 .iter()
                 .all(|f| inner.get(f).is_none_or(|s| s.snapshot.is_some()))
@@ -120,7 +126,7 @@ impl<F: Eq + Hash + Clone> FacetedService<F> {
             }
         }
         // Refresh stale snapshots under the write lock.
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("facet lock");
         for f in filter {
             if let Some(s) = inner.get_mut(f) {
                 let snap = s

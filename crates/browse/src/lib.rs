@@ -26,8 +26,9 @@
 //! * [`FacetedService`] — multi-attribute browsing (Figure 1's
 //!   region/date/subject filters) via one histogram per facet value;
 //! * [`PyramidBrowser`] — §1's "various resolutions": a lazily
-//!   materialized ladder of grids, coarse views served from kilobyte
-//!   histograms;
+//!   materialized ladder of grids sharing one finest-grid lineage (coarse
+//!   levels derived by exact 2×2 fold, published via epoch snapshots),
+//!   coarse views served from kilobyte histograms;
 //! * [`render_heatmap`] — terminal rendering of a result grid (the
 //!   Figure 1 color map, in ASCII);
 //! * [`advise`] — zero-hit/mega-hit analysis: the query-refinement hints

@@ -11,17 +11,26 @@
 //! kilobyte histograms, and the full-resolution level is only built when
 //! a user actually zooms that deep.
 //!
+//! All levels share **one lineage**: objects are snapped once, at the
+//! finest grid, and every coarser level is derived from it — either by an
+//! exact 2×2 bucket fold of an already-materialized finer level, or by a
+//! direct build over [`SnappedRect::coarsen`]ed objects when no finer
+//! level exists yet. The two routes are bit-identical (the fold law in
+//! `euler-core`), so a coarse overview never forces the finest cube into
+//! memory and never disagrees with it either.
+//!
 //! A request is dispatched to the *coarsest* level on which the tiling is
 //! grid-aligned, which minimizes build cost and working-set size without
-//! changing any answer.
+//! changing any answer. Materialized levels are published through an
+//! epoch snapshot (the same idiom as `euler-core`'s snapshot module):
+//! readers pin an immutable `Arc` and never block behind a materializing
+//! writer.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 use euler_core::{EulerHistogram, Level2Estimator, SEulerApprox};
 use euler_geom::Rect;
-use euler_grid::{DataSpace, Grid, Tiling};
-use parking_lot::RwLock;
+use euler_grid::{DataSpace, Grid, SnappedRect, Snapper, Tiling};
 
 use crate::BrowseResult;
 
@@ -49,13 +58,27 @@ impl std::fmt::Display for PyramidError {
 
 impl std::error::Error for PyramidError {}
 
+/// One immutable published state of the ladder: which levels exist, and
+/// the estimators serving them. Readers clone the `Arc` and work from a
+/// consistent view for the whole request.
+struct PyramidSnapshot {
+    /// Estimator per level, `None` until materialized (index = level).
+    levels: Vec<Option<Arc<SEulerApprox>>>,
+    /// Bumped on every publication.
+    epoch: u64,
+}
+
 /// A lazily-materialized resolution pyramid over one dataset.
 pub struct PyramidBrowser {
     space: DataSpace,
     /// Grids, finest (level 0) to coarsest.
     grids: Vec<Grid>,
-    rects: Vec<Rect>,
-    built: RwLock<HashMap<usize, Arc<SEulerApprox>>>,
+    /// Objects snapped once at the finest grid — the shared lineage every
+    /// level derives from.
+    lineage: Vec<SnappedRect>,
+    /// Serializes materialization; never held while readers pin.
+    writer: Mutex<()>,
+    current: RwLock<Arc<PyramidSnapshot>>,
 }
 
 impl PyramidBrowser {
@@ -85,11 +108,18 @@ impl PyramidBrowser {
             nx /= 2;
             ny /= 2;
         }
+        let snapper = Snapper::new(grids[0]);
+        let lineage = rects.iter().map(|r| snapper.snap(r)).collect();
+        let snapshot = Arc::new(PyramidSnapshot {
+            levels: vec![None; grids.len()],
+            epoch: 0,
+        });
         Ok(PyramidBrowser {
             space,
             grids,
-            rects,
-            built: RwLock::new(HashMap::new()),
+            lineage,
+            writer: Mutex::new(()),
+            current: RwLock::new(snapshot),
         })
     }
 
@@ -103,11 +133,29 @@ impl PyramidBrowser {
         &self.grids[level]
     }
 
+    /// Pins the current published snapshot.
+    fn pin(&self) -> Arc<PyramidSnapshot> {
+        self.current.read().expect("pyramid lock").clone()
+    }
+
     /// Levels that have been materialized so far.
     pub fn materialized_levels(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.built.read().keys().copied().collect();
-        v.sort_unstable();
-        v
+        let snap = self.pin();
+        (0..snap.levels.len())
+            .filter(|&l| snap.levels[l].is_some())
+            .collect()
+    }
+
+    /// The publication epoch — bumps once per materialized level.
+    pub fn epoch(&self) -> u64 {
+        self.pin().epoch
+    }
+
+    /// Resident cube bytes of a level, `None` while unmaterialized.
+    pub fn level_storage_bytes(&self, level: usize) -> Option<usize> {
+        self.pin().levels[level]
+            .as_ref()
+            .map(|est| est.histogram().storage_bytes())
     }
 
     /// Picks the coarsest level whose grid aligns the region *and* all
@@ -140,22 +188,49 @@ impl PyramidBrowser {
         })
     }
 
+    /// Builds the histogram for `level` from the cheapest exact source: a
+    /// 2×2 fold chain off the nearest finer materialized level if one
+    /// exists, else a direct build over the coarsened lineage. Both
+    /// routes produce bit-identical buckets (the fold law).
+    fn materialize(&self, level: usize, snap: &PyramidSnapshot) -> EulerHistogram {
+        let finer = (0..level).rev().find(|&l| snap.levels[l].is_some());
+        if let Some(from) = finer {
+            let mut h = snap.levels[from]
+                .as_ref()
+                .expect("checked is_some")
+                .histogram()
+                .fold2x2()
+                .expect("ladder grids stay even while halving");
+            for _ in from + 1..level {
+                h = h.fold2x2().expect("ladder grids stay even while halving");
+            }
+            h
+        } else {
+            let factor = 1usize << level;
+            let coarse: Vec<SnappedRect> = self.lineage.iter().map(|s| s.coarsen(factor)).collect();
+            EulerHistogram::build(self.grids[level], &coarse)
+        }
+    }
+
     fn estimator_for(&self, level: usize) -> Arc<SEulerApprox> {
-        if let Some(est) = self.built.read().get(&level) {
+        if let Some(est) = &self.pin().levels[level] {
             return est.clone();
         }
-        let mut built = self.built.write();
-        built
-            .entry(level)
-            .or_insert_with(|| {
-                let grid = self.grids[level];
-                let snapper = euler_grid::Snapper::new(grid);
-                let snapped: Vec<_> = self.rects.iter().map(|r| snapper.snap(r)).collect();
-                Arc::new(SEulerApprox::new(
-                    EulerHistogram::build(grid, &snapped).freeze(),
-                ))
-            })
-            .clone()
+        let _writer = self.writer.lock().expect("pyramid writer lock");
+        // Re-check under the writer lock: another materializer may have
+        // published this level while we waited.
+        let snap = self.pin();
+        if let Some(est) = &snap.levels[level] {
+            return est.clone();
+        }
+        let est = Arc::new(SEulerApprox::new(self.materialize(level, &snap).freeze()));
+        let mut levels = snap.levels.clone();
+        levels[level] = Some(est.clone());
+        *self.current.write().expect("pyramid lock") = Arc::new(PyramidSnapshot {
+            levels,
+            epoch: snap.epoch + 1,
+        });
+        est
     }
 
     /// Browses `region` (data units) as `cols × rows` tiles on the
@@ -217,23 +292,34 @@ mod tests {
     fn coarse_views_use_coarse_levels_lazily() {
         let p = pyramid();
         assert!(p.materialized_levels().is_empty());
+        assert_eq!(p.epoch(), 0);
         // A 36x18 world view of 10-degree tiles aligns on every level
         // whose cell divides 10 degrees: level 0 (1 deg), 1 (2 deg)...
         let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
         let (_, level) = p.browse(&world, 36, 18).unwrap();
         assert!(level > 0, "coarse view should use a coarse level");
         assert_eq!(p.materialized_levels(), vec![level]);
+        assert_eq!(p.epoch(), 1);
+        // The coarse overview must not have dragged the finest cube into
+        // memory: its resident footprint stays well under level 0's
+        // (2·360−1)(2·180−1) buckets — roughly 4× smaller per halving.
+        let coarse_bytes = p.level_storage_bytes(level).unwrap();
+        assert!(p.level_storage_bytes(0).is_none());
+        assert!(coarse_bytes * 3 < (2 * 360 - 1) * (2 * 180 - 1) * 8);
         // Zooming to 1-degree tiles forces the finest level.
         let city = Rect::new(100.0, 60.0, 110.0, 70.0).unwrap();
         let (_, fine_level) = p.browse(&city, 10, 10).unwrap();
         assert_eq!(fine_level, 0);
         assert_eq!(p.materialized_levels(), vec![0, level]);
+        assert_eq!(p.epoch(), 2);
     }
 
     #[test]
     fn answers_match_across_levels() {
         // The same aligned tiling answered at different levels must agree
-        // (resolution independence of aligned queries).
+        // **exactly**: all levels fold out of one finest-grid lineage, so
+        // dispatch level is unobservable in the counts, not merely in the
+        // thresholded relations.
         let p = pyramid();
         let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
         let (coarse, level) = p.browse(&world, 36, 18).unwrap();
@@ -246,6 +332,11 @@ mod tests {
         for col in 0..36 {
             for row in 0..18 {
                 assert_eq!(
+                    coarse.get(col, row),
+                    fine_res.get(col, row),
+                    "tile ({col},{row})"
+                );
+                assert_eq!(
                     Relation::Intersect.of(coarse.get(col, row)),
                     Relation::Intersect.of(fine_res.get(col, row)),
                     "tile ({col},{row})"
@@ -255,6 +346,27 @@ mod tests {
                     Relation::Contains.of(fine_res.get(col, row)),
                     "tile ({col},{row})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_route_matches_direct_route() {
+        // Materializing coarse-first (direct build from coarsened
+        // lineage) and fine-first (2×2 fold chain) must agree exactly.
+        let world = Rect::new(0.0, 0.0, 360.0, 180.0).unwrap();
+        let coarse_first = pyramid();
+        let (a, level) = coarse_first.browse(&world, 36, 18).unwrap();
+        assert!(level > 0);
+
+        let fine_first = pyramid();
+        let city = Rect::new(100.0, 60.0, 110.0, 70.0).unwrap();
+        let _ = fine_first.browse(&city, 10, 10).unwrap(); // materializes level 0
+        let (b, level_b) = fine_first.browse(&world, 36, 18).unwrap();
+        assert_eq!(level, level_b);
+        for col in 0..36 {
+            for row in 0..18 {
+                assert_eq!(a.get(col, row), b.get(col, row), "tile ({col},{row})");
             }
         }
     }

@@ -101,6 +101,14 @@ pub trait BrowseSession: Send + Sync {
     /// writers, and a pinned view is immune to later writes.
     fn pin_session(&self) -> PinnedSession;
 
+    /// The resolution level this session would serve `_tiling` from.
+    /// Flat sessions always answer at the finest (and only) resolution;
+    /// pyramid-backed sessions override this so front-door caches can
+    /// key results by the level that actually produced them.
+    fn resolution_level(&self, _tiling: &Tiling) -> usize {
+        0
+    }
+
     /// Inserts an object MBR.
     fn insert(&self, rect: &Rect);
 

@@ -8,7 +8,9 @@
 use std::sync::Arc;
 
 use euler_baselines::{BtHistogram, CdHistogram, MinSkew, NaiveScan, RTreeOracle};
-use euler_browse::{BrowseRequest, BrowseSession, DynamicGeoBrowsingService, GeoBrowsingService};
+use euler_browse::{
+    BrowseRequest, BrowseSession, DynamicGeoBrowsingService, GeoBrowsingService, PyramidBrowser,
+};
 use euler_core::model::count_by_classification;
 use euler_core::{
     DynamicEulerHistogram, EulerApprox, EulerHistogram, ExactContains2D, Level2Estimator,
@@ -154,9 +156,12 @@ pub fn run_case(spec: &CaseSpec) -> CaseOutcome {
 
     differential_matrix(&grid, &objects, &queries, &oracle, &mut outcome);
     check_kernel_tiers(&grid, &objects, &mut outcome.violations);
+    check_compressed_tier(&grid, &objects, &mut outcome.violations);
+    check_parallel_sweep(&grid, &objects, &mut outcome.violations);
     check_dynamic_replay(spec, &grid, &objects, &queries, &mut outcome.violations);
     check_persist_round_trip(&grid, &objects, &queries, &mut outcome.violations);
     check_browse_api(spec, &grid, &queries, &oracle, &mut outcome.violations);
+    check_pyramid_dispatch(spec, &grid, &mut outcome.violations);
     outcome
 }
 
@@ -363,6 +368,87 @@ fn check_kernel_tiers(grid: &Grid, objects: &[SnappedRect], out: &mut Vec<Violat
     }
 }
 
+/// Compressed-tier law: a histogram frozen onto the run-compressed cube
+/// must be **bit-identical** to the dense freeze — per-tile point
+/// estimates for both Euler-family estimators and the amortized sweep
+/// evaluator, on every sweep-law tiling shape. This is the contract that
+/// lets the freeze heuristic pick a tier per dataset without any caller
+/// noticing. Adds no differential comparisons (the accounting tests rely
+/// on that).
+fn check_compressed_tier(grid: &Grid, objects: &[SnappedRect], out: &mut Vec<Violation>) {
+    let hist = EulerHistogram::build(*grid, objects);
+    let pairs: [(&str, SharedEstimator, SharedEstimator); 2] = [
+        (
+            "S-EulerApprox",
+            Arc::new(SEulerApprox::new(hist.freeze_dense())),
+            Arc::new(SEulerApprox::new(hist.freeze_compressed())),
+        ),
+        (
+            "EulerApprox",
+            Arc::new(EulerApprox::new(hist.freeze_dense())),
+            Arc::new(EulerApprox::new(hist.freeze_compressed())),
+        ),
+    ];
+    for (name, dense, comp) in &pairs {
+        for tiling in sweep_tilings(grid) {
+            for (_, tile) in tiling.iter() {
+                let want = dense.estimate(&tile);
+                let got = comp.estimate(&tile);
+                if got != want {
+                    out.push(Violation {
+                        estimator: format!("{name} (compressed-tier)"),
+                        law: "compressed tier = dense tier, bit-identical",
+                        query: tile,
+                        got,
+                        oracle: want,
+                    });
+                }
+            }
+            let (dense_counts, dense_total) = dense.estimate_tiling_total(&tiling);
+            let (comp_counts, comp_total) = comp.estimate_tiling_total(&tiling);
+            if dense_counts != comp_counts || dense_total != comp_total {
+                out.push(Violation {
+                    estimator: format!("{name} (compressed-tier sweep)"),
+                    law: "compressed-tier sweep = dense-tier sweep, bit-identical",
+                    query: tiling.region(),
+                    got: comp_total,
+                    oracle: dense_total,
+                });
+            }
+        }
+    }
+}
+
+/// Parallel-sweep law: a tiling-shaped batch through the engine must be
+/// bit-identical to the per-tile loop at every thread width — the band
+/// split (whole tile rows, remainder row alone) is exact geometry, not
+/// an approximation. Adds no differential comparisons.
+fn check_parallel_sweep(grid: &Grid, objects: &[SnappedRect], out: &mut Vec<Violation>) {
+    let est: SharedEstimator = Arc::new(SEulerApprox::new(
+        EulerHistogram::build(*grid, objects).freeze(),
+    ));
+    for tiling in sweep_tilings(grid) {
+        let baseline: Vec<RelationCounts> = tiling.iter().map(|(_, t)| est.estimate(&t)).collect();
+        for threads in [1usize, 2, 4] {
+            let engine = EstimatorEngine::builder(Arc::clone(&est))
+                .threads(threads)
+                .build();
+            let result = engine.run_batch(&QueryBatch::from(&tiling));
+            for (((_, tile), got), want) in tiling.iter().zip(&result.counts).zip(&baseline) {
+                if got != want {
+                    out.push(Violation {
+                        estimator: format!("parallel-sweep[threads={threads}]"),
+                        law: "banded sweep = per-tile loop, bit-identical",
+                        query: tile,
+                        got: *got,
+                        oracle: *want,
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Dynamic insert/delete replay must agree with a frozen rebuild: insert
 /// all objects, remove every third, re-insert them, and compare the
 /// dynamic S-Euler estimates against a freshly built frozen histogram on
@@ -433,6 +519,18 @@ fn check_persist_round_trip(
                 continue;
             }
         };
+        // Tier independence: persistence stores raw buckets, so the
+        // revived histogram must freeze onto the identical compressed
+        // cube the original does.
+        if revived.freeze_compressed() != hist.freeze_compressed() {
+            out.push(Violation {
+                estimator: format!("{codec} (compressed freeze)"),
+                law: "revived buckets freeze to the identical compressed cube",
+                query: grid.full(),
+                got: RelationCounts::default(),
+                oracle: RelationCounts::default(),
+            });
+        }
         let revived = SEulerApprox::new(revived.freeze());
         for q in queries {
             let got = revived.estimate(q);
@@ -503,6 +601,66 @@ fn check_browse_api(
                 n,
                 out,
             );
+        }
+    }
+}
+
+/// Pyramid-dispatch law: a browse served from a coarse pyramid level
+/// must equal the same tiling answered at the finest level, count for
+/// count — every level folds out of one finest-grid lineage, so the
+/// dispatch level is unobservable. Skipped when the case grid cannot
+/// halve (odd or tiny dims leave a single-level ladder).
+fn check_pyramid_dispatch(spec: &CaseSpec, grid: &Grid, out: &mut Vec<Violation>) {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    if nx < 4 || ny < 4 || nx % 2 != 0 || ny % 2 != 0 {
+        return;
+    }
+    let rects = spec.rects();
+    let region = grid.space().bounds();
+    let (cols, rows) = (nx / 2, ny / 2);
+    let browse = |levels: usize| {
+        PyramidBrowser::new(*grid.space(), nx, ny, levels, rects.clone())
+            .expect("validated dims")
+            .browse(region, cols, rows)
+    };
+    match (browse(2), browse(1)) {
+        (Ok((coarse, coarse_level)), Ok((fine, fine_level))) => {
+            if coarse_level == fine_level {
+                out.push(Violation {
+                    estimator: "pyramid-dispatch".into(),
+                    law: "half-resolution tiling dispatches to a coarse level",
+                    query: grid.full(),
+                    got: RelationCounts::default(),
+                    oracle: RelationCounts::default(),
+                });
+            }
+            for col in 0..cols {
+                for row in 0..rows {
+                    let (got, want) = (*coarse.get(col, row), *fine.get(col, row));
+                    if got != want {
+                        out.push(Violation {
+                            estimator: format!("pyramid-dispatch[tile=({col},{row})]"),
+                            law: "coarse-level browse = finest-level browse, bit-identical",
+                            query: grid.full(),
+                            got,
+                            oracle: want,
+                        });
+                    }
+                }
+            }
+        }
+        (coarse, fine) => {
+            out.push(Violation {
+                estimator: format!(
+                    "pyramid-dispatch: coarse={:?} fine={:?}",
+                    coarse.as_ref().err(),
+                    fine.as_ref().err()
+                ),
+                law: "full-region half-resolution browse aligns on some level",
+                query: grid.full(),
+                got: RelationCounts::default(),
+                oracle: RelationCounts::default(),
+            });
         }
     }
 }

@@ -28,11 +28,47 @@
 //!   which misses query-containing objects (the *loophole effect*,
 //!   Corollary 4.2 with `k = 2` exterior faces).
 
-use euler_cube::{Dense2D, Diff2D, PrefixSum2D};
+use euler_cube::{CompressedPrefix2D, CubeTier, Dense2D, Diff2D, PrefixSum2D};
 use euler_grid::{Grid, GridRect, SnappedRect};
 use serde::{Deserialize, Serialize};
 
 use crate::EulerSource;
+
+/// Below this projected dense-cube size the freeze heuristic does not
+/// even attempt compression: a couple of MiB of prefix rows is already
+/// cache-resident and the dense tier's pure loads are unbeatable there.
+const COMPRESS_MIN_DENSE_BYTES: usize = 2 << 20;
+
+/// The compressed tier is kept only when it undercuts the dense
+/// projection by this factor; the encoder aborts as soon as it can no
+/// longer win, so an incompressible freeze pays one early-exit scan,
+/// not a full doomed encode.
+const COMPRESS_KEEP_DIVISOR: usize = 4;
+
+/// Fine Euler-slot span that folds into coarse slot `s` under one 2×2
+/// cell fold: coarse cell `i` is fine cells `{2i, 2i+1}` and coarse grid
+/// line `i` is fine grid line `2i`, so an even (cell/face) slot absorbs
+/// fine slots `2s..=2s+2` — its two cells plus the interior line — and
+/// an odd (line) slot keeps exactly fine slot `2s + 1`. Per axis the
+/// signed sum over this span equals the directly built coarse bucket's
+/// ±1 indicator, which is what makes [`EulerHistogram::fold2x2`] exact.
+#[inline]
+fn fold_span(s: usize) -> (usize, usize) {
+    if s.is_multiple_of(2) {
+        (2 * s, 2 * s + 2)
+    } else {
+        (2 * s + 1, 2 * s + 1)
+    }
+}
+
+/// The halved grid of a 2×2 fold, when both dimensions allow one.
+fn folded_grid(grid: &Grid) -> Option<Grid> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    if nx < 2 || ny < 2 || !nx.is_multiple_of(2) || !ny.is_multiple_of(2) {
+        return None;
+    }
+    Some(Grid::new(*grid.space(), nx / 2, ny / 2).expect("halved dims stay valid"))
+}
 
 /// Sign of an Euler bucket: `+1` for faces and vertices, `−1` for edges.
 #[inline]
@@ -185,13 +221,72 @@ impl EulerHistogram {
         self.buckets.storage_bytes()
     }
 
-    /// Builds the cumulative (prefix-sum) form for constant-time queries.
+    /// Builds the cumulative (prefix-sum) form for constant-time queries,
+    /// picking a storage tier by the size heuristic: small cubes freeze
+    /// dense unconditionally; past [`COMPRESS_MIN_DENSE_BYTES`] the
+    /// run-compressed tier is tried first (straight from the buckets, so
+    /// the dense cube is never allocated) and kept only when it beats
+    /// the dense projection by [`COMPRESS_KEEP_DIVISOR`]×. Both tiers
+    /// answer bit-identically, and the choice is deterministic in the
+    /// bucket contents — freezing equal histograms yields equal frozen
+    /// values.
     pub fn freeze(&self) -> FrozenEulerHistogram {
+        let dense_bytes = PrefixSum2D::projected_bytes(self.buckets.width(), self.buckets.height());
+        if dense_bytes >= COMPRESS_MIN_DENSE_BYTES {
+            if let Some(c) =
+                CompressedPrefix2D::build_capped(&self.buckets, dense_bytes / COMPRESS_KEEP_DIVISOR)
+            {
+                return self.frozen_with(CubeTier::Compressed(c));
+            }
+        }
+        self.freeze_dense()
+    }
+
+    /// Freezes onto the dense tier unconditionally — the reference side
+    /// of the compressed-tier law, and the right call when the caller
+    /// knows the cube stays hot (benchmarks, tiny grids).
+    pub fn freeze_dense(&self) -> FrozenEulerHistogram {
+        self.frozen_with(CubeTier::Dense(PrefixSum2D::build(&self.buckets)))
+    }
+
+    /// Freezes onto the compressed tier unconditionally, regardless of
+    /// whether it wins — the differential side of the compressed-tier
+    /// law and the footprint axis of the `hugegrid` bench.
+    pub fn freeze_compressed(&self) -> FrozenEulerHistogram {
+        self.frozen_with(CubeTier::Compressed(CompressedPrefix2D::build(
+            &self.buckets,
+        )))
+    }
+
+    fn frozen_with(&self, cum: CubeTier) -> FrozenEulerHistogram {
         FrozenEulerHistogram {
             grid: self.grid,
-            cum: PrefixSum2D::build(&self.buckets),
+            cum,
             object_count: self.object_count,
         }
+    }
+
+    /// Folds this histogram onto the half-resolution grid — the pyramid
+    /// builds coarse levels from fine ones with this instead of
+    /// re-ingesting objects. Each coarse bucket is the signed sum of its
+    /// [`fold_span`] fine slots, which equals the bucket a direct build
+    /// at the coarse grid would produce (the per-axis span sums are
+    /// exactly the coarse ±1 coverage indicators). `None` when either
+    /// dimension is odd or below 2.
+    pub fn fold2x2(&self) -> Option<EulerHistogram> {
+        let grid = folded_grid(&self.grid)?;
+        let (ew, eh) = grid.euler_dims();
+        let mut buckets = Dense2D::zeros(ew, eh);
+        buckets.map_in_place(|ex, ey, _| {
+            let (x0, x1) = fold_span(ex);
+            let (y0, y1) = fold_span(ey);
+            self.buckets.range_sum_naive(x0, y0, x1, y1)
+        });
+        Some(EulerHistogram {
+            grid,
+            buckets,
+            object_count: self.object_count,
+        })
     }
 }
 
@@ -200,7 +295,7 @@ impl EulerHistogram {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FrozenEulerHistogram {
     grid: Grid,
-    cum: PrefixSum2D,
+    cum: CubeTier,
     object_count: u64,
 }
 
@@ -235,11 +330,49 @@ impl FrozenEulerHistogram {
             + self.cum.prefix_clipped(ex0 - 1, ey0 - 1)
     }
 
-    /// The underlying prefix-sum cube, for the sweep kernels in
-    /// [`crate::sweep`] that materialize whole rows of clipped prefixes.
+    /// The underlying prefix-sum cube tier, for the sweep kernels in
+    /// [`crate::sweep`] that materialize whole strips of clipped
+    /// prefixes (dense rows or compressed run walks, per variant).
     #[inline]
-    pub(crate) fn cum(&self) -> &PrefixSum2D {
+    pub(crate) fn cum(&self) -> &CubeTier {
         &self.cum
+    }
+
+    /// True when the freeze heuristic (or a forced
+    /// [`EulerHistogram::freeze_compressed`]) put this histogram on the
+    /// run-compressed cube tier.
+    #[inline]
+    pub fn is_compressed(&self) -> bool {
+        self.cum.is_compressed()
+    }
+
+    /// Bytes of storage held by the cube on its current tier.
+    pub fn storage_bytes(&self) -> usize {
+        self.cum.storage_bytes()
+    }
+
+    /// Folds onto the half-resolution grid without the bucket array:
+    /// each coarse bucket's [`fold_span`] window is contiguous per axis,
+    /// so it is **one** clipped range sum on the cube — this works on
+    /// either tier and is how the pyramid derives a coarser level from
+    /// an already-frozen finer one. Returns the mutable coarse
+    /// histogram (freeze it to serve); `None` when either dimension is
+    /// odd or below 2.
+    pub fn fold2x2(&self) -> Option<EulerHistogram> {
+        let grid = folded_grid(&self.grid)?;
+        let (ew, eh) = grid.euler_dims();
+        let mut buckets = Dense2D::zeros(ew, eh);
+        buckets.map_in_place(|ex, ey, _| {
+            let (x0, x1) = fold_span(ex);
+            let (y0, y1) = fold_span(ey);
+            self.cum
+                .range_sum_clipped(x0 as i64, y0 as i64, x1 as i64, y1 as i64)
+        });
+        Some(EulerHistogram {
+            grid,
+            buckets,
+            object_count: self.object_count,
+        })
     }
 
     /// Both per-query estimator sums — the inside sum (`n_ii`) and the
@@ -591,6 +724,92 @@ mod tests {
         }
         // Windows hanging off both sides at once clamp to the full array.
         assert_eq!(h.signed_sum(-3, -3, 20, 20), h.total());
+    }
+
+    fn dataset(g: &Grid, n: usize) -> Vec<SnappedRect> {
+        (0..n)
+            .map(|i| {
+                let x = (i * 7 % 50) as f64 / 5.0 % g.nx() as f64;
+                let y = (i * 13 % 40) as f64 / 5.0 % g.ny() as f64;
+                snap(
+                    g,
+                    x,
+                    y,
+                    (x + 1.7).min(g.nx() as f64),
+                    (y + 2.3).min(g.ny() as f64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compressed_tier_answers_bit_identically() {
+        let g = grid(10, 8);
+        let hist = EulerHistogram::build(g, &dataset(&g, 40));
+        let dense = hist.freeze_dense();
+        let comp = hist.freeze_compressed();
+        assert!(!dense.is_compressed());
+        assert!(comp.is_compressed());
+        assert_eq!(dense.total(), comp.total());
+        for qx0 in 0..10 {
+            for qy0 in 0..8 {
+                for qx1 in qx0 + 1..=10 {
+                    for qy1 in qy0 + 1..=8 {
+                        let query = q(qx0, qy0, qx1, qy1);
+                        assert_eq!(
+                            dense.intersect_count(&query),
+                            comp.intersect_count(&query),
+                            "n_ii at {query}"
+                        );
+                        assert_eq!(
+                            dense.inside_closed_sums(&query),
+                            comp.inside_closed_sums(&query),
+                            "pair at {query}"
+                        );
+                        assert_eq!(
+                            dense.outside_sum(&query),
+                            comp.outside_sum(&query),
+                            "outside at {query}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_heuristic_stays_dense_on_small_grids() {
+        // The paper grid's cube is well under the compression floor.
+        let g = grid(10, 8);
+        assert!(!EulerHistogram::build(g, &dataset(&g, 40))
+            .freeze()
+            .is_compressed());
+    }
+
+    #[test]
+    fn fold2x2_equals_direct_coarse_build() {
+        let g = grid(12, 8);
+        let objs = dataset(&g, 60);
+        let fine = EulerHistogram::build(g, &objs);
+        // Coarsened spans: a fine snapped object occupying cells
+        // [cx0, cx1] occupies coarse cells [cx0/2, cx1/2].
+        let coarse_objs: Vec<SnappedRect> = objs.iter().map(|o| o.coarsen(2)).collect();
+        let coarse_grid = Grid::new(*g.space(), 6, 4).unwrap();
+        let direct = EulerHistogram::build(coarse_grid, &coarse_objs);
+        let folded = fine.fold2x2().expect("even dims fold");
+        assert_eq!(folded, direct, "mutable fold == direct build");
+        // The frozen fold (range sums on the cube) agrees, on both tiers.
+        assert_eq!(fine.freeze_dense().fold2x2().unwrap(), direct);
+        assert_eq!(fine.freeze_compressed().fold2x2().unwrap(), direct);
+        // Chained fold reaches the quarter grid.
+        let folded2 = folded.fold2x2().expect("still even");
+        let direct2 = EulerHistogram::build(
+            Grid::new(*g.space(), 3, 2).unwrap(),
+            &objs.iter().map(|o| o.coarsen(4)).collect::<Vec<_>>(),
+        );
+        assert_eq!(folded2, direct2);
+        // Odd dimensions refuse to fold.
+        assert!(direct2.fold2x2().is_none());
     }
 
     #[test]

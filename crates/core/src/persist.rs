@@ -366,6 +366,26 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_compressed_freezes() {
+        // Persistence stores raw buckets, so it is tier-independent: a
+        // revived histogram must freeze to the same compressed cube —
+        // and answer identically — as the original.
+        let h = sample();
+        for bytes in [h.to_bytes(), h.to_bytes_compressed()] {
+            let back = EulerHistogram::from_bytes(bytes).unwrap();
+            let fa = h.freeze_compressed();
+            let fb = back.freeze_compressed();
+            assert_eq!(fa, fb);
+            assert!(fa.is_compressed() && fb.is_compressed());
+            let q = euler_grid::GridRect::unchecked(3, 2, 31, 24);
+            assert_eq!(
+                fa.intersect_count(&q),
+                back.freeze_dense().intersect_count(&q)
+            );
+        }
+    }
+
+    #[test]
     fn empty_histogram_round_trips() {
         let grid = Grid::new(DataSpace::new(Rect::new(0.0, 0.0, 4.0, 4.0).unwrap()), 4, 4).unwrap();
         let h = EulerHistogram::new(grid);

@@ -48,7 +48,7 @@
 //! packed kernel tier against the scalar reference on every plan.
 
 use euler_cube::kernels::{Active, KernelTier, PackedTier, ScalarTier};
-use euler_cube::PrefixSum2D;
+use euler_cube::CubeTier;
 use euler_grid::Tiling;
 
 use crate::{FrozenEulerHistogram, RegionSplit, RelationCounts};
@@ -216,26 +216,37 @@ struct CornerStrip<'s> {
 }
 
 impl CornerStrip<'_> {
-    /// Materializes the strip at Euler row `er`: one clipped row slice,
-    /// one dual gather through the plan's precomputed indices, and a
-    /// right-edge clamp for the final boundary pair.
-    fn fill<K: KernelTier>(&mut self, plan: &TilingPlan, cum: &PrefixSum2D, er: i64) {
-        let row = cum.row_clipped(er);
-        let w = row.len() - 1;
-        let n = plan.ia.len();
-        K::gather2(
-            row,
-            &plan.ia[..n - 1],
-            &plan.ib[..n - 1],
-            &mut self.a[..n - 1],
-            &mut self.b[..n - 1],
-        );
-        // Only the region's right edge can reach past the cube width
-        // (Euler column 2n − 1 ↦ internal 2n = w + 1); clamping onto the
-        // last prefix column is lossless.
-        self.a[n - 1] = row[plan.ia[n - 1].min(w)];
-        self.b[n - 1] = row[plan.ib[n - 1].min(w)];
-        self.last = row[w];
+    /// Materializes the strip at Euler row `er`, per cube tier: on the
+    /// dense tier one clipped row slice, one dual gather through the
+    /// plan's precomputed indices, and a right-edge clamp for the final
+    /// boundary pair; on the compressed tier one monotone run walk
+    /// (the plan's interleaved indices are non-decreasing, which is
+    /// exactly what [`euler_cube::CompressedPrefix2D::gather_row2_clipped`]
+    /// needs to fill both arrays in `O(runs + cols)`).
+    fn fill<K: KernelTier>(&mut self, plan: &TilingPlan, cum: &CubeTier, er: i64) {
+        match cum {
+            CubeTier::Dense(cum) => {
+                let row = cum.row_clipped(er);
+                let w = row.len() - 1;
+                let n = plan.ia.len();
+                K::gather2(
+                    row,
+                    &plan.ia[..n - 1],
+                    &plan.ib[..n - 1],
+                    &mut self.a[..n - 1],
+                    &mut self.b[..n - 1],
+                );
+                // Only the region's right edge can reach past the cube
+                // width (Euler column 2n − 1 ↦ internal 2n = w + 1);
+                // clamping onto the last prefix column is lossless.
+                self.a[n - 1] = row[plan.ia[n - 1].min(w)];
+                self.b[n - 1] = row[plan.ib[n - 1].min(w)];
+                self.last = row[w];
+            }
+            CubeTier::Compressed(c) => {
+                self.last = c.gather_row2_clipped(er, &plan.ia, &plan.ib, self.a, self.b);
+            }
+        }
     }
 }
 
@@ -247,10 +258,20 @@ fn fill_pair<K: KernelTier>(
     sa: &mut CornerStrip,
     sb: &mut CornerStrip,
     plan: &TilingPlan,
-    cum: &PrefixSum2D,
+    cum: &CubeTier,
     er_a: i64,
     er_b: i64,
 ) {
+    let cum = match cum {
+        CubeTier::Dense(cum) => cum,
+        CubeTier::Compressed(c) => {
+            // The fused quad gather is a dense-layout trick (both rows
+            // share one stride); on runs the two rows walk separately.
+            sa.last = c.gather_row2_clipped(er_a, &plan.ia, &plan.ib, sa.a, sa.b);
+            sb.last = c.gather_row2_clipped(er_b, &plan.ia, &plan.ib, sb.a, sb.b);
+            return;
+        }
+    };
     let row_a = cum.row_clipped(er_a);
     let row_b = cum.row_clipped(er_b);
     let w = row_a.len() - 1;
@@ -688,7 +709,12 @@ pub fn verify_kernel_tiers(hist: &FrozenEulerHistogram, t: &Tiling) -> Result<()
             }
         }
     }
-    let cum = hist.cum();
+    // The batched point kernels (`signed_sum4_in`, `prefix_many_in`)
+    // are dense-layout entry points; on the compressed tier the sweep
+    // comparison above is the whole tier surface.
+    let Some(cum) = hist.cum().as_dense() else {
+        return Ok(());
+    };
     for ((c, r), tile) in t.iter() {
         // The two estimator windows of the tile (inside / closed), lane-
         // packed twice over, through both tiers and against the strip
@@ -851,6 +877,40 @@ mod tests {
         let empty = EulerHistogram::build(g, &[]).freeze();
         for t in tilings(&g) {
             verify_kernel_tiers(&empty, &t).unwrap();
+        }
+    }
+
+    /// The compressed-tier law at the sweep level: every strip-filled
+    /// sweep output on the compressed cube is bit-identical to the dense
+    /// cube, for every proxy mode and boundary tiling — including the
+    /// run walk's clamped right edge and guard rows.
+    #[test]
+    fn compressed_tier_sweeps_bit_identically() {
+        let g = grid(16, 12);
+        let built = EulerHistogram::build(g, &random_objects(&g, 140, 23));
+        let dense = built.freeze_dense();
+        let comp = built.freeze_compressed();
+        assert!(comp.is_compressed());
+        for t in tilings(&g) {
+            let plan = TilingPlan::new(&t);
+            for proxy in [
+                None,
+                Some(RegionSplit::YBandSides),
+                Some(RegionSplit::XBandSides),
+                Some(RegionSplit::Average),
+            ] {
+                assert_eq!(
+                    sweep_tile_sums(&dense, &plan, proxy),
+                    sweep_tile_sums(&comp, &plan, proxy),
+                    "{t:?} under {proxy:?}"
+                );
+            }
+            assert_eq!(
+                sweep_s_euler(&dense, &plan),
+                sweep_s_euler(&comp, &plan),
+                "{t:?} s-euler"
+            );
+            verify_kernel_tiers(&comp, &t).unwrap();
         }
     }
 

@@ -13,6 +13,10 @@
 //! * [`Diff2D`] — a 2-D difference array for O(1) rectangle increments,
 //!   used to bulk-build Euler histograms and exact ground truth;
 //! * [`PrefixSum2D`] — the 2-D prefix-sum cube with O(1) range sums;
+//! * [`CompressedPrefix2D`] / [`CubeTier`] — a run-length–compressed twin
+//!   of the 2-D cube (parity-pair runs + a deduplicating row directory)
+//!   and the enum that lets frozen histograms pick a tier per dataset,
+//!   bit-identically;
 //! * [`DenseNd`] / [`PrefixSumNd`] — the d-dimensional generalization
 //!   (the paper states its results for d dimensions in Theorem 3.1);
 //! * [`RangeFenwick2D`] — a dynamic cube (O(log² n) rectangle update and
@@ -25,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod compressed2d;
 mod dense2d;
 mod diff2d;
 mod fenwick2d;
@@ -32,6 +37,7 @@ pub mod kernels;
 mod ndim;
 mod prefix2d;
 
+pub use compressed2d::{CompressedPrefix2D, CubeTier};
 pub use dense2d::Dense2D;
 pub use diff2d::Diff2D;
 pub use fenwick2d::RangeFenwick2D;

@@ -245,6 +245,13 @@ impl PrefixSum2D {
     pub fn storage_bytes(&self) -> usize {
         self.p.len() * std::mem::size_of::<i64>()
     }
+
+    /// Bytes a dense cube over a `width × height` array *would* occupy,
+    /// without building it — the tier-selection heuristic compares the
+    /// compressed encoder's running size against this projection.
+    pub fn projected_bytes(width: usize, height: usize) -> usize {
+        (width + 1).next_multiple_of(ROW_BLOCK) * (height + 1) * std::mem::size_of::<i64>()
+    }
 }
 
 #[cfg(test)]
