@@ -19,6 +19,13 @@
 //! p95 is reported, so transient noise (CPU frequency, a noisy
 //! neighbour) cannot fail the gate.
 //!
+//! A second section prices durability: the same insert stream through a
+//! [`DurableLive`] store (WAL append + fsync per policy before every
+//! acknowledgement) against the in-memory substrate, one `wal/<policy>`
+//! entry per fsync policy. The gated `speedup` there is durable ops/s
+//! over in-memory ops/s — the fraction of ingest throughput that
+//! survives turning durability on, measured on this machine.
+//!
 //! Writes the machine-readable summary `results/BENCH_ingest.json`
 //! (quick mode: `results/BENCH_ingest.quick.json`). Set
 //! `EULER_BENCH_QUICK=1` for the seconds-long CI smoke run.
@@ -31,6 +38,7 @@ use std::time::Instant;
 use euler_core::{EulerHistogram, Level2Estimator, LiveEulerHistogram, LiveSEuler, SEulerApprox};
 use euler_datagen::{adl_like, AdlConfig};
 use euler_grid::{DataSpace, Grid, SnappedRect, Tiling};
+use euler_wal::{DurableConfig, DurableLive, FsyncPolicy};
 
 /// Writer-side fold cadence: the delta never exceeds this many ops, so
 /// the reader-side scatter stays a small additive term on top of the
@@ -148,6 +156,60 @@ fn reader_pass_under_ingest(
     (p95(&mut all), ops_per_s)
 }
 
+/// One `wal/<policy>` row: insert throughput with the WAL on, as a
+/// fraction of the in-memory substrate's.
+struct WalEntry {
+    id: String,
+    ops: usize,
+    durable_ops_per_s: u64,
+    memory_ops_per_s: u64,
+}
+
+impl WalEntry {
+    /// Durable over in-memory ops/s — what turning durability on costs,
+    /// as a machine-relative ratio `bench_diff` can gate.
+    fn speedup(&self) -> f64 {
+        self.durable_ops_per_s as f64 / self.memory_ops_per_s.max(1) as f64
+    }
+}
+
+/// Free-running insert rate into a fresh, empty in-memory live
+/// histogram — the durable rates' common denominator. Both sides start
+/// empty so the ratio prices exactly the append path, not state size.
+fn memory_ingest_rate(grid: Grid, feed: &[SnappedRect]) -> u64 {
+    let live =
+        LiveEulerHistogram::from_base(EulerHistogram::build(grid, &[]), 64, Some(REFREEZE_EVERY));
+    let t0 = Instant::now();
+    for o in feed {
+        live.insert(o);
+    }
+    (feed.len() as u64) * 1_000_000_000 / (t0.elapsed().as_nanos() as u64).max(1)
+}
+
+/// Free-running insert rate through a [`DurableLive`] store under
+/// `fsync`, in a throwaway directory. Checkpointing is off so the rate
+/// prices exactly the append+fsync+apply path.
+fn durable_ingest_rate(grid: Grid, feed: &[SnappedRect], fsync: FsyncPolicy) -> u64 {
+    let dir = std::env::temp_dir().join(format!("euler-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = DurableConfig {
+        checkpoint_every: None,
+        refreeze_every: Some(REFREEZE_EVERY),
+        ..DurableConfig::default()
+    };
+    cfg.wal.fsync = fsync;
+    let (store, _report) = DurableLive::open(&dir, grid, cfg).expect("open durable store");
+    let t0 = Instant::now();
+    for o in feed {
+        store.insert(o).expect("durable insert");
+    }
+    store.sync().expect("final sync");
+    let rate = (feed.len() as u64) * 1_000_000_000 / (t0.elapsed().as_nanos() as u64).max(1);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
 fn main() {
     let quick = std::env::var_os("EULER_BENCH_QUICK").is_some();
 
@@ -232,18 +294,66 @@ fn main() {
         );
     }
 
-    write_json(&entries, quick);
+    // Durability pricing: the same insert stream through the WAL, one
+    // entry per fsync policy, best (highest-ratio) of `rounds`.
+    let wal_ops = if quick { 512 } else { 4096 };
+    let wal_feed = &snapped[..wal_ops.min(snapped.len())];
+    let policies: &[(&str, FsyncPolicy)] = &[
+        ("wal/always", FsyncPolicy::Always),
+        ("wal/every64", FsyncPolicy::EveryN(64)),
+        ("wal/never", FsyncPolicy::Never),
+    ];
+    let mut wal_entries = Vec::new();
+    for &(id, fsync) in policies {
+        let mut best: Option<WalEntry> = None;
+        for _ in 0..rounds {
+            let round = WalEntry {
+                id: id.to_string(),
+                ops: wal_feed.len(),
+                durable_ops_per_s: durable_ingest_rate(grid, wal_feed, fsync),
+                memory_ops_per_s: memory_ingest_rate(grid, wal_feed),
+            };
+            if best.as_ref().is_none_or(|b| round.speedup() > b.speedup()) {
+                best = Some(round);
+            }
+        }
+        wal_entries.push(best.expect("at least one round"));
+    }
+
+    println!(
+        "\n{:<14} {:>7} {:>14} {:>14} {:>9}",
+        "config", "ops", "durable op/s", "memory op/s", "speedup"
+    );
+    for e in &wal_entries {
+        println!(
+            "{:<14} {:>7} {:>14} {:>14} {:>8.3}x",
+            e.id,
+            e.ops,
+            e.durable_ops_per_s,
+            e.memory_ops_per_s,
+            e.speedup()
+        );
+    }
+
+    write_json(&entries, &wal_entries, quick);
 }
 
 /// Hand-rolled JSON in the one-entry-per-line shape `bench_diff`
 /// string-parses (`"id"` and `"speedup"` are the gated keys).
-fn write_json(entries: &[Entry], quick: bool) {
+fn write_json(entries: &[Entry], wal_entries: &[WalEntry], quick: bool) {
     let mut body = String::from("{\n  \"bench\": \"ingest_throughput\",\n  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let sep = if i + 1 == entries.len() { "" } else { "," };
+    for e in entries {
         body.push_str(&format!(
-            "    {{\"id\":\"{}\",\"readers\":{},\"frozen_p95_ns\":{},\"live_p95_ns\":{},\"writer_ops_per_s\":{},\"speedup\":{:.3}}}{sep}\n",
+            "    {{\"id\":\"{}\",\"readers\":{},\"frozen_p95_ns\":{},\"live_p95_ns\":{},\"writer_ops_per_s\":{},\"speedup\":{:.3}}},\n",
             e.id, e.readers, e.frozen_p95_ns, e.live_p95_ns, e.writer_ops_per_s,
+            e.speedup()
+        ));
+    }
+    for (i, e) in wal_entries.iter().enumerate() {
+        let sep = if i + 1 == wal_entries.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{\"id\":\"{}\",\"ops\":{},\"durable_ops_per_s\":{},\"memory_ops_per_s\":{},\"speedup\":{:.3}}}{sep}\n",
+            e.id, e.ops, e.durable_ops_per_s, e.memory_ops_per_s,
             e.speedup()
         ));
     }

@@ -31,17 +31,25 @@ use crate::{BrowseRequest, BrowseResult, Browser};
 pub struct DynamicGeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
-    live: LiveEulerHistogram,
+    live: Arc<LiveEulerHistogram>,
     recorder: Arc<Recorder>,
 }
 
 impl DynamicGeoBrowsingService {
     /// An empty service over `grid` (at least 2×2 cells).
     pub fn new(grid: Grid) -> DynamicGeoBrowsingService {
+        DynamicGeoBrowsingService::from_live(Arc::new(LiveEulerHistogram::new(grid)))
+    }
+
+    /// A service over an existing shared substrate — how a durable store
+    /// (whose writes must go through its WAL) shares its histogram with
+    /// the read path.
+    pub fn from_live(live: Arc<LiveEulerHistogram>) -> DynamicGeoBrowsingService {
+        let grid = live.grid();
         DynamicGeoBrowsingService {
             grid,
             snapper: Snapper::new(grid),
-            live: LiveEulerHistogram::new(grid),
+            live,
             recorder: Recorder::shared(),
         }
     }

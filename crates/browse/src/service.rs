@@ -120,29 +120,32 @@ impl BrowseOptions {
 pub struct GeoBrowsingService {
     grid: Grid,
     snapper: Snapper,
-    live: LiveEulerHistogram,
+    live: Arc<LiveEulerHistogram>,
     recorder: Arc<Recorder>,
 }
 
 impl GeoBrowsingService {
     /// An empty service over `grid`.
     pub fn new(grid: Grid) -> GeoBrowsingService {
-        GeoBrowsingService {
-            grid,
-            snapper: Snapper::new(grid),
-            live: LiveEulerHistogram::new(grid),
-            recorder: Recorder::shared(),
-        }
+        GeoBrowsingService::from_live(Arc::new(LiveEulerHistogram::new(grid)))
     }
 
     /// Bulk-loads a service from raw MBRs.
     pub fn with_objects(grid: Grid, rects: &[Rect]) -> GeoBrowsingService {
         let snapper = Snapper::new(grid);
         let snapped: Vec<SnappedRect> = rects.iter().map(|r| snapper.snap(r)).collect();
+        GeoBrowsingService::from_live(Arc::new(LiveEulerHistogram::with_objects(grid, &snapped)))
+    }
+
+    /// A service over an existing shared substrate — how a durable store
+    /// (whose writes must go through its WAL) shares its histogram with
+    /// the read path.
+    pub fn from_live(live: Arc<LiveEulerHistogram>) -> GeoBrowsingService {
+        let grid = live.grid();
         GeoBrowsingService {
             grid,
-            snapper,
-            live: LiveEulerHistogram::with_objects(grid, &snapped),
+            snapper: Snapper::new(grid),
+            live,
             recorder: Recorder::shared(),
         }
     }

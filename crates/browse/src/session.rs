@@ -115,6 +115,35 @@ pub trait BrowseSession: Send + Sync {
     /// Removes a previously inserted MBR (linear-sketch exact removal).
     fn remove(&self, rect: &Rect);
 
+    /// Inserts an object MBR, reporting the acknowledged write-log
+    /// version — the fallible form durable sessions implement (a WAL
+    /// append can fail; an in-memory insert cannot). In-memory sessions
+    /// use this default and never error.
+    fn try_insert(&self, rect: &Rect) -> std::io::Result<u64> {
+        self.insert(rect);
+        Ok(self.version())
+    }
+
+    /// Removes a previously inserted MBR, reporting the acknowledged
+    /// write-log version. See [`BrowseSession::try_insert`].
+    fn try_remove(&self, rect: &Rect) -> std::io::Result<u64> {
+        self.remove(rect);
+        Ok(self.version())
+    }
+
+    /// Forces every acknowledged write to stable storage — a no-op for
+    /// in-memory sessions, the WAL drain for durable ones. Called by the
+    /// serve front door on graceful shutdown.
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Takes a durability checkpoint, returning the `(epoch, version)`
+    /// it captured — `Ok(None)` for sessions with nothing to checkpoint.
+    fn checkpoint(&self) -> std::io::Result<Option<(u64, u64)>> {
+        Ok(None)
+    }
+
     /// The session's always-on telemetry recorder.
     fn recorder(&self) -> &Arc<Recorder>;
 

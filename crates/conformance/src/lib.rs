@@ -50,6 +50,7 @@
 //!   (see `euler_engine::faults`).
 
 pub mod corpus;
+pub mod crash;
 pub mod fault;
 pub mod harness;
 pub mod interleave;
@@ -58,6 +59,7 @@ pub mod shrink;
 pub mod spec;
 
 pub use corpus::{replay_corpus, CORPUS};
+pub use crash::{check_kill_points, check_torn_tails, CrashSummary};
 pub use fault::{Fault, FaultyEstimator, PanickingEstimator, SweepPanickingEstimator};
 pub use harness::{
     check_fault_resilience, differential_matrix, run_case, sweep_tilings, CaseOutcome,

@@ -7,9 +7,10 @@ use std::sync::Arc;
 
 use euler_baselines::NaiveScan;
 use euler_conformance::{
-    check_estimate, check_interleaving, default_specs, differential_matrix, env_budget, env_seed,
-    replay_corpus, run_case, run_suite, shrink, sweep_tilings, CaseOutcome, CaseSpec, Distribution,
-    EstimatorKind, ExactnessClass, Fault, FaultyEstimator, Violation,
+    check_estimate, check_interleaving, check_kill_points, check_torn_tails, default_specs,
+    differential_matrix, env_budget, env_seed, replay_corpus, run_case, run_suite, shrink,
+    sweep_tilings, CaseOutcome, CaseSpec, Distribution, EstimatorKind, ExactnessClass, Fault,
+    FaultyEstimator, Violation,
 };
 use euler_core::model::count_by_classification;
 use euler_core::Level2Estimator;
@@ -221,6 +222,40 @@ fn interleaved_reads_equal_write_log_prefix_rebuilds() {
             );
         }
     }
+}
+
+/// The crash-recovery law for the durability layer: a seeded write log
+/// killed after every acknowledged-op count — and, in a single-segment
+/// layout, cut at every byte offset and CRC-flipped at every record
+/// boundary — always recovers to exactly the frozen rebuild of the
+/// surviving write-log prefix. Seeded via `EULER_CONFORMANCE_SEED` like
+/// the main gate; the torn-tail sweep covers every record boundary ± 1
+/// byte by covering every offset.
+#[test]
+fn crash_recovery_equals_prefix_rebuilds() {
+    let spec = CaseSpec {
+        seed: env_seed(),
+        dist: Distribution::Mixed,
+        nx: 10,
+        ny: 8,
+        objects: 32,
+    };
+    for checkpoint_every in [None, Some(8)] {
+        let summary = check_kill_points(&spec, checkpoint_every);
+        assert!(
+            summary.is_clean(),
+            "kill-point law violated (checkpoint_every {checkpoint_every:?}):\n{}",
+            summary.violations.join("\n")
+        );
+        assert!(summary.recoveries_checked > 32);
+    }
+    let summary = check_torn_tails(&spec);
+    assert!(
+        summary.is_clean(),
+        "torn-tail law violated:\n{}",
+        summary.violations.join("\n")
+    );
+    assert!(summary.recoveries_checked > 1000);
 }
 
 /// The suite's own accounting: all nine estimators face every query of

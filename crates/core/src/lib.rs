@@ -76,6 +76,6 @@ pub use histogram::{EulerHistogram, FrozenEulerHistogram};
 pub use m_euler::{MEulerApprox, TuneReport};
 pub use ndim_hist::{BoxQuery, EulerHistogramNd, FrozenEulerHistogramNd, SEulerApproxNd};
 pub use s_euler::SEulerApprox;
-pub use snapshot::{DeltaOp, LiveEulerHistogram, LiveSEuler, LiveSnapshot};
+pub use snapshot::{CheckpointImage, DeltaOp, LiveEulerHistogram, LiveSEuler, LiveSnapshot};
 pub use source::{s_euler_counts, EulerSource};
 pub use sweep::TilingPlan;

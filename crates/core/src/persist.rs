@@ -11,8 +11,19 @@
 //! ```text
 //! magic "EULH" | version u32 | space bounds 4×f64 | nx u64 | ny u64
 //! | object_count u64 | bucket_count u64 | buckets i64 × bucket_count
-//! | checksum u64 (wrapping sum of bucket words)
+//! | checksum u64 (FNV-1a chain seeded with the header words)
 //! ```
+//!
+//! The checksum is seeded with a mix of every header word (bounds bits,
+//! dims, object count, bucket count) and then chains an FNV-1a step per
+//! bucket value — position-sensitive, unlike a plain sum, so reshuffles
+//! like `(−1, +1) → (0, 0)` that a flipped varint byte can produce are
+//! caught too: a single flipped byte *anywhere* in the file — header or
+//! payload — fails the decode. The decoder additionally caps the
+//! attacker-controlled dimension fields ([`MAX_DECODE_BUCKETS`]) and
+//! validates payload length *before* allocating, so adversarial input
+//! can never force an over-allocation or a panic: `from_bytes` on
+//! arbitrary bytes always returns `Ok` or a [`PersistError`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use euler_cube::Dense2D;
@@ -24,6 +35,56 @@ use crate::EulerHistogram;
 const MAGIC: &[u8; 4] = b"EULH";
 const VERSION: u32 = 1;
 const VERSION_COMPRESSED: u32 = 2;
+
+/// Decode-side cap on the declared bucket count and grid dimensions:
+/// 2²⁸ ≈ 2.68×10⁸ buckets (2 GiB of raw i64s) — just above the 8192²
+/// finest supported grid, whose Euler array is 16383² ≈ 2.68×10⁸. A
+/// header declaring more than this is rejected before any allocation.
+pub const MAX_DECODE_BUCKETS: u64 = 1 << 28;
+
+/// FNV-1a prime for the bucket-value checksum chain.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// One checksum step: FNV-1a over a bucket value. A run of `r` zeros
+/// reduces to `r` multiplications by [`FNV_PRIME`] (xor with 0 is the
+/// identity), which [`zero_run_checksum`] folds in `O(log r)`.
+fn checksum_step(c: u64, v: i64) -> u64 {
+    (c ^ v as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Folds a run of `r` zero buckets into the checksum chain without
+/// touching each one: `c · FNV_PRIME^r (mod 2⁶⁴)`.
+fn zero_run_checksum(c: u64, r: u64) -> u64 {
+    debug_assert!(r <= u32::MAX as u64);
+    c.wrapping_mul(FNV_PRIME.wrapping_pow(r as u32))
+}
+
+/// The checksum seed mixed from every header word, so header corruption
+/// is caught by the same trailing checksum that guards the buckets. Each
+/// word gets a distinct rotation so swapped fields don't cancel.
+fn header_checksum(
+    bounds: [f64; 4],
+    nx: u64,
+    ny: u64,
+    object_count: u64,
+    bucket_count: u64,
+) -> u64 {
+    let words = [
+        bounds[0].to_bits(),
+        bounds[1].to_bits(),
+        bounds[2].to_bits(),
+        bounds[3].to_bits(),
+        nx,
+        ny,
+        object_count,
+        bucket_count,
+    ];
+    let mut c = 0xE01E_5EED_0BAD_F00Du64;
+    for (i, w) in words.into_iter().enumerate() {
+        c = c.wrapping_add(w.rotate_left(i as u32 * 7 + 1));
+    }
+    c
+}
 
 /// Zigzag-encodes a signed value for varint packing.
 fn zigzag(v: i64) -> u64 {
@@ -112,11 +173,17 @@ impl EulerHistogram {
         buf.put_u64_le(grid.ny() as u64);
         buf.put_u64_le(self.object_count());
         buf.put_u64_le((ew * eh) as u64);
-        let mut checksum = 0u64;
+        let mut checksum = header_checksum(
+            [b.xlo(), b.ylo(), b.xhi(), b.yhi()],
+            grid.nx() as u64,
+            grid.ny() as u64,
+            self.object_count(),
+            (ew * eh) as u64,
+        );
         for ey in 0..eh {
             for ex in 0..ew {
                 let v = self.bucket(ex, ey);
-                checksum = checksum.wrapping_add(v as u64);
+                checksum = checksum_step(checksum, v);
                 buf.put_i64_le(v);
             }
         }
@@ -144,12 +211,18 @@ impl EulerHistogram {
         buf.put_u64_le(grid.ny() as u64);
         buf.put_u64_le(self.object_count());
         buf.put_u64_le((ew * eh) as u64);
-        let mut checksum = 0u64;
+        let mut checksum = header_checksum(
+            [b.xlo(), b.ylo(), b.xhi(), b.yhi()],
+            grid.nx() as u64,
+            grid.ny() as u64,
+            self.object_count(),
+            (ew * eh) as u64,
+        );
         let mut zero_run = 0u64;
         for ey in 0..eh {
             for ex in 0..ew {
                 let v = self.bucket(ex, ey);
-                checksum = checksum.wrapping_add(v as u64);
+                checksum = checksum_step(checksum, v);
                 if v == 0 {
                     zero_run += 1;
                     continue;
@@ -193,30 +266,56 @@ impl EulerHistogram {
         let ylo = data.get_f64_le();
         let xhi = data.get_f64_le();
         let yhi = data.get_f64_le();
-        let nx = data.get_u64_le() as usize;
-        let ny = data.get_u64_le() as usize;
+        let nx64 = data.get_u64_le();
+        let ny64 = data.get_u64_le();
         let object_count = data.get_u64_le();
-        let bucket_count = data.get_u64_le() as usize;
-        let bounds =
-            Rect::new(xlo, ylo, xhi, yhi).map_err(|_| PersistError::Corrupt("space bounds"))?;
-        let grid = Grid::new(DataSpace::new(bounds), nx, ny)
-            .map_err(|_| PersistError::Corrupt("grid dims"))?;
-        let (ew, eh) = grid.euler_dims();
-        if bucket_count != ew * eh {
+        let bucket_count64 = data.get_u64_le();
+        // Cap the attacker-controlled dimension fields *before* any
+        // arithmetic on them (2·nx−1 would overflow for huge nx) and
+        // before any allocation sized from them.
+        if nx64 == 0 || ny64 == 0 || nx64 > MAX_DECODE_BUCKETS || ny64 > MAX_DECODE_BUCKETS {
+            return Err(PersistError::Corrupt("grid dims"));
+        }
+        let (ew64, eh64) = (2 * nx64 - 1, 2 * ny64 - 1);
+        if ew64 * eh64 > MAX_DECODE_BUCKETS || bucket_count64 > MAX_DECODE_BUCKETS {
+            return Err(PersistError::Corrupt("grid exceeds decode cap"));
+        }
+        if bucket_count64 != ew64 * eh64 {
             return Err(PersistError::Corrupt("bucket count"));
         }
-        let mut raw = Vec::with_capacity(bucket_count);
-        let mut checksum = 0u64;
+        let bucket_count = bucket_count64 as usize;
+        let bounds =
+            Rect::new(xlo, ylo, xhi, yhi).map_err(|_| PersistError::Corrupt("space bounds"))?;
+        let grid = Grid::new(DataSpace::new(bounds), nx64 as usize, ny64 as usize)
+            .map_err(|_| PersistError::Corrupt("grid dims"))?;
+        let (ew, eh) = grid.euler_dims();
+        debug_assert_eq!(bucket_count, ew * eh);
+        let mut checksum = header_checksum(
+            [xlo, ylo, xhi, yhi],
+            nx64,
+            ny64,
+            object_count,
+            bucket_count64,
+        );
+        let mut raw;
         if version == VERSION {
+            // Length check first: the allocation below must never be
+            // larger than the payload that was actually supplied.
             if data.remaining() != 8 * bucket_count + 8 {
                 return Err(PersistError::Truncated);
             }
+            raw = Vec::with_capacity(bucket_count);
             for _ in 0..bucket_count {
                 let v = data.get_i64_le();
-                checksum = checksum.wrapping_add(v as u64);
+                checksum = checksum_step(checksum, v);
                 raw.push(v);
             }
         } else {
+            // The compressed payload legitimately expands (zero runs), so
+            // the *initial* reservation is bounded by the input size; the
+            // validated runs below grow it at most to `bucket_count`,
+            // which the decode cap already bounds.
+            raw = Vec::with_capacity(bucket_count.min(data.remaining()));
             while raw.len() < bucket_count {
                 let token = get_varint(&mut data)?;
                 if token == 0 {
@@ -225,9 +324,10 @@ impl EulerHistogram {
                         return Err(PersistError::Corrupt("zero run length"));
                     }
                     raw.resize(raw.len() + run, 0);
+                    checksum = zero_run_checksum(checksum, run as u64);
                 } else {
                     let v = unzigzag(token);
-                    checksum = checksum.wrapping_add(v as u64);
+                    checksum = checksum_step(checksum, v);
                     raw.push(v);
                 }
             }
@@ -348,6 +448,98 @@ mod tests {
         let idx = v.len() / 2;
         v[idx] ^= 0x2A;
         assert!(EulerHistogram::from_bytes(Bytes::from(v)).is_err());
+    }
+
+    /// A small seeded histogram for the exhaustive-mutation test: both
+    /// encodings stay a few KiB, so flipping every byte is cheap.
+    fn small_sample() -> EulerHistogram {
+        let grid = Grid::new(
+            DataSpace::new(Rect::new(0.0, 0.0, 12.0, 9.0).unwrap()),
+            12,
+            9,
+        )
+        .unwrap();
+        let s = Snapper::new(grid);
+        let mut rng = StdRng::seed_from_u64(0xADE5);
+        let objects: Vec<_> = (0..120)
+            .map(|_| {
+                let x = rng.gen_range(0.0..11.0);
+                let y = rng.gen_range(0.0..8.0);
+                s.snap(&Rect::new(x, y, x + 0.9, y + 0.8).unwrap())
+            })
+            .collect();
+        EulerHistogram::build(grid, &objects)
+    }
+
+    #[test]
+    fn adversarial_mutations_always_err_and_never_panic() {
+        // Every single-byte flip, every truncation length, and trailing
+        // extension must yield a PersistError — the header-seeded
+        // checksum means no field is silently mutable. (A panic or an
+        // over-allocation would fail/kill this test.)
+        let h = small_sample();
+        for original in [h.to_bytes(), h.to_bytes_compressed()] {
+            let bytes = original.to_vec();
+            for i in 0..bytes.len() {
+                for pat in [0xFFu8, 0x01] {
+                    let mut m = bytes.clone();
+                    m[i] ^= pat;
+                    assert!(
+                        EulerHistogram::from_bytes(Bytes::from(m)).is_err(),
+                        "flip {pat:#04x} at offset {i} decoded successfully"
+                    );
+                }
+            }
+            for len in 0..bytes.len() {
+                assert!(
+                    EulerHistogram::from_bytes(Bytes::from(bytes[..len].to_vec())).is_err(),
+                    "truncation to {len} bytes decoded successfully"
+                );
+            }
+            for extra in 1..16 {
+                let mut m = bytes.clone();
+                m.extend((0..extra).map(|k| (k * 37 + 11) as u8));
+                assert!(
+                    EulerHistogram::from_bytes(Bytes::from(m)).is_err(),
+                    "extension by {extra} bytes decoded successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_headers_are_capped_before_allocation() {
+        // A handcrafted header declaring absurd dims must be rejected up
+        // front — no multi-GiB reservation, no arithmetic overflow.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        for b in [0.0f64, 0.0, 360.0, 180.0] {
+            buf.put_f64_le(b);
+        }
+        buf.put_u64_le(u64::MAX); // nx
+        buf.put_u64_le(u64::MAX); // ny
+        buf.put_u64_le(0); // object_count
+        buf.put_u64_le(u64::MAX); // bucket_count
+        assert_eq!(
+            EulerHistogram::from_bytes(buf.freeze()),
+            Err(PersistError::Corrupt("grid dims"))
+        );
+        // Dims just over the cap (but individually plausible) also fail.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION_COMPRESSED);
+        for b in [0.0f64, 0.0, 360.0, 180.0] {
+            buf.put_f64_le(b);
+        }
+        buf.put_u64_le(1 << 20);
+        buf.put_u64_le(1 << 20);
+        buf.put_u64_le(0);
+        buf.put_u64_le((1 << 20) * (1 << 20));
+        assert_eq!(
+            EulerHistogram::from_bytes(buf.freeze()),
+            Err(PersistError::Corrupt("grid exceeds decode cap"))
+        );
     }
 
     #[test]

@@ -63,6 +63,22 @@ pub const DEFAULT_SEAL_EVERY: usize = 64;
 /// delta into a fresh frozen cube.
 pub const DEFAULT_REFREEZE_EVERY: usize = 1024;
 
+/// A consistent checkpoint of a [`LiveEulerHistogram`]: the frozen base
+/// serialized with [`crate::EulerHistogram::to_bytes_compressed`] plus
+/// the exact `(epoch, version)` write-log position it captures. Produced
+/// by [`LiveEulerHistogram::checkpoint_image`]; consumed by the
+/// durability layer, which pairs it with a WAL suffix and restores via
+/// [`LiveEulerHistogram::restore`].
+#[derive(Debug, Clone)]
+pub struct CheckpointImage {
+    /// Epoch at the moment of the checkpoint (after folding the delta).
+    pub epoch: u64,
+    /// Write-log prefix length the image covers.
+    pub version: u64,
+    /// The compressed persist-codec encoding of the frozen base.
+    pub bytes: bytes::Bytes,
+}
+
 /// One write-log entry: a snapped footprint with its sign (`+1` insert,
 /// `−1` delete).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -522,6 +538,49 @@ impl LiveEulerHistogram {
         snap
     }
 
+    /// Takes a consistent durability checkpoint: folds any pending delta
+    /// (bumping the epoch, exactly like [`LiveEulerHistogram::refreeze`])
+    /// and serializes the frozen base with the compressed persist codec,
+    /// all under the writer lock so the image names one exact write-log
+    /// prefix. Restoring the image via [`LiveEulerHistogram::restore`]
+    /// and replaying write-log entries `> version` reproduces the live
+    /// state bit-for-bit. An already-clean delta produces no epoch bump.
+    pub fn checkpoint_image(&self) -> CheckpointImage {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if !w.pending.is_empty() {
+            Self::refreeze_locked(&mut w);
+            let snap = w.snapshot();
+            *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        }
+        CheckpointImage {
+            epoch: w.epoch,
+            version: w.version,
+            bytes: w.base.to_bytes_compressed(),
+        }
+    }
+
+    /// Restores a live histogram from a durability checkpoint: like
+    /// [`LiveEulerHistogram::from_base`], but resuming the `epoch` and
+    /// `version` counters the checkpoint recorded instead of restarting
+    /// at epoch 1 / version 0 — so a write-ahead log replayed on top
+    /// stays version-aligned (log record N ↔ write-log version N).
+    pub fn restore(
+        base: EulerHistogram,
+        seal_every: usize,
+        refreeze_every: Option<usize>,
+        epoch: u64,
+        version: u64,
+    ) -> LiveEulerHistogram {
+        let live = LiveEulerHistogram::from_base(base, seal_every, refreeze_every);
+        {
+            let mut w = live.writer.lock().unwrap_or_else(|e| e.into_inner());
+            w.epoch = epoch.max(1);
+            w.version = version;
+            live.publish(&w);
+        }
+        live
+    }
+
     /// Refreezes only if the delta is nonempty, returning the (then
     /// delta-free) current snapshot — the freeze-on-read entry point.
     pub fn refreeze_if_stale(&self) -> Arc<LiveSnapshot> {
@@ -946,6 +1005,41 @@ mod tests {
             let looped: Vec<_> = t.iter().map(|(_, tile)| est.estimate(&tile)).collect();
             assert_eq!(swept, looped, "{t:?}");
         }
+    }
+
+    #[test]
+    fn checkpoint_image_then_restore_resumes_counters_and_state() {
+        let g = grid(20, 14);
+        let live = LiveEulerHistogram::with_config(g, 5, None);
+        let log = write_log(&g, 37, 0xC4EC);
+        for op in &log {
+            live.apply(*op);
+        }
+        let image = live.checkpoint_image();
+        assert_eq!(image.version, 37);
+        // The image folds the delta, so a second checkpoint without new
+        // writes is clean: same version, same epoch, same bytes.
+        let again = live.checkpoint_image();
+        assert_eq!(again.epoch, image.epoch);
+        assert_eq!(again.version, image.version);
+        assert_eq!(again.bytes, image.bytes);
+
+        let base = EulerHistogram::from_bytes(image.bytes.clone()).unwrap();
+        let restored = LiveEulerHistogram::restore(base, 5, None, image.epoch, image.version);
+        assert_eq!(restored.epoch(), image.epoch);
+        assert_eq!(restored.version(), image.version);
+        // Replaying a suffix on the restored side tracks the original.
+        let suffix = write_log(&g, 11, 0xC4ED);
+        for op in &suffix {
+            live.apply(*op);
+            restored.apply(*op);
+        }
+        let mut full = log.clone();
+        full.extend_from_slice(&suffix);
+        let reference = rebuild(g, &full);
+        assert_eq!(*live.refreeze().frozen().as_ref(), reference);
+        assert_eq!(*restored.refreeze().frozen().as_ref(), reference);
+        assert_eq!(restored.version(), live.version());
     }
 
     proptest! {

@@ -40,7 +40,9 @@ impl fmt::Display for InjectedPanic {
     }
 }
 
-/// A named fail-point site in the engine's hot paths.
+/// A named fail-point site in the engine's hot paths and in the
+/// durability layer (`euler-wal`), which polls its sites through
+/// [`wal_fault`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
     /// The head of one worker chunk in the chunked batch path; the index
@@ -49,6 +51,34 @@ pub enum FaultSite {
     /// The sweep evaluator dispatch in `run_sweep`; the index counts
     /// sweep dispatches since the plan was installed.
     Sweep,
+    /// A WAL record append in `euler-wal`; the index counts appends since
+    /// the plan was installed.
+    WalAppend,
+    /// A WAL fsync (`sync_data`) in `euler-wal`; the index counts fsyncs
+    /// since the plan was installed.
+    WalFsync,
+    /// A checkpoint write (image + manifest) in `euler-wal`; the index
+    /// counts checkpoints since the plan was installed.
+    WalCheckpoint,
+}
+
+impl FaultSite {
+    /// Dense per-site counter slot, for the active plan's dispatch
+    /// counters. Only dispatched when the `failpoints` feature is on.
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    const fn slot(self) -> usize {
+        match self {
+            FaultSite::Chunk => 0,
+            FaultSite::Sweep => 1,
+            FaultSite::WalAppend => 2,
+            FaultSite::WalFsync => 3,
+            FaultSite::WalCheckpoint => 4,
+        }
+    }
+
+    /// Number of distinct sites (counter slots).
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    const COUNT: usize = 5;
 }
 
 /// What an armed fail-point does when its site and index match.
@@ -59,6 +89,15 @@ pub enum FaultKind {
     /// Sleep for the given number of milliseconds — long enough, relative
     /// to a test's deadline, to force a deadline overrun.
     StallMs(u64),
+    /// Simulate a torn write at a WAL site: persist only the first `n`
+    /// bytes of the attempted write, then fail with an I/O error. Only
+    /// meaningful at `Wal*` sites, where the durability layer interprets
+    /// it via [`wal_fault`]; the engine's panic/stall sites ignore it.
+    ShortWrite(u64),
+    /// Fail a WAL-site operation with an I/O error without writing
+    /// anything — a clean kill at the site. Only meaningful at `Wal*`
+    /// sites (see [`wal_fault`]).
+    IoError,
 }
 
 /// One armed fail-point: fire `kind` the moment `site` is passed with
@@ -115,6 +154,37 @@ impl FaultPlan {
             .with(FaultSite::Sweep, (next() % 8) as usize, FaultKind::Panic)
     }
 
+    /// Derives a one-point WAL crash plan from a seed: the same splitmix64
+    /// discipline as [`FaultPlan::from_seed`], but the armed point lands on
+    /// one of the durability sites (`WalAppend`, `WalFsync`,
+    /// `WalCheckpoint`) with a short-write or error kind — the shapes a
+    /// power cut produces. The CI durability job sweeps seeds through this
+    /// to kill the WAL at replayable positions.
+    pub fn wal_from_seed(seed: u64) -> FaultPlan {
+        let mut s = seed ^ 0x57A1_57A1_57A1_57A1;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let site = match next() % 3 {
+            0 => FaultSite::WalAppend,
+            1 => FaultSite::WalFsync,
+            _ => FaultSite::WalCheckpoint,
+        };
+        let index = (next() % 8) as usize;
+        let kind = if next() % 2 == 0 {
+            // Torn write: keep 0..48 bytes of the frame — enough range to
+            // cut inside the length prefix, the CRC, or the payload.
+            FaultKind::ShortWrite(next() % 48)
+        } else {
+            FaultKind::IoError
+        };
+        FaultPlan::new().with(site, index, kind)
+    }
+
     /// The plan seeded by `EULER_FAULT_SEED`, or `None` when the variable
     /// is unset. A malformed value is an error, not a silent default —
     /// the caller decides how to surface it.
@@ -165,8 +235,7 @@ mod active {
     #[derive(Default)]
     struct Active {
         plan: FaultPlan,
-        chunk_seen: usize,
-        sweep_seen: usize,
+        seen: [usize; FaultSite::COUNT],
     }
 
     fn slot() -> &'static Mutex<Active> {
@@ -212,32 +281,7 @@ mod active {
     /// the sequence counter when the caller knows its own position (chunk
     /// numbers); pass `None` to use the per-site dispatch counter.
     pub(crate) fn fire(site: FaultSite, index: Option<usize>) {
-        if !ARMED.load(Relaxed) {
-            return;
-        }
-        let kind = {
-            let mut active = slot().lock().unwrap_or_else(|e| e.into_inner());
-            let seq = match (site, index) {
-                (_, Some(i)) => i,
-                (FaultSite::Chunk, None) => {
-                    let i = active.chunk_seen;
-                    active.chunk_seen += 1;
-                    i
-                }
-                (FaultSite::Sweep, None) => {
-                    let i = active.sweep_seen;
-                    active.sweep_seen += 1;
-                    i
-                }
-            };
-            active
-                .plan
-                .points
-                .iter()
-                .find(|p| p.site == site && p.index == seq)
-                .map(|p| (p.kind, seq))
-        };
-        if let Some((kind, seq)) = kind {
+        if let Some((kind, seq)) = poll(site, index) {
             match kind {
                 FaultKind::StallMs(ms) => {
                     std::thread::sleep(std::time::Duration::from_millis(ms));
@@ -245,8 +289,36 @@ mod active {
                 FaultKind::Panic => {
                     std::panic::panic_any(InjectedPanic { site, index: seq });
                 }
+                // Write-shape kinds only make sense where a caller can
+                // interpret them (the WAL, via `wal_fault`); at the
+                // engine's panic/stall sites they are inert.
+                FaultKind::ShortWrite(_) | FaultKind::IoError => {}
             }
         }
+    }
+
+    /// Consumes one dispatch of `site` against the installed plan and
+    /// returns the armed kind, if any. Shared by `fire` (which acts on the
+    /// kind) and `wal_fault` (which hands it to the durability layer).
+    pub(crate) fn poll(site: FaultSite, index: Option<usize>) -> Option<(FaultKind, usize)> {
+        if !ARMED.load(Relaxed) {
+            return None;
+        }
+        let mut active = slot().lock().unwrap_or_else(|e| e.into_inner());
+        let seq = match index {
+            Some(i) => i,
+            None => {
+                let i = active.seen[site.slot()];
+                active.seen[site.slot()] += 1;
+                i
+            }
+        };
+        active
+            .plan
+            .points
+            .iter()
+            .find(|p| p.site == site && p.index == seq)
+            .map(|p| (p.kind, seq))
     }
 }
 
@@ -266,6 +338,25 @@ pub(crate) fn fire(site: FaultSite, index: Option<usize>) {
 #[cfg(not(feature = "failpoints"))]
 #[inline(always)]
 pub(crate) fn fire(_site: FaultSite, _index: Option<usize>) {}
+
+/// The fail-point hook the durability layer (`euler-wal`) polls at its
+/// `Wal*` sites. Unlike [`fire`] — which acts on the armed kind itself —
+/// this *returns* the kind so the WAL can turn it into a torn write
+/// ([`FaultKind::ShortWrite`]) or a clean I/O failure
+/// ([`FaultKind::IoError`]) at the exact byte position the plan names.
+/// Each call consumes one dispatch of the site's sequence counter. With
+/// the `failpoints` feature off this is an empty inline function.
+#[cfg(feature = "failpoints")]
+pub fn wal_fault(site: FaultSite) -> Option<FaultKind> {
+    active::poll(site, None).map(|(kind, _)| kind)
+}
+
+/// No-op stand-in when the `failpoints` feature is off.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn wal_fault(_site: FaultSite) -> Option<FaultKind> {
+    None
+}
 
 #[cfg(test)]
 mod tests {
@@ -288,6 +379,42 @@ mod tests {
         // Different seeds (eventually) move the fault: the plan is not a
         // constant.
         assert!((0..64).any(|s| FaultPlan::from_seed(s) != plan));
+    }
+
+    #[test]
+    fn wal_plans_are_seeded_and_land_on_wal_sites() {
+        assert_eq!(FaultPlan::wal_from_seed(9), FaultPlan::wal_from_seed(9));
+        for seed in 0..64 {
+            let plan = FaultPlan::wal_from_seed(seed);
+            assert_eq!(plan.points.len(), 1);
+            let p = plan.points[0];
+            assert!(matches!(
+                p.site,
+                FaultSite::WalAppend | FaultSite::WalFsync | FaultSite::WalCheckpoint
+            ));
+            assert!(p.index < 8);
+            assert!(
+                matches!(
+                    p.kind,
+                    FaultKind::ShortWrite(n) if n < 48
+                ) || p.kind == FaultKind::IoError
+            );
+        }
+        // Seeds cover all three sites and both kinds.
+        let plans: Vec<_> = (0..64).map(FaultPlan::wal_from_seed).collect();
+        assert!(plans
+            .iter()
+            .any(|p| p.points[0].site == FaultSite::WalAppend));
+        assert!(plans
+            .iter()
+            .any(|p| p.points[0].site == FaultSite::WalFsync));
+        assert!(plans
+            .iter()
+            .any(|p| p.points[0].site == FaultSite::WalCheckpoint));
+        assert!(plans.iter().any(|p| p.points[0].kind == FaultKind::IoError));
+        assert!(plans
+            .iter()
+            .any(|p| matches!(p.points[0].kind, FaultKind::ShortWrite(_))));
     }
 
     #[test]

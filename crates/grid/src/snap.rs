@@ -40,6 +40,16 @@ pub struct SnappedRect {
 }
 
 impl SnappedRect {
+    /// Rebuilds a snapped rect from stored bounds — the decode path of
+    /// the write-ahead log and other persistence layers, where the four
+    /// `f64`s round-trip bit-exactly. The bounds must have come from a
+    /// [`Snapper`] (debug-checked: ordered open intervals).
+    #[inline]
+    pub fn from_bounds(a: f64, b: f64, c: f64, d: f64) -> SnappedRect {
+        debug_assert!(a < b && c < d, "snapped bounds must be ordered");
+        SnappedRect { a, b, c, d }
+    }
+
     /// Lower x bound (grid units, exclusive).
     #[inline]
     pub fn a(&self) -> f64 {

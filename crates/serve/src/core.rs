@@ -17,7 +17,7 @@
 //!    PR 5 degradation ladder turns overload into per-tile partial
 //!    answers (`status:"degraded"`), never a panic.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,20 @@ pub struct ServeCore {
     tenants: TenantRegistry,
     engine_dispatches: Counter,
     shutdown: AtomicBool,
+    in_flight_ops: AtomicUsize,
+}
+
+/// RAII guard counting one request through [`ServeCore::handle`]; the
+/// graceful-shutdown drain waits for the count to reach zero before the
+/// session's WAL is synced and the listener exits.
+pub struct OpGuard<'a> {
+    core: &'a ServeCore,
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.core.in_flight_ops.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl ServeCore {
@@ -52,6 +66,7 @@ impl ServeCore {
             tenants: TenantRegistry::new(),
             engine_dispatches: Counter::new(),
             shutdown: AtomicBool::new(false),
+            in_flight_ops: AtomicUsize::new(0),
         })
     }
 
@@ -92,6 +107,20 @@ impl ServeCore {
         self.shutdown.store(true, Ordering::Release);
     }
 
+    /// Begins one tracked request; hold the guard across the whole
+    /// request–response cycle (response write included). The graceful
+    /// shutdown drain waits for [`ServeCore::in_flight_ops`] to reach
+    /// zero before syncing the session and letting the listener exit.
+    pub fn begin_op(&self) -> OpGuard<'_> {
+        self.in_flight_ops.fetch_add(1, Ordering::AcqRel);
+        OpGuard { core: self }
+    }
+
+    /// Requests currently tracked by an [`OpGuard`].
+    pub fn in_flight_ops(&self) -> usize {
+        self.in_flight_ops.load(Ordering::Acquire)
+    }
+
     /// Parses and serves one protocol line.
     pub fn handle_line(&self, line: &str) -> Response {
         match Request::parse(line) {
@@ -105,23 +134,30 @@ impl ServeCore {
         match req {
             Request::Browse(params) => self.browse(params),
             Request::Stats { tenant } => Response::Stats(self.stats_json(tenant)),
-            Request::Insert { rect, .. } => {
-                self.session.insert(rect);
-                Response::Ack {
+            Request::Insert { rect, .. } => match self.session.try_insert(rect) {
+                Ok(version) => Response::Ack {
                     op: "insert",
-                    version: Some(self.session.version()),
-                }
-            }
-            Request::Remove { rect, .. } => {
-                self.session.remove(rect);
-                Response::Ack {
+                    version: Some(version),
+                },
+                Err(e) => Response::Error(ProtoError(format!("insert failed: {e}"))),
+            },
+            Request::Remove { rect, .. } => match self.session.try_remove(rect) {
+                Ok(version) => Response::Ack {
                     op: "remove",
-                    version: Some(self.session.version()),
-                }
-            }
+                    version: Some(version),
+                },
+                Err(e) => Response::Error(ProtoError(format!("remove failed: {e}"))),
+            },
             Request::Ping { .. } => Response::Ack {
                 op: "ping",
                 version: None,
+            },
+            Request::Checkpoint { .. } => match self.session.checkpoint() {
+                Ok(at) => Response::Ack {
+                    op: "checkpoint",
+                    version: at.map(|(_, version)| version),
+                },
+                Err(e) => Response::Error(ProtoError(format!("checkpoint failed: {e}"))),
             },
             Request::Shutdown { .. } => {
                 self.shutdown.store(true, Ordering::Release);

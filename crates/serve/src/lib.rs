@@ -53,6 +53,7 @@
 mod cache;
 mod client;
 mod core;
+mod durable;
 mod json;
 mod proto;
 mod server;
@@ -60,7 +61,8 @@ mod tenant;
 
 pub use cache::{CacheKey, CacheStats, TilingCache};
 pub use client::{LocalClient, TcpClient};
-pub use core::ServeCore;
+pub use core::{OpGuard, ServeCore};
+pub use durable::DurableSession;
 pub use json::{parse as parse_json, Json, JsonError};
 pub use proto::{BrowseParams, BrowseReply, ProtoError, Request, Response, ShedReason};
 pub use server::{serve, Server};

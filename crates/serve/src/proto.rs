@@ -11,6 +11,7 @@
 //! {"tenant":"feed","op":"remove","rect":[10.0,10.0,12.0,11.0]}
 //! {"tenant":"alice","op":"stats"}
 //! {"tenant":"ops","op":"ping"}
+//! {"tenant":"ops","op":"checkpoint"}
 //! {"tenant":"ops","op":"shutdown"}
 //! ```
 //!
@@ -54,6 +55,11 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping {
+        /// Requesting tenant.
+        tenant: String,
+    },
+    /// Force a durability checkpoint (no-op ack on in-memory sessions).
+    Checkpoint {
         /// Requesting tenant.
         tenant: String,
     },
@@ -137,6 +143,7 @@ impl Request {
             | Request::Insert { tenant, .. }
             | Request::Remove { tenant, .. }
             | Request::Ping { tenant }
+            | Request::Checkpoint { tenant }
             | Request::Shutdown { tenant } => tenant,
         }
     }
@@ -212,6 +219,7 @@ impl Request {
                 rect: field_rect(v)?,
             }),
             "ping" => Ok(Request::Ping { tenant }),
+            "checkpoint" => Ok(Request::Checkpoint { tenant }),
             "shutdown" => Ok(Request::Shutdown { tenant }),
             other => Err(bad(&format!("unknown op '{other}'"))),
         }
@@ -257,6 +265,9 @@ impl Request {
             Request::Ping { tenant } => {
                 Json::obj().set("tenant", tenant.as_str()).set("op", "ping")
             }
+            Request::Checkpoint { tenant } => Json::obj()
+                .set("tenant", tenant.as_str())
+                .set("op", "checkpoint"),
             Request::Shutdown { tenant } => Json::obj()
                 .set("tenant", tenant.as_str())
                 .set("op", "shutdown"),

@@ -6,6 +6,18 @@
 //! is CPU-bound), so slow browses never stall the accept loop or other
 //! connections. The accept loop polls its shutdown flag between short
 //! accept timeouts and exits cleanly once any tenant sends `shutdown`.
+//!
+//! Connections are hardened against hostile or stuck clients: a request
+//! line longer than `ServeConfig::max_line_bytes` gets one structured
+//! error response and the connection is closed (a terminator-free stream
+//! can never balloon memory), and a connection idle longer than
+//! `ServeConfig::idle_timeout` between lines is dropped.
+//!
+//! Shutdown is a drain, not an abort: after the accept loop stops, the
+//! server waits for every in-flight request (response write included) to
+//! finish, then syncs the session — on a durable session that is the
+//! WAL fsync making every acknowledged write crash-safe — before the
+//! runtime is torn down.
 
 use std::io;
 use std::net::SocketAddr;
@@ -26,7 +38,7 @@ use crate::proto::{ProtoError, Request, Response};
 pub async fn serve(core: Arc<ServeCore>, listener: TcpListener) -> io::Result<()> {
     loop {
         if core.is_shutdown() {
-            return Ok(());
+            break;
         }
         match tokio::time::timeout(Duration::from_millis(25), listener.accept()).await {
             Ok(Ok((stream, _peer))) => {
@@ -41,21 +53,53 @@ pub async fn serve(core: Arc<ServeCore>, listener: TcpListener) -> io::Result<()
             Err(_elapsed) => {} // timeout tick: re-check the shutdown flag
         }
     }
+    // Drain: no new connections are accepted, but requests already in
+    // flight (their response writes included) run to completion…
+    while core.in_flight_ops() > 0 {
+        tokio::time::sleep(Duration::from_millis(1)).await;
+    }
+    // …and then every acknowledged write is forced to stable storage (a
+    // no-op on in-memory sessions, the WAL fsync on durable ones).
+    core.session().sync()
 }
 
 async fn handle_connection(core: Arc<ServeCore>, stream: TcpStream) -> io::Result<()> {
     let _ = stream.set_nodelay(true);
+    let max_line = core.config().max_line_bytes;
+    let idle = core.config().idle_timeout;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
-        if reader.read_line(&mut line).await? == 0 {
-            return Ok(()); // client hung up
+        let read = tokio::time::timeout(idle, reader.read_line_bounded(&mut line, max_line)).await;
+        let outcome = match read {
+            Err(_elapsed) => return Ok(()), // idle too long: drop quietly
+            Ok(result) => result?,
+        };
+        match outcome {
+            Some(0) => return Ok(()), // client hung up
+            Some(_) => {}
+            None => {
+                // Oversized line: one structured refusal, then close —
+                // the discarded stream cannot be re-synchronized.
+                let err = Response::Error(ProtoError(format!(
+                    "request line exceeds max_line_bytes={max_line}"
+                )));
+                let mut payload = err.to_json().to_string();
+                payload.push('\n');
+                reader.get_mut().write_all(payload.as_bytes()).await?;
+                reader.get_mut().flush().await?;
+                return Ok(());
+            }
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
         }
+        // The guard spans handling AND the response write, so the
+        // shutdown drain never tears the runtime down under a request
+        // whose answer is still in the socket buffer.
+        let _op = core.begin_op();
         let response = match Request::parse(trimmed) {
             Ok(req) => {
                 let core = core.clone();

@@ -25,6 +25,14 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Largest tiling (cols × rows) a browse may request.
     pub max_tiles: usize,
+    /// Longest request line (bytes, terminator included) a connection may
+    /// send; one oversized line gets a structured error response and the
+    /// connection is closed, so a terminator-free stream can never
+    /// balloon server memory.
+    pub max_line_bytes: usize,
+    /// How long a connection may sit idle between request lines before
+    /// the server closes it.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +43,8 @@ impl Default for ServeConfig {
             max_deadline: Duration::from_secs(5),
             cache_capacity: 256,
             max_tiles: 1 << 16,
+            max_line_bytes: 64 * 1024,
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }

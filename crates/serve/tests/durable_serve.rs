@@ -1,0 +1,169 @@
+//! Restart transparency over the wire: a durable serve session answers
+//! identically before a shutdown and after a recovery — same counts,
+//! same version stamps — and a checkpoint taken over the protocol
+//! bounds the replay the restart needs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid};
+use euler_serve::{DurableSession, Json, ServeConfig, ServeCore, Server, TcpClient};
+use euler_wal::DurableConfig;
+
+fn grid() -> Grid {
+    Grid::new(
+        DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()),
+        16,
+        16,
+    )
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("euler-durable-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic little write log over the wire.
+fn rects() -> Vec<Rect> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..24)
+        .map(|_| {
+            let x = (next() % 48) as f64;
+            let y = (next() % 48) as f64;
+            let w = 1.0 + (next() % 10) as f64;
+            let h = 1.0 + (next() % 10) as f64;
+            Rect::new(x, y, (x + w).min(64.0), (y + h).min(64.0)).unwrap()
+        })
+        .collect()
+}
+
+fn start(dir: &std::path::Path) -> (Server, euler_wal::RecoveryReport) {
+    let (session, report) =
+        DurableSession::open(dir, grid(), DurableConfig::default()).expect("open durable session");
+    let core = ServeCore::new(Arc::new(session), ServeConfig::default());
+    (Server::start(core, "127.0.0.1:0").expect("bind"), report)
+}
+
+fn browse_lines() -> Vec<String> {
+    [(1usize, 1usize), (2, 2), (4, 4), (3, 5), (8, 8)]
+        .iter()
+        .map(|(cols, rows)| {
+            format!(
+                r#"{{"tenant":"reader","op":"browse","cols":{cols},"rows":{rows},"deadline_ms":4000}}"#
+            )
+        })
+        .collect()
+}
+
+fn observe(client: &mut TcpClient) -> Vec<(u64, Vec<String>)> {
+    browse_lines()
+        .iter()
+        .map(|line| {
+            let json = client.round_trip(line).expect("browse reply");
+            assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
+            let version = json.get("version").and_then(Json::as_u64).expect("version");
+            let counts = json
+                .get("counts")
+                .and_then(Json::as_array)
+                .expect("counts")
+                .iter()
+                .map(|t| t.to_string())
+                .collect();
+            (version, counts)
+        })
+        .collect()
+}
+
+#[test]
+fn a_restarted_durable_server_answers_identically() {
+    let dir = temp_dir("restart");
+    let rs = rects();
+
+    // First life: ingest over the wire, checkpoint part-way, observe.
+    let (server, report) = start(&dir);
+    assert_eq!(report.version, 0, "fresh directory starts empty");
+    let addr = server.addr();
+    let mut client = TcpClient::connect(addr).expect("connect");
+    for (i, r) in rs.iter().enumerate() {
+        let op = if i % 5 == 4 { "remove" } else { "insert" };
+        // Every fifth op removes the object inserted just before it.
+        let target = if op == "remove" { &rs[i - 1] } else { r };
+        let line = format!(
+            r#"{{"tenant":"writer","op":"{op}","rect":[{},{},{},{}]}}"#,
+            target.xlo(),
+            target.ylo(),
+            target.xhi(),
+            target.yhi()
+        );
+        let ack = client.round_trip(&line).expect("write ack");
+        assert_eq!(
+            ack.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "write {i} refused: {ack}"
+        );
+        assert_eq!(
+            ack.get("version").and_then(Json::as_u64),
+            Some(i as u64 + 1)
+        );
+        if i == 9 {
+            let ack = client
+                .round_trip(r#"{"tenant":"writer","op":"checkpoint"}"#)
+                .expect("checkpoint ack");
+            assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+            assert_eq!(ack.get("version").and_then(Json::as_u64), Some(10));
+        }
+    }
+    let before = observe(&mut client);
+    let shutdown_ack = client
+        .round_trip(r#"{"tenant":"writer","op":"shutdown"}"#)
+        .expect("shutdown ack");
+    assert_eq!(
+        shutdown_ack.get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    server.join().expect("clean shutdown");
+
+    // Second life: recovery resumes from the checkpoint plus the WAL
+    // suffix — no torn tail on a graceful shutdown — and every browse
+    // answers bit-identically with the same version stamp.
+    let (server, report) = start(&dir);
+    assert_eq!(report.checkpoint_version, 10, "checkpoint bounds replay");
+    assert_eq!(report.replayed, rs.len() as u64 - 10);
+    assert_eq!(report.version, rs.len() as u64);
+    assert!(
+        report.torn_tail.is_none(),
+        "graceful shutdown leaves no tear"
+    );
+    let mut client = TcpClient::connect(server.addr()).expect("reconnect");
+    let after = observe(&mut client);
+    assert_eq!(before, after, "restart must be invisible to readers");
+
+    // And the restarted server keeps accepting durable writes.
+    let r = &rs[0];
+    let ack = client
+        .round_trip(&format!(
+            r#"{{"tenant":"writer","op":"insert","rect":[{},{},{},{}]}}"#,
+            r.xlo(),
+            r.ylo(),
+            r.xhi(),
+            r.yhi()
+        ))
+        .expect("post-restart write");
+    assert_eq!(
+        ack.get("version").and_then(Json::as_u64),
+        Some(rs.len() as u64 + 1)
+    );
+    let _ = client.round_trip(r#"{"tenant":"writer","op":"shutdown"}"#);
+    server.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,140 @@
+//! Protocol hardening: hostile or stuck clients are refused with
+//! structured errors and bounded resources, never with unbounded memory
+//! growth or a wedged accept loop.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use euler_browse::DynamicGeoBrowsingService;
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid};
+use euler_serve::{Json, ServeConfig, ServeCore, Server, TcpClient};
+
+fn grid() -> Grid {
+    Grid::new(
+        DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()),
+        16,
+        16,
+    )
+    .unwrap()
+}
+
+fn start(config: ServeConfig) -> Server {
+    let session = Arc::new(DynamicGeoBrowsingService::new(grid()));
+    let core = ServeCore::new(session, config);
+    Server::start(core, "127.0.0.1:0").expect("bind")
+}
+
+fn read_error_line(stream: TcpStream) -> (Json, bool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("error response line");
+    let json = euler_serve::parse_json(line.trim()).expect("error response is JSON");
+    // After the one refusal the server closes: the next read is EOF, or
+    // a reset when the server still had unread flood bytes in flight.
+    let mut rest = Vec::new();
+    let closed = match reader.read_to_end(&mut rest) {
+        Ok(n) => n == 0,
+        Err(_reset) => true,
+    };
+    (json, closed)
+}
+
+/// One oversized (but terminated) request line gets exactly one
+/// structured error response and the connection is closed; the server
+/// keeps serving other connections.
+#[test]
+fn oversized_line_is_refused_once_and_the_connection_closed() {
+    let server = start(ServeConfig {
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut line = vec![b'x'; 4096];
+    line.push(b'\n');
+    stream.write_all(&line).expect("send oversized line");
+    stream.flush().unwrap();
+
+    let (json, closed) = read_error_line(stream);
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("error"));
+    let msg = json.get("error").and_then(Json::as_str).unwrap_or_default();
+    assert!(
+        msg.contains("max_line_bytes"),
+        "refusal should name the limit, got: {msg}"
+    );
+    assert!(closed, "the connection must be closed after the refusal");
+
+    // The listener is unharmed: a fresh polite connection still works.
+    let mut client = TcpClient::connect(addr).expect("reconnect");
+    let pong = client
+        .round_trip(r#"{"tenant":"t","op":"ping"}"#)
+        .expect("ping after refusal");
+    assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+    server.core().begin_shutdown();
+    server.join().expect("clean shutdown");
+}
+
+/// A terminator-free stream is refused as soon as it exceeds the bound —
+/// the server never waits for a newline that may never come, and never
+/// buffers more than the limit.
+#[test]
+fn terminator_free_stream_is_refused_without_waiting_for_eof() {
+    let server = start(ServeConfig {
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // 64 KiB with no '\n', and the write side stays open: the refusal
+    // must come from the bound, not from EOF.
+    stream
+        .write_all(&vec![b'y'; 64 * 1024])
+        .expect("send flood");
+    stream.flush().unwrap();
+
+    let (json, closed) = read_error_line(stream);
+    assert_eq!(json.get("status").and_then(Json::as_str), Some("error"));
+    assert!(closed, "the connection must be closed after the refusal");
+    server.core().begin_shutdown();
+    server.join().expect("clean shutdown");
+}
+
+/// A connection idle past the timeout is dropped; an active one is not.
+#[test]
+fn idle_connections_are_dropped_after_the_timeout() {
+    let server = start(ServeConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // Active connection: a round trip well within the window succeeds.
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let pong = client
+        .round_trip(r#"{"tenant":"t","op":"ping"}"#)
+        .expect("ping");
+    assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+
+    // Now go quiet: the server must close the connection on its own.
+    let stream = TcpStream::connect(addr).expect("idle connect");
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let started = Instant::now();
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    let n = reader
+        .read_line(&mut buf)
+        .expect("read until server closes");
+    assert_eq!(n, 0, "an idle connection must be closed, not answered");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "closed suspiciously fast — not the idle timeout"
+    );
+    server.core().begin_shutdown();
+    server.join().expect("clean shutdown");
+}

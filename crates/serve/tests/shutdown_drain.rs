@@ -1,0 +1,189 @@
+//! Graceful shutdown is a drain, not an abort: requests in flight when
+//! the shutdown flag rises still get their responses, the session is
+//! synced exactly once afterwards, and only then does the listener go
+//! away (post-drain reconnects are refused).
+//!
+//! Determinism comes from a gate, not sleeps-and-hope: the estimator
+//! blocks until the test opens the gate, so the browse provably dwells
+//! in flight across the shutdown edge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use euler_browse::{BrowseSession, DynamicGeoBrowsingService, PinnedSession};
+use euler_core::{Level2Estimator, RelationCounts};
+use euler_engine::SharedEstimator;
+use euler_geom::Rect;
+use euler_grid::{DataSpace, Grid, GridRect};
+use euler_metrics::Recorder;
+use euler_serve::{Json, ServeConfig, ServeCore, Server, TcpClient};
+
+struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            open: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+    fn wait(&self) {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.cv.wait(open).unwrap();
+        }
+    }
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+}
+
+struct GatedEstimator {
+    inner: SharedEstimator,
+    gate: Arc<Gate>,
+}
+
+impl Level2Estimator for GatedEstimator {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+    fn estimate(&self, q: &GridRect) -> RelationCounts {
+        self.gate.wait();
+        self.inner.estimate(q)
+    }
+    fn object_count(&self) -> u64 {
+        self.inner.object_count()
+    }
+    fn storage_cells(&self) -> u64 {
+        self.inner.storage_cells()
+    }
+}
+
+/// Gates every estimate and counts `sync` calls — the observable the
+/// drain contract is asserted against.
+struct GatedSession {
+    inner: DynamicGeoBrowsingService,
+    gate: Arc<Gate>,
+    syncs: AtomicUsize,
+}
+
+impl BrowseSession for GatedSession {
+    fn session_name(&self) -> &'static str {
+        "gated-dynamic"
+    }
+    fn grid(&self) -> &Grid {
+        BrowseSession::grid(&self.inner)
+    }
+    fn len(&self) -> u64 {
+        BrowseSession::len(&self.inner)
+    }
+    fn epoch(&self) -> u64 {
+        BrowseSession::epoch(&self.inner)
+    }
+    fn version(&self) -> u64 {
+        BrowseSession::version(&self.inner)
+    }
+    fn insert(&self, rect: &Rect) {
+        BrowseSession::insert(&self.inner, rect)
+    }
+    fn remove(&self, rect: &Rect) {
+        BrowseSession::remove(&self.inner, rect)
+    }
+    fn sync(&self) -> std::io::Result<()> {
+        self.syncs.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+    fn recorder(&self) -> &Arc<Recorder> {
+        BrowseSession::recorder(&self.inner)
+    }
+    fn pin_session(&self) -> PinnedSession {
+        let pinned = self.inner.pin_session();
+        let (epoch, version) = (pinned.epoch(), pinned.version());
+        PinnedSession::new(
+            Arc::new(GatedEstimator {
+                inner: pinned.estimator().clone(),
+                gate: self.gate.clone(),
+            }),
+            epoch,
+            version,
+        )
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_browses_then_syncs_then_refuses() {
+    let grid = Grid::new(
+        DataSpace::new(Rect::new(0.0, 0.0, 64.0, 64.0).unwrap()),
+        16,
+        16,
+    )
+    .unwrap();
+    let inner = DynamicGeoBrowsingService::new(grid);
+    inner.insert(&Rect::new(4.0, 4.0, 40.0, 40.0).unwrap());
+    let gate = Arc::new(Gate::new());
+    let session = Arc::new(GatedSession {
+        inner,
+        gate: gate.clone(),
+        syncs: AtomicUsize::new(0),
+    });
+    let core = ServeCore::new(session.clone(), ServeConfig::default());
+    let server = Server::start(core.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // One browse dwells behind the gate, in flight over real TCP.
+    let dweller = thread::spawn(move || {
+        let mut client = TcpClient::connect(addr).expect("dweller connect");
+        client
+            .round_trip(r#"{"tenant":"d","op":"browse","cols":2,"rows":2,"deadline_ms":30000}"#)
+            .expect("the in-flight browse must still be answered")
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while core.in_flight_ops() == 0 {
+        assert!(Instant::now() < deadline, "browse never reached the engine");
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // Shutdown rises while the browse dwells. The drain must wait for it:
+    // the server thread stays alive and no sync has happened yet.
+    core.begin_shutdown();
+    let joiner = thread::spawn(move || server.join());
+    thread::sleep(Duration::from_millis(100));
+    assert!(!joiner.is_finished(), "drain must wait for in-flight work");
+    assert_eq!(
+        session.syncs.load(Ordering::Acquire),
+        0,
+        "sync must come after the drain, not before"
+    );
+
+    // Release the gate: the dweller gets a complete, correct response.
+    gate.open();
+    let reply = dweller.join().expect("dweller thread");
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        reply
+            .get("counts")
+            .and_then(Json::as_array)
+            .map(|a| a.len()),
+        Some(4),
+        "drained browse must carry its full tile set: {reply}"
+    );
+
+    // The listener exits only after the drain and exactly one sync.
+    joiner
+        .join()
+        .expect("join thread")
+        .expect("serve loop result");
+    assert_eq!(session.syncs.load(Ordering::Acquire), 1);
+
+    // Post-drain the port is closed: reconnects are refused outright.
+    assert!(
+        std::net::TcpStream::connect(addr).is_err(),
+        "post-drain reconnect must be refused"
+    );
+}

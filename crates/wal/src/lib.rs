@@ -1,0 +1,159 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Durability for the live serving path: a write-ahead log, checkpoint
+//! images, and crash-tolerant recovery for
+//! [`euler_core::LiveEulerHistogram`].
+//!
+//! ## Why
+//!
+//! The epoch-snapshot substrate gives the serving system concurrent
+//! ingest with lock-free reads, but its write log lives only in memory:
+//! a crash or restart silently loses every acknowledged insert/remove.
+//! This crate adds the standard LSM-style complement — append each
+//! [`DeltaOp`](euler_core::DeltaOp) to a CRC-framed log *before*
+//! applying and acknowledging it, periodically checkpoint the folded
+//! histogram through the existing persist codec, and on boot rebuild
+//! exactly the acknowledged prefix: checkpoint + WAL suffix replay.
+//!
+//! ## On-disk layout
+//!
+//! A data directory holds rotating segment files, checkpoint images and
+//! one manifest:
+//!
+//! ```text
+//! data/
+//! ├── MANIFEST                  ← names the active checkpoint + WAL position
+//! ├── checkpoint-000042.euh     ← persist-codec image (to_bytes_compressed)
+//! ├── wal-000007.log            ← segment: header + CRC32-framed records
+//! └── wal-000008.log
+//!
+//! segment   = "EWAL" | format u32 | seq u64 | first_version u64 | frame*
+//! frame     = len u32 | crc32 u32 | payload (len bytes)
+//! payload   = version u64 | sign i8 | a f64 | b f64 | c f64 | d f64
+//! MANIFEST  = "EULM" | format u32 | epoch u64 | version u64 | wal_seq u64
+//!             | wal_offset u64 | name_len u32 | checkpoint file name | crc32 u32
+//! ```
+//!
+//! Records are version-aligned with the live histogram's write log: WAL
+//! record `N` carries write-log version `N`, so recovery can assert
+//! contiguity, skip records a checkpoint already covers, and report the
+//! exact acknowledged prefix it rebuilt.
+//!
+//! ## Recovery rules
+//!
+//! Recovery ([`DurableLive::open`]) is corruption-tolerant exactly at
+//! the tail and paranoid everywhere else:
+//!
+//! - a **torn tail** — the final segment ends in a truncated frame or a
+//!   CRC-failing record with nothing valid after it — is cleanly
+//!   truncated and reported as a warning in the [`RecoveryReport`];
+//! - corruption **before acknowledged records** (a bad frame followed by
+//!   a parseable record, or any damage in a non-final segment, the
+//!   manifest, or the checkpoint image) is a hard [`WalError`]: silent
+//!   data loss is never an acceptable outcome;
+//! - duplicate or gapped segment sequence numbers, and version gaps in
+//!   the replayed records, are hard errors too.
+//!
+//! ## Fsync policy
+//!
+//! [`FsyncPolicy`] trades ingest latency for the durability window:
+//! `Always` fsyncs before every acknowledgement (a power cut loses
+//! nothing acknowledged), `EveryN(n)` bounds the loss window to `n`
+//! acknowledged ops, `Never` leaves flushing to the OS (the window is
+//! unbounded, but `sync` on graceful shutdown still drains). Crash
+//! points are deterministic and seed-replayable through the engine's
+//! fail-point facility (`euler_engine::faults::wal_fault` at the
+//! `WalAppend` / `WalFsync` / `WalCheckpoint` sites).
+
+mod log;
+mod manifest;
+mod record;
+mod segment;
+mod store;
+
+pub use crate::log::{FsyncPolicy, Wal, WalConfig};
+pub use manifest::Manifest;
+pub use record::{crc32, RECORD_PAYLOAD_LEN};
+pub use segment::{ScanEnd, ScannedRecord};
+pub use store::{DurableConfig, DurableLive, RecoveryReport, TornTail};
+
+use std::fmt;
+
+/// Errors from the durability layer. I/O failures wrap the OS error;
+/// the structured variants report *where* recovery found damage so an
+/// operator can decide between restoring a backup and accepting loss.
+#[derive(Debug)]
+pub enum WalError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// Hard corruption before acknowledged records — never auto-healed.
+    Corrupt {
+        /// Segment sequence number the damage was found in.
+        segment: u64,
+        /// Byte offset of the damaged frame within the segment.
+        offset: u64,
+        /// What failed to parse.
+        what: String,
+    },
+    /// Two segment files claim the same sequence number.
+    DuplicateSegment(u64),
+    /// The replayed record versions are not contiguous.
+    VersionGap {
+        /// Version recovery expected next.
+        expected: u64,
+        /// Version the record carried.
+        found: u64,
+        /// Segment the record came from.
+        segment: u64,
+    },
+    /// The manifest or checkpoint image failed to load.
+    BadCheckpoint(String),
+    /// The checkpoint's grid differs from the one the caller supplied.
+    GridMismatch,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o: {e}"),
+            WalError::Corrupt {
+                segment,
+                offset,
+                what,
+            } => write!(
+                f,
+                "hard corruption in segment {segment} at offset {offset}: {what} \
+                 (precedes acknowledged records; refusing to truncate)"
+            ),
+            WalError::DuplicateSegment(seq) => {
+                write!(f, "duplicate wal segment sequence number {seq}")
+            }
+            WalError::VersionGap {
+                expected,
+                found,
+                segment,
+            } => write!(
+                f,
+                "wal version gap in segment {segment}: expected record {expected}, found {found}"
+            ),
+            WalError::BadCheckpoint(what) => write!(f, "bad checkpoint: {what}"),
+            WalError::GridMismatch => write!(f, "checkpoint grid differs from the configured grid"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}

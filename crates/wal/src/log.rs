@@ -1,0 +1,220 @@
+//! The append side: an open segment file, rotation, fsync policy, and
+//! the deterministic fault sites that let tests tear writes at exact
+//! byte positions.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use euler_core::DeltaOp;
+use euler_engine::faults::{wal_fault, FaultKind, FaultSite};
+
+use crate::record::{encode_frame, FRAME_LEN};
+use crate::segment::{encode_header, segment_file_name, SEGMENT_HEADER_LEN};
+
+/// When appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` before every acknowledgement: a power cut loses nothing
+    /// acknowledged. The slowest and the only policy with a zero-op
+    /// durability window.
+    Always,
+    /// `fsync` every `n` appends: the loss window is at most `n`
+    /// acknowledged ops. `EveryN(1)` behaves like `Always`.
+    EveryN(u32),
+    /// Never `fsync` on the append path; the OS flushes when it likes.
+    /// Graceful shutdown still drains via [`Wal::sync`].
+    Never,
+}
+
+/// Append-side configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    /// Fsync policy for acknowledged appends.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes (header included). Small values exercise rotation; the
+    /// default keeps segments around a mebibyte.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The write-ahead log appender: owns the current segment file and the
+/// version counter the next record must carry.
+///
+/// A failed append or fsync **poisons** the log: the on-disk tail is in
+/// an unknown state, so every later operation fails fast instead of
+/// appending after garbage. The recovery path (a restart) truncates the
+/// torn tail and resumes cleanly — the same story a real crash gets.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    file: File,
+    seq: u64,
+    /// Bytes in the current segment, header included.
+    len: u64,
+    appends_since_sync: u32,
+    next_version: u64,
+    poisoned: bool,
+}
+
+pub(crate) fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn poisoned_error() -> io::Error {
+    io::Error::other("wal poisoned by an earlier write failure; restart to recover")
+}
+
+fn injected_error(site: FaultSite) -> io::Error {
+    io::Error::other(format!("injected wal fault at {site:?}"))
+}
+
+impl Wal {
+    /// Opens a fresh segment `seq` in `dir` whose first record will carry
+    /// `next_version`. The file must not already exist (sequence numbers
+    /// are never reused); the directory entry is fsynced so the segment
+    /// survives a crash immediately after creation.
+    pub(crate) fn create(
+        dir: &Path,
+        cfg: WalConfig,
+        seq: u64,
+        next_version: u64,
+    ) -> io::Result<Wal> {
+        let path = dir.join(segment_file_name(seq));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(&encode_header(seq, next_version))?;
+        file.sync_data()?;
+        fsync_dir(dir)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            cfg,
+            file,
+            seq,
+            len: SEGMENT_HEADER_LEN as u64,
+            appends_since_sync: 0,
+            next_version,
+            poisoned: false,
+        })
+    }
+
+    /// The version the next append will carry.
+    pub fn next_version(&self) -> u64 {
+        self.next_version
+    }
+
+    /// Current segment sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether an earlier failure poisoned the log.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Appends one record and applies the fsync policy. On `Ok`, the
+    /// record for `next_version` is durable to the policy's guarantee
+    /// and the caller may acknowledge; on `Err`, nothing was
+    /// acknowledged and the log is poisoned.
+    pub fn append(&mut self, op: &DeltaOp) -> io::Result<u64> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        if self.len + FRAME_LEN as u64 > self.cfg.segment_bytes
+            && self.len > SEGMENT_HEADER_LEN as u64
+        {
+            self.rotate()?;
+        }
+        let version = self.next_version;
+        let frame = encode_frame(version, op);
+        match wal_fault(FaultSite::WalAppend) {
+            Some(FaultKind::IoError) => {
+                self.poisoned = true;
+                return Err(injected_error(FaultSite::WalAppend));
+            }
+            Some(FaultKind::ShortWrite(n)) => {
+                // A torn write: the first `n` bytes of the frame reach
+                // the file, then the "machine dies".
+                let keep = (n as usize).min(frame.len());
+                let _ = self.file.write_all(&frame[..keep]);
+                let _ = self.file.sync_data();
+                self.poisoned = true;
+                return Err(injected_error(FaultSite::WalAppend));
+            }
+            _ => {}
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.len += frame.len() as u64;
+        self.appends_since_sync += 1;
+        match self.cfg.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.appends_since_sync >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        self.next_version = version + 1;
+        Ok(version)
+    }
+
+    /// Forces everything appended so far to disk (the shutdown drain and
+    /// the `Always`/`EveryN` policies' commit point).
+    pub fn sync(&mut self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        if let Some(kind) = wal_fault(FaultSite::WalFsync) {
+            if matches!(kind, FaultKind::IoError | FaultKind::ShortWrite(_)) {
+                // A failed fsync leaves the kernel's view unknowable;
+                // poison rather than guess (the "fsync-gate" lesson).
+                self.poisoned = true;
+                return Err(injected_error(FaultSite::WalFsync));
+            }
+        }
+        match self.file.sync_data() {
+            Ok(()) => {
+                self.appends_since_sync = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Closes the current segment and opens `seq + 1`. Used on size
+    /// rotation and after a checkpoint (so the manifest can name a clean
+    /// `(segment, offset)` replay start).
+    pub(crate) fn rotate(&mut self) -> io::Result<()> {
+        if self.poisoned {
+            return Err(poisoned_error());
+        }
+        // Make the old tail durable before the new segment exists, so
+        // recovery never sees a newer segment with an older one missing
+        // acknowledged bytes.
+        self.file.sync_data()?;
+        let next = Wal::create(&self.dir, self.cfg, self.seq + 1, self.next_version)?;
+        let old = std::mem::replace(self, next);
+        drop(old);
+        Ok(())
+    }
+}

@@ -1,0 +1,164 @@
+//! The manifest: one small CRC-guarded file naming the authoritative
+//! checkpoint and the WAL position recovery should replay from.
+//!
+//! Written to a temp file, fsynced, then atomically renamed over
+//! `MANIFEST` (and the directory fsynced), so at every instant the
+//! directory holds exactly one complete manifest — the old one or the
+//! new one, never a torn hybrid.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::log::fsync_dir;
+use crate::record::crc32;
+use crate::WalError;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"EULM";
+const MANIFEST_FORMAT: u32 = 1;
+
+/// The file name the manifest lives under.
+pub(crate) const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Recovery's starting point: which checkpoint image to load and where
+/// in the WAL the uncovered suffix begins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Epoch the checkpoint captured.
+    pub epoch: u64,
+    /// Write-log version the checkpoint covers (records `<= version`
+    /// are inside the image).
+    pub version: u64,
+    /// First WAL segment that may hold records `> version`.
+    pub wal_seq: u64,
+    /// Byte offset within that segment where replay starts (the segment
+    /// header, since checkpoints rotate to a fresh segment).
+    pub wal_offset: u64,
+    /// File name of the checkpoint image in the same directory.
+    pub checkpoint: String,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let name = self.checkpoint.as_bytes();
+        let mut out = Vec::with_capacity(4 + 4 + 8 * 4 + 4 + name.len() + 4);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_FORMAT.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&self.wal_seq.to_le_bytes());
+        out.extend_from_slice(&self.wal_offset.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, WalError> {
+        let bad = |what: &str| WalError::BadCheckpoint(format!("manifest: {what}"));
+        if bytes.len() < 4 + 4 + 8 * 4 + 4 + 4 {
+            return Err(bad("truncated"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(body) != crc {
+            return Err(bad("crc mismatch"));
+        }
+        if &body[0..4] != MANIFEST_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let format = u32::from_le_bytes(body[4..8].try_into().unwrap());
+        if format != MANIFEST_FORMAT {
+            return Err(bad("unsupported format"));
+        }
+        let u = |o: usize| u64::from_le_bytes(body[o..o + 8].try_into().unwrap());
+        let name_len = u32::from_le_bytes(body[40..44].try_into().unwrap()) as usize;
+        if body.len() != 44 + name_len {
+            return Err(bad("bad name length"));
+        }
+        let checkpoint = std::str::from_utf8(&body[44..])
+            .map_err(|_| bad("checkpoint name not utf-8"))?
+            .to_string();
+        Ok(Manifest {
+            epoch: u(8),
+            version: u(16),
+            wal_seq: u(24),
+            wal_offset: u(32),
+            checkpoint,
+        })
+    }
+
+    /// Atomically installs this manifest in `dir`: temp file → fsync →
+    /// rename → directory fsync.
+    pub(crate) fn install(&self, dir: &Path) -> io::Result<()> {
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&self.encode())?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+        fsync_dir(dir)
+    }
+
+    /// Loads the manifest from `dir`; `Ok(None)` when none exists (a
+    /// fresh directory or one that never checkpointed). A present but
+    /// unreadable manifest is a hard error — it was installed
+    /// atomically, so damage means real corruption, not a crash.
+    pub(crate) fn load(dir: &Path) -> Result<Option<Manifest>, WalError> {
+        let path = dir.join(MANIFEST_NAME);
+        match std::fs::read(&path) {
+            Ok(bytes) => Manifest::decode(&bytes).map(Some),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(WalError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            epoch: 5,
+            version: 1234,
+            wal_seq: 7,
+            wal_offset: 24,
+            checkpoint: "checkpoint-001234.euh".into(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn every_flip_and_truncation_is_rejected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0x01;
+            assert!(Manifest::decode(&m).is_err(), "flip at {i}");
+        }
+        for cut in 0..bytes.len() {
+            assert!(Manifest::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn install_then_load() {
+        let dir = std::env::temp_dir().join(format!("euler-wal-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let m = sample();
+        m.install(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m.clone()));
+        // Reinstall overwrites atomically.
+        let m2 = Manifest { version: 9999, ..m };
+        m2.install(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! Record framing: fixed-width [`DeltaOp`] payloads wrapped in a
+//! length-prefixed, CRC32-guarded frame.
+//!
+//! ```text
+//! frame   = len u32 LE | crc32 u32 LE (over payload) | payload
+//! payload = version u64 LE | sign i8 | a f64 | b f64 | c f64 | d f64
+//! ```
+//!
+//! The payload is fixed-width (41 bytes, [`RECORD_PAYLOAD_LEN`]), which
+//! makes torn-tail classification crisp: any frame whose length field
+//! disagrees is either a torn write (at the tail) or corruption (before
+//! acknowledged records) — there is no in-between to guess about.
+
+use euler_core::DeltaOp;
+use euler_grid::SnappedRect;
+
+/// Fixed payload width: version + sign + four `f64` bounds.
+pub const RECORD_PAYLOAD_LEN: usize = 8 + 1 + 4 * 8;
+
+/// Full frame width: length prefix + CRC + payload.
+pub(crate) const FRAME_LEN: usize = 4 + 4 + RECORD_PAYLOAD_LEN;
+
+const CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC32 (the zlib/gzip polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Encodes one record frame for `op` at write-log `version`.
+pub(crate) fn encode_frame(version: u64, op: &DeltaOp) -> [u8; FRAME_LEN] {
+    let mut payload = [0u8; RECORD_PAYLOAD_LEN];
+    payload[0..8].copy_from_slice(&version.to_le_bytes());
+    payload[8] = op.sign as i8 as u8;
+    payload[9..17].copy_from_slice(&op.rect.a().to_le_bytes());
+    payload[17..25].copy_from_slice(&op.rect.b().to_le_bytes());
+    payload[25..33].copy_from_slice(&op.rect.c().to_le_bytes());
+    payload[33..41].copy_from_slice(&op.rect.d().to_le_bytes());
+    let mut frame = [0u8; FRAME_LEN];
+    frame[0..4].copy_from_slice(&(RECORD_PAYLOAD_LEN as u32).to_le_bytes());
+    frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+    frame[8..].copy_from_slice(&payload);
+    frame
+}
+
+/// Why a frame failed to parse. Whether that is a torn tail or hard
+/// corruption is the segment scanner's decision, not the frame's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrameFailure {
+    /// Fewer than 8 bytes remain — a truncated frame header.
+    TruncatedHeader,
+    /// The length field is not [`RECORD_PAYLOAD_LEN`].
+    BadLength(u32),
+    /// The payload is shorter than the length field promises.
+    TruncatedPayload,
+    /// The payload CRC does not match.
+    CrcMismatch,
+    /// The sign byte is neither `+1` nor `−1`, or the bounds are not an
+    /// ordered open rectangle.
+    BadPayload,
+}
+
+impl FrameFailure {
+    pub(crate) fn describe(self) -> String {
+        match self {
+            FrameFailure::TruncatedHeader => "truncated frame header".into(),
+            FrameFailure::BadLength(l) => format!("bad record length {l}"),
+            FrameFailure::TruncatedPayload => "truncated record payload".into(),
+            FrameFailure::CrcMismatch => "record crc mismatch".into(),
+            FrameFailure::BadPayload => "malformed record payload".into(),
+        }
+    }
+}
+
+/// Tries to parse one frame at the start of `bytes`. On success returns
+/// the record and the number of bytes consumed.
+pub(crate) fn decode_frame(bytes: &[u8]) -> Result<((u64, DeltaOp), usize), FrameFailure> {
+    if bytes.len() < 8 {
+        return Err(FrameFailure::TruncatedHeader);
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len as usize != RECORD_PAYLOAD_LEN {
+        return Err(FrameFailure::BadLength(len));
+    }
+    if bytes.len() < FRAME_LEN {
+        return Err(FrameFailure::TruncatedPayload);
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let payload = &bytes[8..FRAME_LEN];
+    if crc32(payload) != crc {
+        return Err(FrameFailure::CrcMismatch);
+    }
+    let version = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let sign = payload[8] as i8;
+    if sign != 1 && sign != -1 {
+        return Err(FrameFailure::BadPayload);
+    }
+    let f = |o: usize| f64::from_le_bytes(payload[o..o + 8].try_into().unwrap());
+    let (a, b, c, d) = (f(9), f(17), f(25), f(33));
+    if !(a < b && c < d && a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite()) {
+        return Err(FrameFailure::BadPayload);
+    }
+    let rect = SnappedRect::from_bounds(a, b, c, d);
+    let op = if sign > 0 {
+        DeltaOp::insert(rect)
+    } else {
+        DeltaOp::delete(rect)
+    };
+    Ok(((version, op), FRAME_LEN))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(sign: i64) -> DeltaOp {
+        let r = SnappedRect::from_bounds(0.25, 3.75, 1.25, 2.75);
+        if sign > 0 {
+            DeltaOp::insert(r)
+        } else {
+            DeltaOp::delete(r)
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for sign in [1i64, -1] {
+            let frame = encode_frame(7, &op(sign));
+            let ((version, back), used) = decode_frame(&frame).unwrap();
+            assert_eq!(used, FRAME_LEN);
+            assert_eq!(version, 7);
+            assert_eq!(back, op(sign));
+        }
+    }
+
+    #[test]
+    fn every_truncation_and_flip_is_detected() {
+        let frame = encode_frame(3, &op(1));
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+        for i in 0..frame.len() {
+            let mut m = frame;
+            m[i] ^= 0x10;
+            assert!(decode_frame(&m).is_err(), "flip at {i}");
+        }
+    }
+}

@@ -59,6 +59,9 @@ struct Options {
     queue: usize,
     deadline_ms: u64,
     cache: usize,
+    data_dir: Option<String>,
+    fsync: String,
+    checkpoint_every: Option<u64>,
 }
 
 impl Default for Options {
@@ -82,6 +85,9 @@ impl Default for Options {
             queue: 8,
             deadline_ms: 250,
             cache: 256,
+            data_dir: None,
+            fsync: "always".into(),
+            checkpoint_every: None,
         }
     }
 }
@@ -110,6 +116,11 @@ USAGE:
             [--queue N]            per-tenant in-flight cap (default 8)
             [--deadline-ms N]      default per-request budget (default 250)
             [--cache N]            hot-tiling cache capacity (default 256)
+            [--data-dir PATH]      durable store directory: replay the WAL +
+                                   checkpoint on boot, log every write before
+                                   acking it, drain the WAL on shutdown
+            [--fsync always|every=N|never]  WAL fsync policy (default always)
+            [--checkpoint-every N] auto-checkpoint every N acknowledged writes
 ";
 
 fn parse_pair<T: std::str::FromStr>(s: &str, sep: char) -> Option<(T, T)> {
@@ -226,6 +237,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --cache: {e}"))?
             }
+            "--data-dir" => o.data_dir = Some(value(&mut i)?),
+            "--fsync" => {
+                o.fsync = value(&mut i)?;
+                if parse_fsync(&o.fsync).is_none() {
+                    return Err(format!(
+                        "bad --fsync {:?}, expected always|every=N|never",
+                        o.fsync
+                    ));
+                }
+            }
+            "--checkpoint-every" => {
+                let n: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --checkpoint-every: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                o.checkpoint_every = Some(n);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -240,7 +270,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if o.repeat == 0 {
         return Err("--repeat must be at least 1".into());
     }
+    if o.data_dir.is_some() && o.profile == "frozen" {
+        return Err("--data-dir requires the dynamic profile (durable reads pin current)".into());
+    }
     Ok(o)
+}
+
+/// Parses the `--fsync` flag: `always`, `never`, or `every=N` (N ≥ 1).
+fn parse_fsync(s: &str) -> Option<spatial_histograms::wal::FsyncPolicy> {
+    use spatial_histograms::wal::FsyncPolicy;
+    match s {
+        "always" => Some(FsyncPolicy::Always),
+        "never" => Some(FsyncPolicy::Never),
+        _ => {
+            let n: u32 = s.strip_prefix("every=")?.parse().ok()?;
+            (n >= 1).then_some(FsyncPolicy::EveryN(n))
+        }
+    }
 }
 
 /// Builds the selected estimator behind a shareable handle, timing the build.
@@ -396,7 +442,39 @@ fn run_serve(o: &Options, grid: Grid, space: DataSpace) -> Result<(), String> {
         Vec::new()
     };
 
-    let session: Arc<dyn BrowseSession> = if o.profile == "frozen" {
+    let mut profile = o.profile.clone();
+    let session: Arc<dyn BrowseSession> = if let Some(dir) = &o.data_dir {
+        use spatial_histograms::serve::DurableSession;
+        use spatial_histograms::wal::DurableConfig;
+
+        let mut cfg = DurableConfig::default();
+        cfg.wal.fsync = parse_fsync(&o.fsync).ok_or("bad --fsync")?;
+        if o.checkpoint_every.is_some() {
+            cfg.checkpoint_every = o.checkpoint_every;
+        }
+        let (s, report) = DurableSession::open(std::path::Path::new(dir), grid, cfg)
+            .map_err(|e| format!("cannot open durable store {dir:?}: {e}"))?;
+        eprintln!(
+            "recovered {dir}: checkpoint v{} + {} replayed = v{} ({} segment(s))",
+            report.checkpoint_version, report.replayed, report.version, report.segments_scanned
+        );
+        if let Some(tear) = &report.torn_tail {
+            eprintln!(
+                "warning: torn WAL tail truncated in segment {} at offset {} ({})",
+                tear.segment, tear.offset, tear.reason
+            );
+        }
+        // Preload only a fresh store: a recovered one already holds its
+        // own (durably acknowledged) history.
+        if report.version == 0 {
+            for r in &rects {
+                s.try_insert(r)
+                    .map_err(|e| format!("preload failed: {e}"))?;
+            }
+        }
+        profile = "durable".into();
+        Arc::new(s)
+    } else if o.profile == "frozen" {
         let s = GeoBrowsingService::new(grid);
         for r in &rects {
             s.insert(r);
@@ -422,8 +500,8 @@ fn run_serve(o: &Options, grid: Grid, space: DataSpace) -> Result<(), String> {
     println!(
         "listening on {} ({} profile, {} objects)",
         server.addr(),
-        o.profile,
-        rects.len()
+        profile,
+        server.core().session().len()
     );
     server.join().map_err(|e| e.to_string())
 }
@@ -537,6 +615,39 @@ mod tests {
         // serve may start without a dataset; other modes may not.
         assert!(parse_args(&args(&["serve"])).is_ok());
         assert!(parse_args(&args(&["serve", "--profile", "warm"])).is_err());
+    }
+
+    #[test]
+    fn parses_the_durability_flags() {
+        let o = parse_args(&args(&[
+            "serve",
+            "--data-dir",
+            "/tmp/store",
+            "--fsync",
+            "every=64",
+            "--checkpoint-every",
+            "4096",
+        ]))
+        .unwrap();
+        assert_eq!(o.data_dir.as_deref(), Some("/tmp/store"));
+        assert_eq!(o.fsync, "every=64");
+        assert_eq!(o.checkpoint_every, Some(4096));
+        assert!(matches!(
+            parse_fsync(&o.fsync),
+            Some(spatial_histograms::wal::FsyncPolicy::EveryN(64))
+        ));
+        assert!(parse_args(&args(&["serve", "--fsync", "sometimes"])).is_err());
+        assert!(parse_args(&args(&["serve", "--checkpoint-every", "0"])).is_err());
+        // Durability pins current state on reads: the frozen profile
+        // cannot be durable.
+        assert!(parse_args(&args(&[
+            "serve",
+            "--data-dir",
+            "/tmp/store",
+            "--profile",
+            "frozen"
+        ]))
+        .is_err());
     }
 
     #[test]

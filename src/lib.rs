@@ -55,6 +55,7 @@ pub use euler_grid as grid;
 pub use euler_metrics as metrics;
 pub use euler_rtree as rtree;
 pub use euler_serve as serve;
+pub use euler_wal as wal;
 
 /// The types most applications need, in one import.
 pub mod prelude {

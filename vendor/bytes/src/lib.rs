@@ -158,6 +158,11 @@ impl Bytes {
         self.data.clone()
     }
 
+    /// The full payload as a borrowed slice (ignores the read cursor).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
     /// A copy of the `range` sub-payload with a fresh cursor.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
         Bytes {

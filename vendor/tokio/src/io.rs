@@ -159,6 +159,22 @@ impl<R: AsyncRead + Unpin + Send> BufReader<R> {
     /// UTF-8 text to `out`. Resolves with the byte count: 0 means EOF; a
     /// non-empty final line without a terminator is returned as-is.
     pub async fn read_line(&mut self, out: &mut String) -> io::Result<usize> {
+        match self.read_line_bounded(out, usize::MAX).await? {
+            Some(n) => Ok(n),
+            None => unreachable!("usize::MAX bound cannot be exceeded"),
+        }
+    }
+
+    /// Like [`BufReader::read_line`], but resolves with `None` as soon as
+    /// the line exceeds `max` bytes (terminator included) — the bounded
+    /// read a server needs so one hostile client cannot balloon memory
+    /// with a terminator-free stream. The oversized prefix is discarded;
+    /// the caller is expected to drop the connection.
+    pub async fn read_line_bounded(
+        &mut self,
+        out: &mut String,
+        max: usize,
+    ) -> io::Result<Option<usize>> {
         let mut line: Vec<u8> = Vec::new();
         loop {
             if self.fill().await? == 0 {
@@ -176,11 +192,17 @@ impl<R: AsyncRead + Unpin + Send> BufReader<R> {
                     self.pos = self.cap;
                 }
             }
+            if line.len() > max {
+                return Ok(None);
+            }
+        }
+        if line.len() > max {
+            return Ok(None);
         }
         let text =
             String::from_utf8(line).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         out.push_str(&text);
-        Ok(text.len())
+        Ok(Some(text.len()))
     }
 }
 
